@@ -1,0 +1,328 @@
+package safecross_test
+
+// Benchmark harness: one benchmark per table and figure of the
+// paper's evaluation section. Each benchmark drives the same code
+// path cmd/safecross-bench uses to regenerate the artifact, so
+// `go test -bench=. -benchmem` both times the substrate and exercises
+// every experiment end to end. Key experimental quantities (accuracy,
+// switch latency, throughput gain) are attached as custom benchmark
+// metrics.
+
+import (
+	"sync"
+	"testing"
+
+	"safecross/internal/dataset"
+	"safecross/internal/detect"
+	"safecross/internal/experiments"
+	"safecross/internal/gpusim"
+	"safecross/internal/pipeswitch"
+	"safecross/internal/safecross"
+	"safecross/internal/sim"
+	"safecross/internal/video"
+	"safecross/internal/vision"
+)
+
+// BenchmarkTableI_DatasetGeneration times synthesis of the (scaled)
+// Table I dataset: rendering, VP pre-processing, and labelling.
+func BenchmarkTableI_DatasetGeneration(b *testing.B) {
+	cfg := experiments.Quick()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.TableI(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 3 {
+			b.Fatal("wrong scene count")
+		}
+	}
+}
+
+// tableIIScene caches the canonical occluded scene and trained
+// detectors across Table II sub-benchmarks.
+var (
+	tableIIOnce  sync.Once
+	tableIIScene *sim.OccludedScene
+	tableIIDets  []detect.Detector
+	tableIIErr   error
+)
+
+func tableIISetup(b *testing.B) (*sim.OccludedScene, []detect.Detector) {
+	b.Helper()
+	tableIIOnce.Do(func() {
+		tableIIScene, tableIIErr = detect.CanonicalScene()
+		if tableIIErr != nil {
+			return
+		}
+		tableIIDets, tableIIErr = detect.DefaultDetectors(7)
+	})
+	if tableIIErr != nil {
+		b.Fatal(tableIIErr)
+	}
+	return tableIIScene, tableIIDets
+}
+
+// BenchmarkTableII_Detection times each detection method on the
+// canonical occluded frame — the direct analogue of Table II's
+// execution-time column. The hit/miss pattern is asserted.
+func BenchmarkTableII_Detection(b *testing.B) {
+	scene, dets := tableIISetup(b)
+	wantHit := map[string]bool{"bgs": true, "sparse-of": false, "dense-of": true, "yolite": false}
+	for _, d := range dets {
+		d := d
+		b.Run(d.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			var rects []vision.Rect
+			var err error
+			for i := 0; i < b.N; i++ {
+				rects, err = d.Detect(scene.Frames)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			hit := detect.HitsZone(rects, scene.Zone, detect.HitOverlap)
+			if hit != wantHit[d.Name()] {
+				b.Fatalf("%s: detected=%v, want %v", d.Name(), hit, wantHit[d.Name()])
+			}
+		})
+	}
+}
+
+// pipelineModels caches the trained scene models for the learning
+// benchmarks (Tables III, V, throughput).
+var (
+	pipelineOnce sync.Once
+	pipelineTM   *experiments.TrainedModels
+	pipelineErr  error
+)
+
+func pipelineSetup(b *testing.B) *experiments.TrainedModels {
+	b.Helper()
+	pipelineOnce.Do(func() {
+		pipelineTM, pipelineErr = experiments.TrainSceneModels(experiments.Quick())
+	})
+	if pipelineErr != nil {
+		b.Fatal(pipelineErr)
+	}
+	return pipelineTM
+}
+
+// BenchmarkTableIII_SceneAccuracy times per-scene evaluation and
+// reports the Table III accuracies as metrics.
+func BenchmarkTableIII_SceneAccuracy(b *testing.B) {
+	tm := pipelineSetup(b)
+	b.ResetTimer()
+	var rows []experiments.AccuracyRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.TableIII(tm)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.Top1, r.Name+"-top1")
+	}
+}
+
+// BenchmarkTableIV_Architectures times one training+evaluation run
+// per architecture on a small daytime set.
+func BenchmarkTableIV_Architectures(b *testing.B) {
+	cfg := experiments.Quick()
+	vp := vision.DefaultVPConfig()
+	clips := makeBenchClips(b, cfg.ClipLen, 24)
+	builders := map[string]video.Builder{
+		"slowfast": video.SlowFastBuilder(video.SlowFastConfig{
+			T: cfg.ClipLen, H: vp.GridH, W: vp.GridW, Alpha: 8, Classes: 2, Lateral: true, Seed: 1,
+		}),
+		"c3d": video.C3DBuilder(video.SlowFastConfig{
+			T: cfg.ClipLen, H: vp.GridH, W: vp.GridW, Alpha: 8, Classes: 2, Lateral: true, Seed: 2,
+		}),
+		"tsn": video.TSNBuilder(video.SlowFastConfig{
+			T: cfg.ClipLen, H: vp.GridH, W: vp.GridW, Alpha: 8, Classes: 2, Lateral: true, Seed: 3,
+		}),
+	}
+	for name, builder := range builders {
+		builder := builder
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m, err := builder()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := video.Train(m, clips, video.TrainConfig{Epochs: 2, LR: 0.008, Seed: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTableV_FewShotAblation times the Table V evaluation and
+// reports the with/without accuracies.
+func BenchmarkTableV_FewShotAblation(b *testing.B) {
+	tm := pipelineSetup(b)
+	b.ResetTimer()
+	var rows []experiments.AccuracyRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.TableV(tm)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.Top1, shorten(r.Name)+"-top1")
+	}
+}
+
+func shorten(name string) string {
+	out := make([]rune, 0, len(name))
+	for _, r := range name {
+		if r == ' ' {
+			out = append(out, '-')
+		} else {
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}
+
+// BenchmarkTableVI_ModelSwitching times the two switching methods per
+// model on the simulated GPU and reports virtual-time latencies (ms).
+func BenchmarkTableVI_ModelSwitching(b *testing.B) {
+	dev, err := gpusim.NewDevice(gpusim.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, m := range pipeswitch.BuiltinModels() {
+		m := m
+		b.Run(m.Name+"/stop-and-start", func(b *testing.B) {
+			var rep pipeswitch.Report
+			for i := 0; i < b.N; i++ {
+				rep, err = pipeswitch.StopAndStart{}.Switch(dev, nil, m)
+				if err != nil {
+					b.Fatal(err)
+				}
+				dev.Reset()
+			}
+			b.ReportMetric(float64(rep.Total.Microseconds())/1000, "virtual-ms")
+		})
+		b.Run(m.Name+"/pipeswitch", func(b *testing.B) {
+			var rep pipeswitch.Report
+			for i := 0; i < b.N; i++ {
+				rep, err = pipeswitch.Pipelined{}.Switch(dev, nil, m)
+				if err != nil {
+					b.Fatal(err)
+				}
+				dev.Reset()
+			}
+			b.ReportMetric(float64(rep.Total.Microseconds())/1000, "virtual-ms")
+		})
+	}
+}
+
+// BenchmarkTableVI_GroupingAblation times the grouping-strategy
+// ablation (per-layer vs single vs optimal DP).
+func BenchmarkTableVI_GroupingAblation(b *testing.B) {
+	m := pipeswitch.ResNet152()
+	cfg := gpusim.DefaultConfig()
+	b.Run("optimal-search", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := pipeswitch.OptimalBoundaries(m, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkThroughput_ClosedLoop times the Sec. V-D closed-loop
+// simulation and reports the improvement.
+func BenchmarkThroughput_ClosedLoop(b *testing.B) {
+	var res *safecross.SimThroughputResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = safecross.SimulateThroughput(sim.Day, 3000, 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Improvement, "turn-gain")
+}
+
+// BenchmarkThroughput_Classification times the blind-zone clip
+// classification path with the trained pipeline.
+func BenchmarkThroughput_Classification(b *testing.B) {
+	tm := pipelineSetup(b)
+	b.ResetTimer()
+	var rep *experiments.ThroughputReport
+	var err error
+	for i := 0; i < b.N; i++ {
+		rep, err = experiments.Throughput(tm)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rep.Classification.ThroughputGain, "gain")
+	b.ReportMetric(rep.Classification.Accuracy, "accuracy")
+}
+
+// BenchmarkFig3_VPPipeline times one frame through the VP pipeline
+// (background subtraction, opening, occupancy grid) — the per-frame
+// cost of the deployed system's pre-processing.
+func BenchmarkFig3_VPPipeline(b *testing.B) {
+	world := sim.NewWorld(sim.Config{Weather: sim.Day, TruckPresent: true, Seed: 9})
+	vp := vision.NewPreprocessor(vision.DefaultVPConfig())
+	frames := world.RunFrames(8)
+	for _, f := range frames {
+		if _, err := vp.Process(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+	frame := world.Render()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := vp.Process(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8_SlowFastInference times one clip classification —
+// the real-time budget of the deployed warning path.
+func BenchmarkFig8_SlowFastInference(b *testing.B) {
+	tm := pipelineSetup(b)
+	clips := makeBenchClips(b, tm.Cfg.ClipLen, 1)
+	m := tm.Models[sim.Day]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := video.Predict(m, clips[0].Input); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// makeBenchClips builds a small clip set for benchmarks.
+func makeBenchClips(b *testing.B, clipLen, n int) []*dataset.Clip {
+	b.Helper()
+	vp := vision.DefaultVPConfig()
+	clips := make([]*dataset.Clip, 0, n)
+	for i := 0; i < n; i++ {
+		sc := sim.Scenario{
+			Weather: sim.Day, Danger: i%2 == 0, Blind: i%4 < 2,
+			Seed: int64(600 + i*41),
+		}
+		seg, err := sc.GenerateN(clipLen)
+		if err != nil {
+			b.Fatal(err)
+		}
+		clip, err := dataset.FromSegment(seg, vp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		clips = append(clips, clip)
+	}
+	return clips
+}

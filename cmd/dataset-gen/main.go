@@ -1,0 +1,103 @@
+// Command dataset-gen generates and inspects the synthetic SafeCross
+// dataset (the substitute for the paper's Belarus-intersection
+// footage, Table I).
+//
+// Usage:
+//
+//	dataset-gen -scale 0.05            # composition stats
+//	dataset-gen -preview day-danger    # ASCII-render one segment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"safecross/internal/experiments"
+	"safecross/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dataset-gen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("dataset-gen", flag.ContinueOnError)
+	var (
+		scale   = fs.Float64("scale", 0.02, "fraction of the paper's Table I segment counts")
+		clipLen = fs.Int("frames", sim.SegmentFrames, "frames per segment")
+		preview = fs.String("preview", "", "render one segment: <scene>-<danger|safe>[-blind], e.g. day-danger-blind")
+		seed    = fs.Int64("seed", 1, "generation seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *preview != "" {
+		return renderPreview(w, *preview, *clipLen, *seed)
+	}
+
+	cfg := experiments.Quick()
+	cfg.Scale = *scale
+	cfg.ClipLen = *clipLen
+	cfg.Seed = *seed
+	rows, err := experiments.TableI(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-8s %-10s %-8s %-8s %-8s %-8s\n", "scene", "segments", "frames", "danger", "safe", "blind")
+	total := 0
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %-10d %-8d %-8d %-8d %-8d\n",
+			r.Scene, r.Segments, r.Frames, r.Danger, r.Safe, r.Blind)
+		total += r.Segments
+	}
+	fmt.Fprintf(w, "total: %d segments (paper at scale 1.0: 2855)\n", total)
+	return nil
+}
+
+// renderPreview parses "<scene>-<danger|safe>[-blind]" and prints the
+// key frame and two earlier frames of one generated segment.
+func renderPreview(w io.Writer, spec string, clipLen int, seed int64) error {
+	parts := strings.Split(spec, "-")
+	if len(parts) < 2 {
+		return fmt.Errorf("preview spec %q, want <scene>-<danger|safe>[-blind]", spec)
+	}
+	var weather sim.Weather
+	switch parts[0] {
+	case "day":
+		weather = sim.Day
+	case "rain":
+		weather = sim.Rain
+	case "snow":
+		weather = sim.Snow
+	default:
+		return fmt.Errorf("unknown scene %q", parts[0])
+	}
+	var danger bool
+	switch parts[1] {
+	case "danger":
+		danger = true
+	case "safe":
+		danger = false
+	default:
+		return fmt.Errorf("unknown label %q", parts[1])
+	}
+	blind := len(parts) > 2 && parts[2] == "blind"
+
+	sc := sim.Scenario{Weather: weather, Danger: danger, Blind: blind, Seed: seed}
+	seg, err := sc.GenerateN(clipLen)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "segment: %v danger=%v blind=%v (%d frames)\n",
+		seg.Weather, seg.Danger, seg.Blind, len(seg.Frames))
+	for _, idx := range []int{0, len(seg.Frames) / 2, len(seg.Frames) - 1} {
+		fmt.Fprintf(w, "\nframe %d:\n%s", idx, seg.Frames[idx].ASCII())
+	}
+	return nil
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunStats(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-scale", "0.01"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"day", "rain", "snow", "total:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunPreview(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-preview", "day-danger-blind", "-frames", "16"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "danger=true blind=true") {
+		t.Fatalf("preview header wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "frame 15:") {
+		t.Fatal("preview missing key frame")
+	}
+}
+
+func TestRunPreviewValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		spec string
+	}{
+		{name: "too-short", spec: "day"},
+		{name: "bad-scene", spec: "fog-danger"},
+		{name: "bad-label", spec: "day-maybe"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var sb strings.Builder
+			if err := run([]string{"-preview", tt.spec}, &sb); err == nil {
+				t.Fatalf("expected error for spec %q", tt.spec)
+			}
+		})
+	}
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunRequiresSelection(t *testing.T) {
+	var sb strings.Builder
+	if err := run(nil, &sb); err == nil {
+		t.Fatal("expected selection error with no flags")
+	}
+}
+
+func TestRunRejectsUnknownProfile(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-table", "6", "-profile", "nope"}, &sb); err == nil {
+		t.Fatal("expected unknown-profile error")
+	}
+}
+
+func TestRunTableVI(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-table", "6"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Table VI", "slowfast-safecross", "resnet152", "inceptionv3", "grouping ablation"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunTableI(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-table", "1"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "total segments") {
+		t.Fatalf("output missing totals:\n%s", sb.String())
+	}
+}
+
+func TestRunFig3(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-fig", "3"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Fig. 3(c)") {
+		t.Fatal("output missing VP pipeline stages")
+	}
+}
+
+func TestRunTableIII(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training run skipped in -short mode")
+	}
+	var sb strings.Builder
+	if err := run([]string{"-table", "3"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Table III", "day", "rain", "snow"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q", want)
+		}
+	}
+}

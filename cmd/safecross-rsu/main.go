@@ -1,0 +1,127 @@
+// Command safecross-rsu runs a SafeCross roadside unit over a
+// simulated camera feed: it trains a quick daytime model, adapts the
+// weather models, then serves left-turn advisories over TCP while the
+// simulated intersection cycles through weather scenes.
+//
+// Usage:
+//
+//	safecross-rsu -addr 127.0.0.1:7447 -frames 400 -demo
+//
+// With -demo a vehicle client connects in-process and prints the
+// advisories it receives.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"safecross/internal/experiments"
+	"safecross/internal/rsu"
+	"safecross/internal/safecross"
+	"safecross/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "safecross-rsu:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("safecross-rsu", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:7447", "listen address")
+		frames   = fs.Int("frames", 300, "camera frames to serve (0 = run until killed)")
+		perScene = fs.Int("scene-frames", 120, "frames per weather scene in the feed")
+		demo     = fs.Bool("demo", false, "attach an in-process vehicle client and print advisories")
+		verbose  = fs.Bool("v", false, "log training progress")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := experiments.Quick()
+	if *verbose {
+		cfg.Log = w
+	}
+	fmt.Fprintln(w, "training scene models (quick profile)...")
+	tm, err := experiments.TrainSceneModels(cfg)
+	if err != nil {
+		return err
+	}
+	framework, err := safecross.NewDefault(safecross.Config{ClipLen: cfg.ClipLen}, tm.Models)
+	if err != nil {
+		return err
+	}
+
+	srv, err := rsu.Listen(*addr)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Fprintf(w, "RSU listening on %s\n", srv.Addr())
+
+	var wg sync.WaitGroup
+	if *demo {
+		cli, err := rsu.Dial(srv.Addr(), "demo-vehicle")
+		if err != nil {
+			return err
+		}
+		defer cli.Close()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for msg := range cli.Messages() {
+				switch msg.Type {
+				case rsu.TypeAdvisory:
+					if msg.Ready {
+						fmt.Fprintf(w, "vehicle: frame %4d scene=%-5s safe=%v\n", msg.Frame, msg.Scene, msg.Safe)
+					}
+				case rsu.TypeSwitch:
+					fmt.Fprintf(w, "vehicle: model switched to %s in %dµs (%s)\n", msg.Scene, msg.SwitchMicros, msg.Method)
+				}
+			}
+		}()
+	}
+
+	// Simulated camera: cycle day → rain → snow.
+	scenes := sim.AllWeathers()
+	frame := 0
+	for sceneIdx := 0; *frames == 0 || frame < *frames; sceneIdx++ {
+		weather := scenes[sceneIdx%len(scenes)]
+		world := sim.NewWorld(sim.Config{
+			Weather:       weather,
+			TruckPresent:  true,
+			TurnerEnabled: true,
+			TurnerRespawn: true,
+			Seed:          int64(1000 + sceneIdx),
+		})
+		for i := 0; i < *perScene && (*frames == 0 || frame < *frames); i++ {
+			world.Step()
+			frame++
+			d, err := framework.ProcessFrame(world.Render())
+			if err != nil {
+				return err
+			}
+			if d.SceneChanged && d.Switch != nil {
+				srv.Broadcast(rsu.SwitchMessage(d.Scene.String(), *d.Switch))
+			}
+			srv.Broadcast(rsu.AdvisoryMessage(frame, d))
+		}
+	}
+	fmt.Fprintf(w, "served %d frames, final scene %v, %d model switches, %d SLO violations\n",
+		frame, framework.Scene(), len(framework.Manager().History()), framework.Manager().SLOViolations())
+
+	if *demo {
+		// Give the demo client a moment to drain, then shut down.
+		time.Sleep(100 * time.Millisecond)
+		srv.Close()
+		wg.Wait()
+	}
+	return nil
+}

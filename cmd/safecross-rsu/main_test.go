@@ -1,0 +1,32 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunServesFramesWithDemoClient(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end RSU run skipped in -short mode")
+	}
+	var sb strings.Builder
+	err := run([]string{
+		"-addr", "127.0.0.1:0",
+		"-frames", "60",
+		"-scene-frames", "60",
+		"-demo",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "RSU listening on") {
+		t.Fatalf("missing listen banner:\n%s", out)
+	}
+	if !strings.Contains(out, "served 60 frames") {
+		t.Fatalf("missing completion summary:\n%s", out)
+	}
+	if !strings.Contains(out, "vehicle:") {
+		t.Fatalf("demo client received nothing:\n%s", out)
+	}
+}

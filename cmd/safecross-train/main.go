@@ -1,0 +1,95 @@
+// Command safecross-train runs the SafeCross training pipeline —
+// daytime basic model from scratch, rain and snow models by few-shot
+// adaptation — and saves the weights of all three models to disk.
+//
+// Usage:
+//
+//	safecross-train -out ./weights -profile quick -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"safecross/internal/experiments"
+	"safecross/internal/nn"
+	"safecross/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "safecross-train:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("safecross-train", flag.ContinueOnError)
+	var (
+		out     = fs.String("out", "weights", "output directory for model weights")
+		profile = fs.String("profile", "quick", "experiment profile: quick | standard | full")
+		verbose = fs.Bool("v", false, "log training progress")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var cfg experiments.Config
+	switch *profile {
+	case "quick":
+		cfg = experiments.Quick()
+	case "standard":
+		cfg = experiments.Standard()
+	case "full":
+		cfg = experiments.Full()
+	default:
+		return fmt.Errorf("unknown profile %q", *profile)
+	}
+	if *verbose {
+		cfg.Log = w
+	}
+
+	start := time.Now()
+	tm, err := experiments.TrainSceneModels(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "trained day/snow/rain models in %v\n", time.Since(start).Round(time.Millisecond))
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return fmt.Errorf("create output dir: %w", err)
+	}
+	for _, weather := range sim.AllWeathers() {
+		model := tm.Models[weather]
+		path := filepath.Join(*out, fmt.Sprintf("slowfast-%s.gob", weather))
+		if err := saveModel(path, model.Params()); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "saved %s (%d parameters)\n", path, nn.ParamCount(model.Params()))
+	}
+
+	rows, err := experiments.TableIII(tm)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\nheld-out accuracy:")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-6s top1 %.4f  mean-class %.4f\n", r.Name, r.Top1, r.MeanClass)
+	}
+	return nil
+}
+
+func saveModel(path string, params []*nn.Param) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("save %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := nn.SaveState(f, params); err != nil {
+		return fmt.Errorf("save %s: %w", path, err)
+	}
+	return f.Sync()
+}

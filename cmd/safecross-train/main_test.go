@@ -1,0 +1,39 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunRejectsUnknownProfile(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-profile", "nope"}, &sb); err == nil {
+		t.Fatal("expected unknown-profile error")
+	}
+}
+
+func TestRunTrainsAndSaves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training run skipped in -short mode")
+	}
+	dir := t.TempDir()
+	var sb strings.Builder
+	if err := run([]string{"-out", dir, "-profile", "quick"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, scene := range []string{"day", "rain", "snow"} {
+		path := filepath.Join(dir, "slowfast-"+scene+".gob")
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("missing weights for %s: %v", scene, err)
+		}
+		if info.Size() == 0 {
+			t.Fatalf("empty weight file %s", path)
+		}
+	}
+	if !strings.Contains(sb.String(), "held-out accuracy") {
+		t.Fatal("output missing accuracy summary")
+	}
+}

@@ -1,0 +1,28 @@
+// Package safecross reproduces "To Turn or Not To Turn, SafeCross is
+// the Answer" (ICDCS 2022) as a pure-Go system: a roadside framework
+// that watches an intersection, detects occluded left-turn blind
+// areas, classifies danger with a SlowFast video network, adapts to
+// weather scenes with few-shot learning, and switches models in
+// milliseconds with a PipeSwitch-style pipelined loader.
+//
+// The root package carries only documentation and the benchmark
+// harness (bench_test.go) that regenerates every table and figure of
+// the paper's evaluation; the implementation lives under internal/:
+//
+//   - internal/safecross — the framework (VP→VC→FL→MS composition)
+//   - internal/vision, internal/flow, internal/detect — the VP module
+//     and the detection study (Table II, Fig. 8)
+//   - internal/tensor, internal/nn, internal/video — the from-scratch
+//     learning stack and the SlowFast/C3D/TSN classifiers (Tables
+//     III–IV)
+//   - internal/fewshot — MAML and pretrained fine-tuning (Table V)
+//   - internal/gpusim, internal/pipeswitch — the simulated
+//     accelerator and model switching (Table VI)
+//   - internal/sim, internal/dataset, internal/weather — the
+//     synthetic intersection, the Table I dataset, scene detection
+//   - internal/rsu — the TCP roadside-unit deployment surface
+//   - internal/experiments — per-table/figure experiment drivers
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record.
+package safecross

@@ -1,0 +1,58 @@
+// Blindzone: the detection-method comparison of the paper's Fig. 8
+// and Table II on the canonical occluded intersection.
+//
+// A truck blocks the left-turner's view; a low-contrast car crosses
+// the danger zone behind it. Each method (background subtraction,
+// sparse/dense optical flow, a YOLO-style grid detector) is run on
+// the same frames and annotated output shows who finds the hidden
+// car.
+//
+// Run: go run ./examples/blindzone
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"safecross/internal/detect"
+	"safecross/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "blindzone:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fmt.Println("Table II — detection method comparison on the occluded scene")
+	fmt.Println("(paper: BGS 0.74ms yes | sparse OF 6.43ms no | dense OF 224ms yes | YOLOv3 256ms no)")
+	fmt.Println()
+
+	rows, err := experiments.TableII(3, 7)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s %-14s %-10s\n", "method", "time/frame", "finds car?")
+	for _, r := range rows {
+		fmt.Printf("%-10s %-14v %-10v\n", r.Method, r.MeanTime.Round(10*time.Microsecond), r.Detected)
+	}
+	fmt.Println()
+
+	// Render the annotated frames (Fig. 8): '.' outlines the danger
+	// zone, '@' the ground-truth car, '#' each method's detections.
+	if err := experiments.Fig8(os.Stdout, 7); err != nil {
+		return err
+	}
+
+	scene, err := detect.CanonicalScene()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nground truth: car %v inside danger zone %v\n", scene.Car, scene.Zone)
+	fmt.Println("conclusion: background subtraction is both the fastest and the only")
+	fmt.Println("cheap method that finds the hidden car — the paper's Observation 1.")
+	return nil
+}

@@ -1,0 +1,100 @@
+// Throughput: the paper's Sec. V-D claim — SafeCross increases
+// left-turn throughput by ≈50 % in blind-zone scenes — reproduced two
+// ways: (1) classifying a blind-zone clip set and counting released
+// turns, and (2) a closed-loop simulation where the advisory drives
+// the turner directly.
+//
+// Run: go run ./examples/throughput
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"safecross/internal/dataset"
+	"safecross/internal/safecross"
+	"safecross/internal/sim"
+	"safecross/internal/video"
+	"safecross/internal/vision"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "throughput:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const clipLen = 16
+	vpcfg := vision.DefaultVPConfig()
+
+	// Train a day model.
+	fmt.Println("training classifier...")
+	var train []*dataset.Clip
+	for i := 0; i < 56; i++ {
+		sc := sim.Scenario{
+			Weather: sim.Day, Danger: i%2 == 0, Blind: i%4 < 2,
+			Seed: int64(7000 + i*17),
+		}
+		seg, err := sc.GenerateN(clipLen)
+		if err != nil {
+			return err
+		}
+		clip, err := dataset.FromSegment(seg, vpcfg)
+		if err != nil {
+			return err
+		}
+		train = append(train, clip)
+	}
+	model, err := video.NewSlowFast(video.SlowFastConfig{
+		T: clipLen, H: vpcfg.GridH, W: vpcfg.GridW,
+		Alpha: 8, Classes: dataset.NumClasses, Lateral: true, Seed: 21,
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := video.Train(model, train, video.TrainConfig{Epochs: 8, LR: 0.01, Seed: 3}); err != nil {
+		return err
+	}
+
+	// (1) Blind-zone clip statistic, like the paper's 63-segment set.
+	var clips []*dataset.Clip
+	for i := 0; i < 24; i++ {
+		sc := sim.Scenario{
+			Weather: sim.Day, Blind: true, Danger: i%2 == 0,
+			Seed: int64(90000 + i*13),
+		}
+		seg, err := sc.GenerateN(clipLen)
+		if err != nil {
+			return err
+		}
+		clip, err := dataset.FromSegment(seg, vpcfg)
+		if err != nil {
+			return err
+		}
+		clips = append(clips, clip)
+	}
+	res, err := safecross.EvaluateThroughput(model, clips)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nblind-zone clip set: %d clips (%d danger / %d safe)\n",
+		res.Total, res.DangerClips, res.SafeClips)
+	fmt.Printf("classification accuracy: %.3f   unsafe releases: %d\n", res.Accuracy, res.UnsafeReleases)
+	fmt.Printf("throughput gain: +%.0f%% of blind scenes released for an immediate turn\n",
+		100*res.ThroughputGain)
+	fmt.Println("(paper: 63 clips, accuracy 1.0, +32/63 ≈ +50%)")
+
+	// (2) Closed loop: the advisory drives the occluded turner.
+	fmt.Println("\nclosed-loop simulation (6000 frames per weather):")
+	for _, w := range sim.AllWeathers() {
+		r, err := safecross.SimulateThroughput(w, 6000, int64(w))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-5s turns without SafeCross: %3d   with: %3d   (+%.0f%%)\n",
+			w, r.TurnsWithout, r.TurnsWith, 100*r.Improvement)
+	}
+	return nil
+}

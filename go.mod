@@ -1,0 +1,3 @@
+module safecross
+
+go 1.22

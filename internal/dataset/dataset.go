@@ -1,0 +1,241 @@
+// Package dataset synthesises the labelled clip collections the paper
+// trains and evaluates on (Table I): 32-frame segments across three
+// weather scenes, each pre-processed by the VP module into occupancy-
+// grid clips, with the paper's two classes — class 0 "danger, do not
+// turn left" and class 1 "safe to turn left" — and blind/no-blind
+// metadata.
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"safecross/internal/sim"
+	"safecross/internal/tensor"
+	"safecross/internal/vision"
+)
+
+// Class labels, matching the paper's convention in Sec. V-B.
+const (
+	// ClassDanger (0) marks clips where turning left is dangerous.
+	ClassDanger = 0
+	// ClassSafe (1) marks clips where the left turn is safe.
+	ClassSafe = 1
+	// NumClasses is the binary classification arity.
+	NumClasses = 2
+)
+
+// Clip is one pre-processed training/evaluation example.
+type Clip struct {
+	// Input is the [1, T, H, W] occupancy-grid clip tensor.
+	Input *tensor.Tensor
+	// Label is ClassDanger or ClassSafe.
+	Label int
+	// Weather is the scene the clip came from.
+	Weather sim.Weather
+	// Blind reports whether the occluding truck was present.
+	Blind bool
+}
+
+// Spec describes a clip collection to generate.
+type Spec struct {
+	// Weather is the scene condition.
+	Weather sim.Weather
+	// Segments is the number of clips.
+	Segments int
+	// DangerFrac is the fraction labelled ClassDanger (default 0.5).
+	DangerFrac float64
+	// BlindFrac is the fraction with the occluding truck (default
+	// 0.5).
+	BlindFrac float64
+	// Seed makes generation reproducible.
+	Seed int64
+}
+
+// TableISpecs returns the dataset composition of the paper's Table I:
+// 1966 daytime, 34 rain, and 855 snow segments of 32 frames each.
+func TableISpecs() []Spec {
+	return []Spec{
+		{Weather: sim.Day, Segments: 1966, Seed: 1000},
+		{Weather: sim.Rain, Segments: 34, Seed: 2000},
+		{Weather: sim.Snow, Segments: 855, Seed: 3000},
+	}
+}
+
+// ScaledTableISpecs returns the Table I composition scaled by the
+// given factor (minimum of 4 segments per scene) so tests and quick
+// runs keep the day ≫ snow ≫ rain proportions without the full cost.
+func ScaledTableISpecs(scale float64) []Spec {
+	full := TableISpecs()
+	for i := range full {
+		n := int(float64(full[i].Segments) * scale)
+		if n < 4 {
+			n = 4
+		}
+		full[i].Segments = n
+	}
+	return full
+}
+
+// Generate renders the spec's segments and pre-processes them with a
+// fresh VP pipeline per segment, returning labelled clips.
+func Generate(spec Spec, vpcfg vision.VPConfig) ([]*Clip, error) {
+	if spec.Segments <= 0 {
+		return nil, fmt.Errorf("dataset: segment count %d must be positive", spec.Segments)
+	}
+	if spec.DangerFrac == 0 {
+		spec.DangerFrac = 0.5
+	}
+	if spec.BlindFrac == 0 {
+		spec.BlindFrac = 0.5
+	}
+	if spec.DangerFrac < 0 || spec.DangerFrac > 1 || spec.BlindFrac < 0 || spec.BlindFrac > 1 {
+		return nil, fmt.Errorf("dataset: fractions must lie in [0,1]: %+v", spec)
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	clips := make([]*Clip, 0, spec.Segments)
+	for i := 0; i < spec.Segments; i++ {
+		sc := sim.Scenario{
+			Weather: spec.Weather,
+			Danger:  rng.Float64() < spec.DangerFrac,
+			Blind:   rng.Float64() < spec.BlindFrac,
+			Seed:    spec.Seed + int64(i)*7919 + 13,
+		}
+		clip, err := FromScenario(sc, vpcfg)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: segment %d: %w", i, err)
+		}
+		clips = append(clips, clip)
+	}
+	return clips, nil
+}
+
+// FromScenario renders one scenario and converts it to a clip.
+func FromScenario(sc sim.Scenario, vpcfg vision.VPConfig) (*Clip, error) {
+	seg, err := sc.Generate()
+	if err != nil {
+		return nil, err
+	}
+	return FromSegment(seg, vpcfg)
+}
+
+// FromSegment pre-processes a rendered segment into a clip: the VP
+// pipeline consumes the warm-up frames to prime its background model,
+// then produces one occupancy grid per recorded frame.
+func FromSegment(seg *sim.Segment, vpcfg vision.VPConfig) (*Clip, error) {
+	vp := vision.NewPreprocessor(vpcfg)
+	for _, f := range seg.Warmup {
+		if _, err := vp.Process(f); err != nil {
+			return nil, fmt.Errorf("dataset: warm-up: %w", err)
+		}
+	}
+	grids := make([]*vision.Image, 0, len(seg.Frames))
+	for _, f := range seg.Frames {
+		g, err := vp.Process(f)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: vp: %w", err)
+		}
+		grids = append(grids, g)
+	}
+	input, err := vision.ClipTensor(grids)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	label := ClassSafe
+	if seg.Danger {
+		label = ClassDanger
+	}
+	return &Clip{
+		Input:   input,
+		Label:   label,
+		Weather: seg.Weather,
+		Blind:   seg.Blind,
+	}, nil
+}
+
+// MirrorClip returns the clip flipped left-to-right: the
+// right-turn-blind-zone variant for left-driving countries. Labels
+// are unchanged — the hazard geometry is mirrored, not altered.
+func MirrorClip(c *Clip) *Clip {
+	t, h, w := c.Input.Shape[1], c.Input.Shape[2], c.Input.Shape[3]
+	flipped := tensor.New(1, t, h, w)
+	for ti := 0; ti < t; ti++ {
+		for y := 0; y < h; y++ {
+			base := (ti*h + y) * w
+			for x := 0; x < w; x++ {
+				flipped.Data[base+w-1-x] = c.Input.Data[base+x]
+			}
+		}
+	}
+	return &Clip{Input: flipped, Label: c.Label, Weather: c.Weather, Blind: c.Blind}
+}
+
+// MirrorClips maps MirrorClip over a slice.
+func MirrorClips(clips []*Clip) []*Clip {
+	out := make([]*Clip, len(clips))
+	for i, c := range clips {
+		out[i] = MirrorClip(c)
+	}
+	return out
+}
+
+// Split shuffles clips with rng and partitions them into train,
+// validation, and test sets with the given fractions (the paper uses
+// 8:1:1). The remainder after train and val goes to test.
+func Split(clips []*Clip, rng *rand.Rand, trainFrac, valFrac float64) (train, val, test []*Clip, err error) {
+	if trainFrac < 0 || valFrac < 0 || trainFrac+valFrac > 1 {
+		return nil, nil, nil, fmt.Errorf("dataset: invalid split fractions %v/%v", trainFrac, valFrac)
+	}
+	shuffled := append([]*Clip(nil), clips...)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	nTrain := int(float64(len(shuffled)) * trainFrac)
+	nVal := int(float64(len(shuffled)) * valFrac)
+	train = shuffled[:nTrain]
+	val = shuffled[nTrain : nTrain+nVal]
+	test = shuffled[nTrain+nVal:]
+	return train, val, test, nil
+}
+
+// CountByLabel returns the number of clips per class.
+func CountByLabel(clips []*Clip) map[int]int {
+	out := make(map[int]int, NumClasses)
+	for _, c := range clips {
+		out[c.Label]++
+	}
+	return out
+}
+
+// BlindZoneTestSet builds the throughput experiment's evaluation set
+// (Sec. V-D): blind-area segments only, nDanger of class 0 and nSafe
+// of class 1, drawn across all three weather scenes as in the paper's
+// 10-hour statistic. The paper uses 32 danger and 31 safe segments.
+func BlindZoneTestSet(nDanger, nSafe int, vpcfg vision.VPConfig, seed int64) ([]*Clip, error) {
+	if nDanger < 0 || nSafe < 0 || nDanger+nSafe == 0 {
+		return nil, fmt.Errorf("dataset: blind-zone set needs positive counts")
+	}
+	weathers := sim.AllWeathers()
+	clips := make([]*Clip, 0, nDanger+nSafe)
+	build := func(n int, danger bool, base int64) error {
+		for i := 0; i < n; i++ {
+			sc := sim.Scenario{
+				Weather: weathers[i%len(weathers)],
+				Blind:   true,
+				Danger:  danger,
+				Seed:    seed + base + int64(i)*104729,
+			}
+			clip, err := FromScenario(sc, vpcfg)
+			if err != nil {
+				return err
+			}
+			clips = append(clips, clip)
+		}
+		return nil
+	}
+	if err := build(nDanger, true, 0); err != nil {
+		return nil, fmt.Errorf("dataset: blind-zone danger clips: %w", err)
+	}
+	if err := build(nSafe, false, 1<<32); err != nil {
+		return nil, fmt.Errorf("dataset: blind-zone safe clips: %w", err)
+	}
+	return clips, nil
+}

@@ -1,0 +1,215 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+
+	"safecross/internal/sim"
+	"safecross/internal/vision"
+)
+
+func testVPConfig() vision.VPConfig {
+	cfg := vision.DefaultVPConfig()
+	return cfg
+}
+
+func TestTableISpecsMatchPaper(t *testing.T) {
+	specs := TableISpecs()
+	if len(specs) != 3 {
+		t.Fatalf("specs = %d, want 3 scenes", len(specs))
+	}
+	want := map[sim.Weather]int{sim.Day: 1966, sim.Rain: 34, sim.Snow: 855}
+	total := 0
+	for _, s := range specs {
+		if s.Segments != want[s.Weather] {
+			t.Fatalf("%v segments = %d, want %d", s.Weather, s.Segments, want[s.Weather])
+		}
+		total += s.Segments
+	}
+	if total != 2855 {
+		t.Fatalf("total segments = %d, want 2855 (paper abstract)", total)
+	}
+}
+
+func TestScaledSpecsKeepProportionsAndFloor(t *testing.T) {
+	specs := ScaledTableISpecs(0.01)
+	for _, s := range specs {
+		if s.Segments < 4 {
+			t.Fatalf("%v scaled below floor: %d", s.Weather, s.Segments)
+		}
+	}
+	// Day must stay the largest scene.
+	if !(specs[0].Segments > specs[2].Segments && specs[2].Segments >= specs[1].Segments) {
+		t.Fatalf("scaled proportions wrong: %+v", specs)
+	}
+}
+
+func TestGenerateProducesLabelledClips(t *testing.T) {
+	clips, err := Generate(Spec{Weather: sim.Day, Segments: 8, Seed: 5}, testVPConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clips) != 8 {
+		t.Fatalf("clips = %d, want 8", len(clips))
+	}
+	counts := CountByLabel(clips)
+	if counts[ClassDanger] == 0 || counts[ClassSafe] == 0 {
+		t.Fatalf("class collapse: %v", counts)
+	}
+	for _, c := range clips {
+		if c.Input.Rank() != 4 || c.Input.Shape[0] != 1 || c.Input.Shape[1] != sim.SegmentFrames {
+			t.Fatalf("clip tensor shape = %v", c.Input.Shape)
+		}
+		if c.Input.Shape[2] != testVPConfig().GridH || c.Input.Shape[3] != testVPConfig().GridW {
+			t.Fatalf("grid shape = %v", c.Input.Shape)
+		}
+		if c.Label != ClassDanger && c.Label != ClassSafe {
+			t.Fatalf("bad label %d", c.Label)
+		}
+		if c.Weather != sim.Day {
+			t.Fatalf("weather = %v", c.Weather)
+		}
+		if !c.Input.AllFinite() {
+			t.Fatal("clip contains non-finite values")
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Spec{Weather: sim.Day, Segments: 0}, testVPConfig()); err == nil {
+		t.Fatal("expected segment-count error")
+	}
+	if _, err := Generate(Spec{Weather: sim.Day, Segments: 2, DangerFrac: 1.5}, testVPConfig()); err == nil {
+		t.Fatal("expected fraction error")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := Spec{Weather: sim.Snow, Segments: 3, Seed: 77}
+	a, err := Generate(spec, testVPConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(spec, testVPConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Label != b[i].Label {
+			t.Fatal("labels differ across identical runs")
+		}
+		for j := range a[i].Input.Data {
+			if a[i].Input.Data[j] != b[i].Input.Data[j] {
+				t.Fatal("clip tensors differ across identical runs")
+			}
+		}
+	}
+}
+
+// TestDangerClipsShowZoneOccupancy checks that the VP grids carry the
+// signal the classifier needs: danger clips have occupancy mass in
+// the grid cells covering the danger zone at the key frame.
+func TestDangerClipsShowZoneOccupancy(t *testing.T) {
+	cfg := testVPConfig()
+	clip, err := FromScenario(sim.Scenario{Weather: sim.Day, Blind: true, Danger: true, Seed: 901}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Key-frame grid = last T slice of the [1,T,H,W] tensor.
+	tIdx := clip.Input.Shape[1] - 1
+	sum := 0.0
+	for y := 0; y < cfg.GridH; y++ {
+		for x := 0; x < cfg.GridW; x++ {
+			sum += clip.Input.At(0, tIdx, y, x)
+		}
+	}
+	if sum <= 0 {
+		t.Fatal("danger clip key frame has no occupancy at all")
+	}
+}
+
+func TestSplitFractions(t *testing.T) {
+	clips := make([]*Clip, 20)
+	for i := range clips {
+		clips[i] = &Clip{Label: i % 2}
+	}
+	rng := rand.New(rand.NewSource(1))
+	train, val, test, err := Split(clips, rng, 0.8, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(train) != 16 || len(val) != 2 || len(test) != 2 {
+		t.Fatalf("split sizes %d/%d/%d, want 16/2/2", len(train), len(val), len(test))
+	}
+	// Every clip appears exactly once.
+	seen := make(map[*Clip]bool)
+	for _, set := range [][]*Clip{train, val, test} {
+		for _, c := range set {
+			if seen[c] {
+				t.Fatal("clip appears in two splits")
+			}
+			seen[c] = true
+		}
+	}
+	if len(seen) != 20 {
+		t.Fatalf("split lost clips: %d", len(seen))
+	}
+	if _, _, _, err := Split(clips, rng, 0.9, 0.2); err == nil {
+		t.Fatal("expected invalid-fraction error")
+	}
+}
+
+func TestBlindZoneTestSetComposition(t *testing.T) {
+	clips, err := BlindZoneTestSet(4, 3, testVPConfig(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := CountByLabel(clips)
+	if counts[ClassDanger] != 4 || counts[ClassSafe] != 3 {
+		t.Fatalf("counts = %v, want 4 danger / 3 safe", counts)
+	}
+	weathers := make(map[sim.Weather]bool)
+	for _, c := range clips {
+		if !c.Blind {
+			t.Fatal("blind-zone set must contain only blind clips")
+		}
+		weathers[c.Weather] = true
+	}
+	if len(weathers) < 2 {
+		t.Fatalf("blind-zone set should mix scenes, got %v", weathers)
+	}
+	if _, err := BlindZoneTestSet(0, 0, testVPConfig(), 1); err == nil {
+		t.Fatal("expected count error")
+	}
+}
+
+func TestMirrorClipInvolution(t *testing.T) {
+	clips, err := Generate(Spec{Weather: sim.Day, Segments: 2, Seed: 9}, testVPConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := clips[0]
+	m := MirrorClip(orig)
+	if m.Label != orig.Label || m.Weather != orig.Weather || m.Blind != orig.Blind {
+		t.Fatal("mirror must preserve metadata")
+	}
+	diff := false
+	for i := range m.Input.Data {
+		if m.Input.Data[i] != orig.Input.Data[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("mirror changed nothing (degenerate clip?)")
+	}
+	mm := MirrorClip(m)
+	for i := range mm.Input.Data {
+		if mm.Input.Data[i] != orig.Input.Data[i] {
+			t.Fatal("double mirror must be identity")
+		}
+	}
+	if got := MirrorClips(clips); len(got) != len(clips) {
+		t.Fatal("MirrorClips length mismatch")
+	}
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"testing"
+
+	"safecross/internal/dataset"
+)
+
+func TestAblateVPMorphology(t *testing.T) {
+	rows, err := AblateVPMorphology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	byVariant := map[string]MorphologyAblationRow{}
+	for _, r := range rows {
+		byVariant[r.Variant] = r
+	}
+	with := byVariant["with-opening"]
+	without := byVariant["without-opening"]
+	if !with.FoundCar {
+		t.Fatal("opening must keep the danger-zone car")
+	}
+	// Without opening, camera noise floods the components.
+	if without.Detections <= with.Detections {
+		t.Fatalf("opening should suppress noise blobs: with=%d without=%d",
+			with.Detections, without.Detections)
+	}
+}
+
+func TestAblateBackgroundModel(t *testing.T) {
+	rows, err := AblateBackgroundModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byVariant := map[string]float64{}
+	for _, r := range rows {
+		byVariant[r.Variant] = r.FalseForeground
+	}
+	if byVariant["dynamic-background"] >= byVariant["static-background"] {
+		t.Fatalf("dynamic background must misfire less under drift: dynamic=%v static=%v",
+			byVariant["dynamic-background"], byVariant["static-background"])
+	}
+}
+
+func TestAblateSlowFastLateral(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training ablation skipped in -short mode")
+	}
+	rows, err := AblateSlowFastLateral(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	byVariant := map[string]LateralAblationRow{}
+	for _, r := range rows {
+		byVariant[r.Variant] = r
+	}
+	with := byVariant["slowfast"]
+	without := byVariant["slowfast-nolateral"]
+	if with.Params <= without.Params {
+		t.Fatal("lateral variant must have more parameters")
+	}
+	// Both variants must learn the task; removing the lateral fusion
+	// must not produce a large win (it is the architecture's core
+	// idea, so at worst a small seed-level fluctuation).
+	if with.Top1 < 0.6 || without.Top1 < 0.5 {
+		t.Fatalf("ablation variants failed to learn: %+v", rows)
+	}
+	if without.Top1 > with.Top1+0.15 {
+		t.Fatalf("removing lateral connections should not win big: with=%v without=%v",
+			with.Top1, without.Top1)
+	}
+}
+
+func TestAblateMAMLInnerSteps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training ablation skipped in -short mode")
+	}
+	rows, err := AblateMAMLInnerSteps(Quick(), []int{1, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.Top1 < 0.4 {
+			t.Fatalf("inner-steps k=%d collapsed: %v", r.Steps, r.Top1)
+		}
+	}
+	if _, err := AblateMAMLInnerSteps(Config{}, nil); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestDangerLabelHelper(t *testing.T) {
+	if !dangerLabelForClip(&dataset.Clip{Label: dataset.ClassDanger}) {
+		t.Fatal("danger clip misreported")
+	}
+	if dangerLabelForClip(&dataset.Clip{Label: dataset.ClassSafe}) {
+		t.Fatal("safe clip misreported")
+	}
+}

@@ -1,0 +1,193 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation section on the synthetic substrate: dataset
+// composition (Table I), the detection-method study (Table II,
+// Fig. 8), per-scene classification accuracy (Table III), the
+// architecture comparison (Table IV), the few-shot ablation
+// (Table V), model-switching latency (Table VI), and the blind-zone
+// throughput study (Sec. V-D). cmd/safecross-bench and the root
+// bench_test.go are thin wrappers over this package.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"safecross/internal/dataset"
+	"safecross/internal/sim"
+	"safecross/internal/video"
+	"safecross/internal/vision"
+)
+
+// Config scales the learning experiments. The paper's full dataset
+// (Table I) and training schedule are expensive on one CPU; Quick
+// runs a proportionally reduced version that preserves every
+// qualitative relationship, Full runs at paper scale.
+type Config struct {
+	// Scale multiplies the Table I segment counts (1.0 = the paper's
+	// 1966/34/855).
+	Scale float64
+	// ClipLen is the frames per clip (the paper's 32; Quick uses 16).
+	ClipLen int
+	// Epochs is the training epoch count for from-scratch models.
+	Epochs int
+	// AdaptSteps and AdaptLR drive few-shot adaptation.
+	AdaptSteps int
+	AdaptLR    float64
+	// Seed makes the whole experiment chain reproducible.
+	Seed int64
+	// Log receives progress lines (nil silences).
+	Log io.Writer
+}
+
+// Quick returns the CI-friendly configuration (≈2 % of Table I).
+func Quick() Config {
+	return Config{
+		Scale:      0.02,
+		ClipLen:    16,
+		Epochs:     8,
+		AdaptSteps: 12,
+		AdaptLR:    0.03,
+		Seed:       1,
+	}
+}
+
+// Standard returns the default bench configuration (≈10 % of
+// Table I): large enough for the paper's accuracy ordering to be
+// stable, small enough for minutes-scale runs.
+func Standard() Config {
+	return Config{
+		Scale:      0.10,
+		ClipLen:    32,
+		Epochs:     6,
+		AdaptSteps: 16,
+		AdaptLR:    0.02,
+		Seed:       1,
+	}
+}
+
+// Full returns the paper-scale configuration (Table I counts,
+// 32-frame clips).
+func Full() Config {
+	return Config{
+		Scale:      1.0,
+		ClipLen:    32,
+		Epochs:     6,
+		AdaptSteps: 20,
+		AdaptLR:    0.02,
+		Seed:       1,
+	}
+}
+
+// Validate checks configuration invariants.
+func (c Config) Validate() error {
+	if c.Scale <= 0 || c.Scale > 1 {
+		return fmt.Errorf("experiments: scale %v outside (0,1]", c.Scale)
+	}
+	if c.ClipLen < 8 || c.ClipLen%8 != 0 {
+		return fmt.Errorf("experiments: clip length %d must be a positive multiple of 8", c.ClipLen)
+	}
+	if c.Epochs <= 0 || c.AdaptSteps <= 0 || c.AdaptLR <= 0 {
+		return fmt.Errorf("experiments: non-positive training knobs: %+v", c)
+	}
+	return nil
+}
+
+// logf writes a progress line when logging is enabled.
+func (c Config) logf(format string, args ...any) {
+	if c.Log != nil {
+		fmt.Fprintf(c.Log, format+"\n", args...)
+	}
+}
+
+// vpConfig returns the VP configuration shared by all experiments.
+func (c Config) vpConfig() vision.VPConfig { return vision.DefaultVPConfig() }
+
+// slowFastConfig returns the SlowFast geometry for this config.
+func (c Config) slowFastConfig(seed int64) video.SlowFastConfig {
+	vp := c.vpConfig()
+	return video.SlowFastConfig{
+		T: c.ClipLen, H: vp.GridH, W: vp.GridW,
+		Alpha: 8, Classes: dataset.NumClasses, Lateral: true, Seed: seed,
+	}
+}
+
+// sceneData holds one scene's training clips (the scaled Table I
+// segments, the paper's 80 % share) and a held-out evaluation set.
+//
+// Deviation from the paper: the paper's 8:1:1 split leaves a rain
+// test set of ~3 segments (34 total), too small for stable accuracy
+// estimates — and at reduced scales it would be empty. Training-set
+// sizes follow the scaled Table I composition exactly (preserving the
+// data-scarcity relationships that drive Tables III and V), while
+// evaluation uses a fixed-size freshly generated held-out set per
+// scene, drawn from a disjoint seed stream.
+type sceneData struct {
+	Weather     sim.Weather
+	Train, Test []*dataset.Clip
+	Total       int
+}
+
+// evalSetSize is the held-out evaluation clips per scene.
+const evalSetSize = 30
+
+// generateScenes builds the scaled Table I dataset per scene.
+func (c Config) generateScenes() (map[sim.Weather]*sceneData, error) {
+	specs := dataset.ScaledTableISpecs(c.Scale)
+	out := make(map[sim.Weather]*sceneData, len(specs))
+	for _, spec := range specs {
+		// The paper trains on the 80% share of each scene.
+		trainSpec := spec
+		trainSpec.Segments = maxInt(3, spec.Segments*8/10)
+		c.logf("generating %d %v training segments (clip length %d)", trainSpec.Segments, spec.Weather, c.ClipLen)
+		train, err := c.generateSceneClips(trainSpec)
+		if err != nil {
+			return nil, err
+		}
+		evalSpec := spec
+		evalSpec.Segments = evalSetSize
+		evalSpec.Seed = spec.Seed + 1<<40 // disjoint seed stream
+		test, err := c.generateSceneClips(evalSpec)
+		if err != nil {
+			return nil, err
+		}
+		out[spec.Weather] = &sceneData{
+			Weather: spec.Weather,
+			Train:   train,
+			Test:    test,
+			Total:   spec.Segments,
+		}
+	}
+	return out, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// generateSceneClips renders one scene's clips at the configured clip
+// length.
+func (c Config) generateSceneClips(spec dataset.Spec) ([]*dataset.Clip, error) {
+	rng := newRand(spec.Seed)
+	clips := make([]*dataset.Clip, 0, spec.Segments)
+	for i := 0; i < spec.Segments; i++ {
+		sc := sim.Scenario{
+			Weather: spec.Weather,
+			Danger:  rng.Float64() < 0.5,
+			Blind:   rng.Float64() < 0.5,
+			Seed:    spec.Seed + int64(i)*7919 + 13,
+		}
+		seg, err := sc.GenerateN(c.ClipLen)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %v clip %d: %w", spec.Weather, i, err)
+		}
+		clip, err := dataset.FromSegment(seg, c.vpConfig())
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %v clip %d: %w", spec.Weather, i, err)
+		}
+		clips = append(clips, clip)
+	}
+	return clips, nil
+}

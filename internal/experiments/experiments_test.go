@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"safecross/internal/sim"
+)
+
+func TestConfigPresetsValid(t *testing.T) {
+	for _, cfg := range []Config{Quick(), Standard(), Full()} {
+		if err := cfg.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bad := Quick()
+	bad.Scale = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected scale error")
+	}
+	bad = Quick()
+	bad.ClipLen = 12
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected clip-length error")
+	}
+	bad = Quick()
+	bad.Epochs = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected epochs error")
+	}
+}
+
+func TestTableIComposition(t *testing.T) {
+	cfg := Quick()
+	rows, err := TableI(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3 scenes", len(rows))
+	}
+	byScene := map[sim.Weather]TableIRow{}
+	for _, r := range rows {
+		byScene[r.Scene] = r
+		if r.Segments != r.Danger+r.Safe {
+			t.Fatalf("%v: class counts %d+%d != %d", r.Scene, r.Danger, r.Safe, r.Segments)
+		}
+		if r.Frames != cfg.ClipLen {
+			t.Fatalf("%v frames = %d", r.Scene, r.Frames)
+		}
+		if r.Danger == 0 || r.Safe == 0 || r.Blind == 0 {
+			t.Fatalf("%v: degenerate composition %+v", r.Scene, r)
+		}
+	}
+	// Day ≫ snow ≥ rain, the paper's proportions.
+	if !(byScene[sim.Day].Segments > byScene[sim.Snow].Segments &&
+		byScene[sim.Snow].Segments >= byScene[sim.Rain].Segments) {
+		t.Fatalf("scene proportions wrong: %+v", rows)
+	}
+}
+
+func TestTableIIShape(t *testing.T) {
+	rows, err := TableII(1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, r := range rows {
+		got[r.Method] = r.Detected
+	}
+	want := map[string]bool{"bgs": true, "sparse-of": false, "dense-of": true, "yolite": false}
+	for m, d := range want {
+		if got[m] != d {
+			t.Fatalf("%s detected=%v, want %v (rows %+v)", m, got[m], d, rows)
+		}
+	}
+}
+
+// TestPipelineShapes runs the full Quick pipeline and asserts the
+// qualitative relationships of Tables III and V and the throughput
+// experiment. This is the repository's core reproduction check.
+func TestPipelineShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline test skipped in -short mode")
+	}
+	tm, err := TrainSceneModels(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rows3, err := TableIII(tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := map[string]AccuracyRow{}
+	for _, r := range rows3 {
+		acc[r.Name] = r
+		if r.Top1 < 0.5 || r.Top1 > 1 {
+			t.Fatalf("table III %s top1 = %v out of range", r.Name, r.Top1)
+		}
+	}
+	// Day (data-rich, in-domain) must be the best scene, as in the
+	// paper's Table III.
+	if acc["day"].Top1 < acc["rain"].Top1-1e-9 || acc["day"].Top1 < acc["snow"].Top1-1e-9 {
+		t.Fatalf("day must lead Table III: %+v", rows3)
+	}
+	if acc["day"].Top1 < 0.85 {
+		t.Fatalf("day accuracy %v too low for the paper's shape (0.96)", acc["day"].Top1)
+	}
+
+	rows5, err := TableV(tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]AccuracyRow{}
+	for _, r := range rows5 {
+		byName[r.Name] = r
+	}
+	for _, scene := range []string{"snow", "rain"} {
+		with := byName[scene+" with few shot learning"]
+		without := byName[scene+" without few shot learning"]
+		if with.Top1 < without.Top1 {
+			t.Fatalf("table V: %s with-FSL (%v) must not trail without-FSL (%v)",
+				scene, with.Top1, without.Top1)
+		}
+	}
+
+	tp, err := Throughput(tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := tp.Classification
+	if c.UnsafeReleases > c.DangerClips/4 {
+		t.Fatalf("too many unsafe releases: %+v", c)
+	}
+	if c.ThroughputGain <= 0 {
+		t.Fatalf("throughput gain = %v, want positive", c.ThroughputGain)
+	}
+	for w, l := range tp.Loop {
+		if l.TurnsWith <= l.TurnsWithout {
+			t.Fatalf("closed loop %v: advisory did not help (%d vs %d)", w, l.TurnsWith, l.TurnsWithout)
+		}
+	}
+}
+
+func TestTableVIShapeAndOrdering(t *testing.T) {
+	rows, err := TableVI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	wantOrder := []string{"slowfast-safecross", "resnet152", "inceptionv3"}
+	for i, r := range rows {
+		if r.Model != wantOrder[i] {
+			t.Fatalf("row %d model = %s, want %s", i, r.Model, wantOrder[i])
+		}
+		if r.StopAndStart.Total < time.Second {
+			t.Fatalf("%s stop-and-start %v, want seconds", r.Model, r.StopAndStart.Total)
+		}
+		if r.PipeSwitch.Total >= 10*time.Millisecond {
+			t.Fatalf("%s pipeswitch %v, want <10ms", r.Model, r.PipeSwitch.Total)
+		}
+	}
+	for i := 0; i+1 < len(rows); i++ {
+		if rows[i].StopAndStart.Total <= rows[i+1].StopAndStart.Total {
+			t.Fatalf("stop-and-start ordering broken at %d: %+v", i, rows)
+		}
+		if rows[i].PipeSwitch.Total <= rows[i+1].PipeSwitch.Total {
+			t.Fatalf("pipeswitch ordering broken at %d: %+v", i, rows)
+		}
+	}
+}
+
+func TestGroupingAblation(t *testing.T) {
+	rows, err := GroupingAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("rows = %d, want 3 models × 3 strategies", len(rows))
+	}
+	byModel := map[string]map[string]time.Duration{}
+	for _, r := range rows {
+		if byModel[r.Model] == nil {
+			byModel[r.Model] = map[string]time.Duration{}
+		}
+		byModel[r.Model][r.Strategy] = r.Report.Total
+	}
+	for model, strat := range byModel {
+		opt := strat["optimal"]
+		if opt > strat["per-layer"] || opt > strat["single"] {
+			t.Fatalf("%s: optimal (%v) must dominate per-layer (%v) and single (%v)",
+				model, opt, strat["per-layer"], strat["single"])
+		}
+	}
+}
+
+func TestFig3Renders(t *testing.T) {
+	var sb strings.Builder
+	if err := Fig3(&sb, 71); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Fig. 3(a)", "Fig. 3(b)", "Fig. 3(c)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Fig3 output missing %q", want)
+		}
+	}
+	if len(out) < 1000 {
+		t.Fatalf("Fig3 output suspiciously short: %d bytes", len(out))
+	}
+}
+
+func TestFig8Renders(t *testing.T) {
+	var sb strings.Builder
+	if err := Fig8(&sb, 7); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Fig. 8(a)", "bgs", "sparse-of", "dense-of", "yolite", "MISSES", "FINDS"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Fig8 output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"testing"
+
+	"safecross/internal/sim"
+)
+
+func TestAdaptToFogScene(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training extension skipped in -short mode")
+	}
+	res, err := AdaptToScene(Quick(), sim.Fog, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scene != sim.Fog || res.SupportClips != 10 {
+		t.Fatalf("metadata wrong: %+v", res)
+	}
+	if res.After < 0.6 {
+		t.Fatalf("adapted fog accuracy %v too low", res.After)
+	}
+	// Adaptation must not make things meaningfully worse.
+	if res.After < res.Before-0.1 {
+		t.Fatalf("adaptation hurt: before %v after %v", res.Before, res.After)
+	}
+}
+
+func TestAdaptToSceneValidation(t *testing.T) {
+	if _, err := AdaptToScene(Quick(), sim.Night, 0); err == nil {
+		t.Fatal("expected support-size error")
+	}
+	if _, err := AdaptToScene(Config{}, sim.Fog, 4); err == nil {
+		t.Fatal("expected config validation error")
+	}
+}
+
+func TestMirrorDeployment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training extension skipped in -short mode")
+	}
+	res, err := MirrorDeployment(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Top1 < 0.7 {
+		t.Fatalf("mirrored deployment accuracy %v too low", res.Top1)
+	}
+	// The mirrored model must not transfer to the unmirrored geometry
+	// as well as to its own (the scene is directional).
+	if res.CrossTop1 > res.Top1 {
+		t.Fatalf("mirrored model works better on unmirrored clips (%v > %v)?",
+			res.CrossTop1, res.Top1)
+	}
+}

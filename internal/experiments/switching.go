@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+
+	"safecross/internal/gpusim"
+	"safecross/internal/pipeswitch"
+)
+
+// TableVIRow is one cell pair of the model-switching comparison.
+type TableVIRow struct {
+	Model        string
+	StopAndStart pipeswitch.Report
+	PipeSwitch   pipeswitch.Report
+}
+
+// TableVI measures stop-and-start versus PipeSwitch switching latency
+// for the three models of the paper's Table VI on the simulated GPU.
+func TableVI() ([]TableVIRow, error) {
+	dev, err := gpusim.NewDevice(gpusim.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]TableVIRow, 0, 3)
+	for _, m := range pipeswitch.BuiltinModels() {
+		cold, err := pipeswitch.StopAndStart{}.Switch(dev, nil, m)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: table VI %s: %w", m.Name, err)
+		}
+		dev.Reset()
+		warm, err := pipeswitch.Pipelined{}.Switch(dev, nil, m)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: table VI %s: %w", m.Name, err)
+		}
+		dev.Reset()
+		rows = append(rows, TableVIRow{Model: m.Name, StopAndStart: cold, PipeSwitch: warm})
+	}
+	return rows, nil
+}
+
+// GroupingAblationRow compares grouping strategies for one model —
+// the design-choice ablation behind the paper's Sec. III-E-3.
+type GroupingAblationRow struct {
+	Model    string
+	Strategy string
+	Report   pipeswitch.Report
+}
+
+// GroupingAblation runs the pipelined switch under the three grouping
+// strategies for every built-in model.
+func GroupingAblation() ([]GroupingAblationRow, error) {
+	dev, err := gpusim.NewDevice(gpusim.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	strategies := []pipeswitch.GroupingStrategy{
+		pipeswitch.GroupOptimal, pipeswitch.GroupPerLayer, pipeswitch.GroupSingle,
+	}
+	var rows []GroupingAblationRow
+	for _, m := range pipeswitch.BuiltinModels() {
+		for _, g := range strategies {
+			rep, err := pipeswitch.Pipelined{Grouping: g}.Switch(dev, nil, m)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: grouping %s/%s: %w", m.Name, g, err)
+			}
+			dev.Reset()
+			rows = append(rows, GroupingAblationRow{Model: m.Name, Strategy: g.String(), Report: rep})
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,180 @@
+package flow
+
+import (
+	"math"
+	"testing"
+
+	"safecross/internal/vision"
+)
+
+// movingSquare renders a bright soft-edged square at (x, y) on a flat
+// background; soft edges keep the brightness constancy assumption
+// reasonable for sub-pixel flow estimation.
+func movingSquare(w, h int, x, y float64) *vision.Image {
+	im := vision.NewImage(w, h)
+	im.Fill(0.2)
+	for py := 0; py < h; py++ {
+		for px := 0; px < w; px++ {
+			dx := float64(px) - x
+			dy := float64(py) - y
+			if dx >= -4 && dx <= 4 && dy >= -3 && dy <= 3 {
+				// Soft falloff near the edge.
+				edge := math.Min(math.Min(dx+4, 4-dx), math.Min(dy+3, 3-dy))
+				v := 0.2 + 0.7*math.Min(1, edge/1.5)
+				im.Set(px, py, v)
+			}
+		}
+	}
+	return im
+}
+
+func TestFindCornersOnSquare(t *testing.T) {
+	im := movingSquare(40, 30, 20, 15)
+	pts := FindCorners(im, 8, 0.05, 3)
+	if len(pts) == 0 {
+		t.Fatal("no corners found on a high-contrast square")
+	}
+	// All corners should be near the square (within its extent + margin).
+	for _, p := range pts {
+		if p.X < 12 || p.X > 28 || p.Y < 8 || p.Y > 22 {
+			t.Fatalf("corner (%v,%v) far from the only structure in frame", p.X, p.Y)
+		}
+	}
+}
+
+func TestFindCornersEmptyFrame(t *testing.T) {
+	im := vision.NewImage(20, 20)
+	im.Fill(0.5)
+	if pts := FindCorners(im, 10, 0.01, 3); len(pts) != 0 {
+		t.Fatalf("flat frame produced %d corners", len(pts))
+	}
+	if pts := FindCorners(im, 0, 0.01, 3); pts != nil {
+		t.Fatal("maxCorners=0 must return nil")
+	}
+}
+
+func TestLucasKanadeTracksTranslation(t *testing.T) {
+	prev := movingSquare(48, 36, 20, 18)
+	cur := movingSquare(48, 36, 21.0, 18.5)
+	pts := FindCorners(prev, 6, 0.05, 3)
+	if len(pts) == 0 {
+		t.Fatal("no corners to track")
+	}
+	tracked, err := LucasKanade(prev, cur, pts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid := 0
+	var sumDX, sumDY float64
+	for _, tp := range tracked {
+		if !tp.Valid {
+			continue
+		}
+		dx, dy := tp.Displacement()
+		sumDX += dx
+		sumDY += dy
+		valid++
+	}
+	if valid == 0 {
+		t.Fatal("no valid tracks")
+	}
+	meanDX, meanDY := sumDX/float64(valid), sumDY/float64(valid)
+	if math.Abs(meanDX-1.0) > 0.6 || math.Abs(meanDY-0.5) > 0.6 {
+		t.Fatalf("mean flow (%v,%v), want ≈(1.0,0.5)", meanDX, meanDY)
+	}
+}
+
+func TestLucasKanadeSizeMismatch(t *testing.T) {
+	a := vision.NewImage(10, 10)
+	b := vision.NewImage(11, 10)
+	if _, err := LucasKanade(a, b, []Point{{X: 5, Y: 5}}, 2); err == nil {
+		t.Fatal("expected size-mismatch error")
+	}
+}
+
+func TestLucasKanadeFlatRegionInvalid(t *testing.T) {
+	a := vision.NewImage(20, 20)
+	a.Fill(0.5)
+	b := a.Clone()
+	tracked, err := LucasKanade(a, b, []Point{{X: 10, Y: 10}}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tracked[0].Valid {
+		t.Fatal("aperture-problem point must be flagged invalid")
+	}
+}
+
+func TestHornSchunckDetectsMotionRegion(t *testing.T) {
+	prev := movingSquare(48, 36, 20, 18)
+	cur := movingSquare(48, 36, 22, 18)
+	field, err := HornSchunck(prev, cur, 0.5, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mag := field.MagnitudeImage()
+	// Motion energy must concentrate around the square.
+	inside, outside := 0.0, 0.0
+	nIn, nOut := 0, 0
+	for y := 0; y < mag.H; y++ {
+		for x := 0; x < mag.W; x++ {
+			v := mag.At(x, y)
+			if x >= 12 && x <= 30 && y >= 10 && y <= 26 {
+				inside += v
+				nIn++
+			} else {
+				outside += v
+				nOut++
+			}
+		}
+	}
+	if inside/float64(nIn) <= 3*outside/float64(nOut) {
+		t.Fatalf("flow magnitude not concentrated on the mover: in=%v out=%v",
+			inside/float64(nIn), outside/float64(nOut))
+	}
+}
+
+func TestHornSchunckStaticSceneZeroFlow(t *testing.T) {
+	a := movingSquare(32, 24, 16, 12)
+	field, err := HornSchunck(a, a.Clone(), 0.5, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range field.U {
+		if math.Abs(field.U[i]) > 1e-9 || math.Abs(field.V[i]) > 1e-9 {
+			t.Fatal("identical frames must give zero flow")
+		}
+	}
+}
+
+func TestHornSchunckValidation(t *testing.T) {
+	a := vision.NewImage(8, 8)
+	if _, err := HornSchunck(a, vision.NewImage(9, 8), 0.5, 10); err == nil {
+		t.Fatal("expected size-mismatch error")
+	}
+	if _, err := HornSchunck(a, a, 0.5, 0); err == nil {
+		t.Fatal("expected iters error")
+	}
+}
+
+func TestHornSchunckMoreItersMoreCost(t *testing.T) {
+	// Not a timing test (flaky on shared machines); instead verify the
+	// iteration count changes the result, i.e. iterations actually run.
+	prev := movingSquare(32, 24, 14, 12)
+	cur := movingSquare(32, 24, 15, 12)
+	f1, err := HornSchunck(prev, cur, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := HornSchunck(prev, cur, 0.5, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0.0
+	for i := range f1.U {
+		diff += math.Abs(f1.U[i] - f2.U[i])
+	}
+	if diff == 0 {
+		t.Fatal("iteration count has no effect; relaxation loop broken")
+	}
+}

@@ -1,0 +1,111 @@
+package flow
+
+import (
+	"fmt"
+
+	"safecross/internal/vision"
+)
+
+// Pyramidal Lucas–Kanade: plain LK only recovers sub-window motion
+// (a few pixels); fast vehicles move further between frames. The
+// coarse-to-fine scheme estimates flow on downsampled images first,
+// scales the estimate up, and refines it at each finer level — the
+// standard fix, provided here as an optional upgrade over the plain
+// tracker the Table II comparison uses.
+
+// BuildPyramid returns up to levels halved images, index 0 being the
+// original. It stops early once a level would drop below 16 px on a
+// side.
+func BuildPyramid(im *vision.Image, levels int) ([]*vision.Image, error) {
+	if levels <= 0 {
+		return nil, fmt.Errorf("flow: pyramid levels %d must be positive", levels)
+	}
+	pyr := []*vision.Image{im}
+	for l := 1; l < levels; l++ {
+		prev := pyr[l-1]
+		if prev.W < 16 || prev.H < 16 {
+			break
+		}
+		down, err := prev.Downsample(2)
+		if err != nil {
+			return nil, fmt.Errorf("flow: pyramid level %d: %w", l, err)
+		}
+		pyr = append(pyr, down)
+	}
+	return pyr, nil
+}
+
+// warp returns an image sampling im at (x+gx, y+gy) with
+// nearest-neighbour rounding; out-of-bounds samples are zero. It
+// re-centres the second frame around the current motion estimate so
+// each pyramid level solves only a small residual.
+func warp(im *vision.Image, gx, gy float64) *vision.Image {
+	ix, iy := roundNearest(gx), roundNearest(gy)
+	if ix == 0 && iy == 0 {
+		return im
+	}
+	out := vision.NewImage(im.W, im.H)
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			out.Set(x, y, im.At(x+ix, y+iy))
+		}
+	}
+	return out
+}
+
+func roundNearest(v float64) int {
+	if v >= 0 {
+		return int(v + 0.5)
+	}
+	return -int(-v + 0.5)
+}
+
+// LucasKanadePyramidal tracks points coarse-to-fine across a pyramid
+// of the given depth. Each level's estimate seeds the next finer
+// level, so displacements several times the window size are
+// recoverable. Results are in original-resolution coordinates.
+func LucasKanadePyramidal(prev, cur *vision.Image, pts []Point, window, levels int) ([]TrackedPoint, error) {
+	if prev.W != cur.W || prev.H != cur.H {
+		return nil, fmt.Errorf("flow: frame sizes differ %dx%d vs %dx%d", prev.W, prev.H, cur.W, cur.H)
+	}
+	pyrPrev, err := BuildPyramid(prev, levels)
+	if err != nil {
+		return nil, err
+	}
+	pyrCur, err := BuildPyramid(cur, levels)
+	if err != nil {
+		return nil, err
+	}
+	depth := len(pyrPrev)
+	out := make([]TrackedPoint, len(pts))
+	for i, p := range pts {
+		gx, gy := 0.0, 0.0 // estimate at the current level's scale
+		valid := false
+		for l := depth - 1; l >= 0; l-- {
+			scale := float64(int(1) << uint(l))
+			lp := Point{X: p.X / scale, Y: p.Y / scale}
+			// Solve the residual against the re-centred second frame.
+			warped := warp(pyrCur[l], gx, gy)
+			tracked, err := LucasKanade(pyrPrev[l], warped, []Point{lp}, window)
+			if err != nil {
+				return nil, err
+			}
+			if tracked[0].Valid {
+				dx, dy := tracked[0].Displacement()
+				gx += dx
+				gy += dy
+				valid = true
+			}
+			if l > 0 {
+				gx *= 2
+				gy *= 2
+			}
+		}
+		out[i] = TrackedPoint{
+			From:  p,
+			To:    Point{X: p.X + gx, Y: p.Y + gy},
+			Valid: valid,
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,116 @@
+package flow
+
+import (
+	"math"
+	"testing"
+
+	"safecross/internal/vision"
+)
+
+func TestBuildPyramid(t *testing.T) {
+	im := vision.NewImage(64, 48)
+	pyr, err := BuildPyramid(im, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pyr) != 3 {
+		t.Fatalf("levels = %d, want 3", len(pyr))
+	}
+	if pyr[1].W != 32 || pyr[2].W != 16 {
+		t.Fatalf("level widths %d/%d, want 32/16", pyr[1].W, pyr[2].W)
+	}
+	// Early stop on small images.
+	small := vision.NewImage(20, 20)
+	pyr, err = BuildPyramid(small, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pyr) != 2 {
+		t.Fatalf("small image levels = %d, want 2 (early stop)", len(pyr))
+	}
+	if _, err := BuildPyramid(im, 0); err == nil {
+		t.Fatal("expected levels error")
+	}
+}
+
+// TestPyramidalRecoversLargeMotion checks the headline property:
+// plain LK fails on a displacement much larger than its window while
+// the pyramidal tracker recovers it.
+func TestPyramidalRecoversLargeMotion(t *testing.T) {
+	const shift = 9.0 // far beyond a 3-px window
+	prev := movingSquare(96, 64, 40, 32)
+	cur := movingSquare(96, 64, 40+shift, 32)
+	pts := FindCorners(prev, 6, 0.05, 3)
+	if len(pts) == 0 {
+		t.Fatal("no corners to track")
+	}
+
+	plain, err := LucasKanade(prev, cur, pts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pyramidal, err := LucasKanadePyramidal(prev, cur, pts, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	meanErr := func(tracked []TrackedPoint) float64 {
+		sum, n := 0.0, 0
+		for _, tp := range tracked {
+			if !tp.Valid {
+				continue
+			}
+			dx, dy := tp.Displacement()
+			sum += math.Hypot(dx-shift, dy-0)
+			n++
+		}
+		if n == 0 {
+			return math.Inf(1)
+		}
+		return sum / float64(n)
+	}
+	plainErr := meanErr(plain)
+	pyrErr := meanErr(pyramidal)
+	if pyrErr > 3 {
+		t.Fatalf("pyramidal tracking error %v too large for a %v-px shift", pyrErr, shift)
+	}
+	if pyrErr >= plainErr {
+		t.Fatalf("pyramid (%v) must beat plain LK (%v) on large motion", pyrErr, plainErr)
+	}
+}
+
+func TestPyramidalMatchesPlainOnSmallMotion(t *testing.T) {
+	prev := movingSquare(48, 36, 20, 18)
+	cur := movingSquare(48, 36, 21, 18)
+	pts := FindCorners(prev, 6, 0.05, 3)
+	if len(pts) == 0 {
+		t.Fatal("no corners")
+	}
+	pyramidal, err := LucasKanadePyramidal(prev, cur, pts, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, n := 0.0, 0
+	for _, tp := range pyramidal {
+		if !tp.Valid {
+			continue
+		}
+		dx, _ := tp.Displacement()
+		sum += dx
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no valid tracks")
+	}
+	if mean := sum / float64(n); math.Abs(mean-1) > 0.6 {
+		t.Fatalf("small-motion flow = %v, want ≈1", mean)
+	}
+}
+
+func TestPyramidalValidation(t *testing.T) {
+	a := vision.NewImage(32, 32)
+	b := vision.NewImage(33, 32)
+	if _, err := LucasKanadePyramidal(a, b, []Point{{X: 5, Y: 5}}, 3, 2); err == nil {
+		t.Fatal("expected size-mismatch error")
+	}
+}

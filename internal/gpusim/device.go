@@ -1,0 +1,191 @@
+// Package gpusim is a discrete-event simulator of an inference
+// accelerator, the substrate the PipeSwitch reproduction
+// (internal/pipeswitch) runs on. It models the quantities that
+// dominate model-switching latency on a real GPU: a DMA copy engine
+// with finite bandwidth, a compute engine with finite throughput,
+// kernel-launch and group-synchronisation overheads, the multi-second
+// context-initialisation + framework cold-load path that makes
+// stop-and-start switching slow, and a finite memory pool.
+//
+// Time is virtual: every operation is scheduled on an engine timeline
+// and returns completion instants, so experiments are deterministic
+// and independent of the host machine.
+package gpusim
+
+import (
+	"fmt"
+	"time"
+)
+
+// DeviceConfig holds the performance model of the simulated
+// accelerator. The defaults (DefaultConfig) are calibrated to a
+// single RTX-2080-Ti-class card driven through PyTorch, the paper's
+// testbed, with model byte sizes scaled as documented in DESIGN.md.
+type DeviceConfig struct {
+	// TransferBandwidth is pinned-memory DMA bandwidth in bytes/s
+	// (PCIe 3.0 x16 effective).
+	TransferBandwidth float64
+	// ColdLoadBandwidth is the end-to-end bandwidth of the
+	// stop-and-start load path: reading pageable weights, framework
+	// deserialisation, and first-touch staging. Much slower than DMA.
+	ColdLoadBandwidth float64
+	// ComputeThroughput is sustained FLOP/s.
+	ComputeThroughput float64
+	// ContextInit is the cost of creating a CUDA context and loading
+	// the framework's GPU libraries, paid on every stop-and-start
+	// switch (the paper attributes the bulk of Table VI's seconds to
+	// it).
+	ContextInit time.Duration
+	// KernelOverhead is the launch overhead per kernel (per layer).
+	KernelOverhead time.Duration
+	// ColdKernelInit is the one-time per-layer initialisation a cold
+	// process pays (cuDNN algorithm selection, module JIT).
+	ColdKernelInit time.Duration
+	// GroupSync is the synchronisation cost between a transferred
+	// group and the computation waiting on it (the "second cost" the
+	// paper's Sec. III-E discusses).
+	GroupSync time.Duration
+	// MemoryBytes is device memory capacity.
+	MemoryBytes int64
+}
+
+// DefaultConfig returns the calibrated RTX-2080-Ti-class model.
+func DefaultConfig() DeviceConfig {
+	return DeviceConfig{
+		TransferBandwidth: 12e9,
+		ColdLoadBandwidth: 0.15e9,
+		ComputeThroughput: 11e12,
+		ContextInit:       2900 * time.Millisecond,
+		KernelOverhead:    4 * time.Microsecond,
+		ColdKernelInit:    5500 * time.Microsecond,
+		GroupSync:         120 * time.Microsecond,
+		MemoryBytes:       11 << 30,
+	}
+}
+
+// Validate checks the configuration for usability.
+func (c DeviceConfig) Validate() error {
+	if c.TransferBandwidth <= 0 || c.ColdLoadBandwidth <= 0 || c.ComputeThroughput <= 0 {
+		return fmt.Errorf("gpusim: bandwidths and throughput must be positive: %+v", c)
+	}
+	if c.MemoryBytes <= 0 {
+		return fmt.Errorf("gpusim: memory capacity must be positive")
+	}
+	return nil
+}
+
+// Device is a simulated accelerator with independent copy and compute
+// engine timelines.
+type Device struct {
+	cfg DeviceConfig
+
+	copyFree    time.Duration
+	computeFree time.Duration
+	allocated   int64
+}
+
+// NewDevice creates a device, validating the configuration.
+func NewDevice(cfg DeviceConfig) (*Device, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Device{cfg: cfg}, nil
+}
+
+// Config returns the device's performance model.
+func (d *Device) Config() DeviceConfig { return d.cfg }
+
+// Reset clears both engine timelines and frees all memory, as if the
+// device were idle at virtual time zero.
+func (d *Device) Reset() {
+	d.copyFree = 0
+	d.computeFree = 0
+	d.allocated = 0
+}
+
+// Allocated returns the bytes currently allocated on the device.
+func (d *Device) Allocated() int64 { return d.allocated }
+
+// Now returns the instant at which both engines are free — the
+// earliest time a new request submitted to an idle device can start.
+// Warm-server switch latencies are measured relative to it.
+func (d *Device) Now() time.Duration { return maxDuration(d.copyFree, d.computeFree) }
+
+// Alloc reserves device memory, failing when capacity is exceeded.
+func (d *Device) Alloc(bytes int64) error {
+	if bytes < 0 {
+		return fmt.Errorf("gpusim: negative allocation %d", bytes)
+	}
+	if d.allocated+bytes > d.cfg.MemoryBytes {
+		return fmt.Errorf("gpusim: out of memory: %d + %d > %d", d.allocated, bytes, d.cfg.MemoryBytes)
+	}
+	d.allocated += bytes
+	return nil
+}
+
+// Free releases device memory.
+func (d *Device) Free(bytes int64) error {
+	if bytes < 0 || bytes > d.allocated {
+		return fmt.Errorf("gpusim: bad free of %d (allocated %d)", bytes, d.allocated)
+	}
+	d.allocated -= bytes
+	return nil
+}
+
+// durationFor converts a byte count and bandwidth into virtual time.
+func durationFor(bytes int64, bandwidth float64) time.Duration {
+	return time.Duration(float64(bytes) / bandwidth * float64(time.Second))
+}
+
+// TransferAt schedules a pinned-memory DMA of the given size on the
+// copy engine, no earlier than ready, and returns its start and
+// completion instants.
+func (d *Device) TransferAt(ready time.Duration, bytes int64) (start, done time.Duration) {
+	start = maxDuration(ready, d.copyFree)
+	done = start + durationFor(bytes, d.cfg.TransferBandwidth)
+	d.copyFree = done
+	return start, done
+}
+
+// ComputeAt schedules kernels totalling the given FLOPs across the
+// given kernel count on the compute engine, no earlier than ready.
+func (d *Device) ComputeAt(ready time.Duration, flops float64, kernels int) (start, done time.Duration) {
+	start = maxDuration(ready, d.computeFree)
+	work := time.Duration(flops / d.cfg.ComputeThroughput * float64(time.Second))
+	work += time.Duration(kernels) * d.cfg.KernelOverhead
+	done = start + work
+	d.computeFree = done
+	return start, done
+}
+
+// SyncAt models a group-boundary synchronisation on the compute
+// engine timeline.
+func (d *Device) SyncAt(ready time.Duration) time.Duration {
+	start := maxDuration(ready, d.computeFree)
+	done := start + d.cfg.GroupSync
+	d.computeFree = done
+	return done
+}
+
+// ColdLoadDuration returns the time a cold process needs to read and
+// deserialise the given bytes before any DMA can start.
+func (d *Device) ColdLoadDuration(bytes int64) time.Duration {
+	return durationFor(bytes, d.cfg.ColdLoadBandwidth)
+}
+
+// ContextInitDuration returns the context-creation cost.
+func (d *Device) ContextInitDuration() time.Duration { return d.cfg.ContextInit }
+
+// ColdKernelInitDuration returns the per-layer cold initialisation
+// cost multiplied by the layer count and a model-specific scale
+// (3-D convolution layers autotune longer than 2-D ones).
+func (d *Device) ColdKernelInitDuration(layers int, scale float64) time.Duration {
+	return time.Duration(float64(layers) * scale * float64(d.cfg.ColdKernelInit))
+}
+
+func maxDuration(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,166 @@
+package gpusim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestConfigValidation(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultConfig()
+	bad.TransferBandwidth = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected bandwidth error")
+	}
+	bad = DefaultConfig()
+	bad.MemoryBytes = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected memory error")
+	}
+	if _, err := NewDevice(bad); err == nil {
+		t.Fatal("NewDevice must validate")
+	}
+}
+
+func TestAllocFreeAccounting(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MemoryBytes = 100
+	d, err := NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Alloc(60); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Alloc(50); err == nil {
+		t.Fatal("expected OOM")
+	}
+	if err := d.Alloc(-1); err == nil {
+		t.Fatal("expected negative-alloc error")
+	}
+	if err := d.Free(70); err == nil {
+		t.Fatal("expected over-free error")
+	}
+	if err := d.Free(60); err != nil {
+		t.Fatal(err)
+	}
+	if d.Allocated() != 0 {
+		t.Fatalf("allocated = %d, want 0", d.Allocated())
+	}
+}
+
+func TestTransferTiming(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TransferBandwidth = 1e9 // 1 GB/s for round numbers
+	d, err := NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start, done := d.TransferAt(0, 1e6) // 1 MB at 1 GB/s = 1 ms
+	if start != 0 {
+		t.Fatalf("start = %v, want 0", start)
+	}
+	if done != time.Millisecond {
+		t.Fatalf("done = %v, want 1ms", done)
+	}
+	// Copy engine is serial: a second transfer queues behind the
+	// first even if requested earlier.
+	start2, done2 := d.TransferAt(0, 1e6)
+	if start2 != time.Millisecond || done2 != 2*time.Millisecond {
+		t.Fatalf("second transfer %v→%v, want 1ms→2ms", start2, done2)
+	}
+}
+
+func TestComputeTimingAndOverheads(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ComputeThroughput = 1e12
+	cfg.KernelOverhead = 10 * time.Microsecond
+	d, err := NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, done := d.ComputeAt(0, 1e9, 2) // 1 GFLOP at 1 TFLOP/s = 1ms + 20µs
+	want := time.Millisecond + 20*time.Microsecond
+	if done != want {
+		t.Fatalf("done = %v, want %v", done, want)
+	}
+	// Compute engine honours the ready time.
+	start2, _ := d.ComputeAt(5*time.Millisecond, 1e9, 0)
+	if start2 != 5*time.Millisecond {
+		t.Fatalf("start = %v, want 5ms", start2)
+	}
+}
+
+func TestEnginesAreIndependent(t *testing.T) {
+	d, err := NewDevice(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, tDone := d.TransferAt(0, 1<<20)
+	cStart, _ := d.ComputeAt(0, 1e6, 1)
+	if cStart != 0 {
+		t.Fatalf("compute should not wait for copy engine, started at %v (transfer done %v)", cStart, tDone)
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	d, err := NewDevice(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Alloc(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	d.TransferAt(0, 1<<24)
+	d.ComputeAt(0, 1e9, 1)
+	d.Reset()
+	if d.Allocated() != 0 {
+		t.Fatal("Reset must free memory")
+	}
+	start, _ := d.TransferAt(0, 1)
+	if start != 0 {
+		t.Fatal("Reset must clear the copy engine timeline")
+	}
+	cs, _ := d.ComputeAt(0, 1, 0)
+	if cs != 0 {
+		t.Fatal("Reset must clear the compute engine timeline")
+	}
+}
+
+func TestColdPathDurations(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ColdLoadBandwidth = 1e8 // 100 MB/s
+	cfg.ColdKernelInit = time.Millisecond
+	d, err := NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.ColdLoadDuration(1e8); got != time.Second {
+		t.Fatalf("cold load = %v, want 1s", got)
+	}
+	if got := d.ColdKernelInitDuration(10, 2); got != 20*time.Millisecond {
+		t.Fatalf("cold kernel init = %v, want 20ms", got)
+	}
+	if d.ContextInitDuration() != cfg.ContextInit {
+		t.Fatal("context init duration mismatch")
+	}
+}
+
+func TestSyncAtAdvancesComputeEngine(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.GroupSync = time.Millisecond
+	d, err := NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := d.SyncAt(2 * time.Millisecond)
+	if done != 3*time.Millisecond {
+		t.Fatalf("sync done = %v, want 3ms", done)
+	}
+	start, _ := d.ComputeAt(0, 0, 0)
+	if start != 3*time.Millisecond {
+		t.Fatalf("compute after sync started at %v, want 3ms", start)
+	}
+}

@@ -1,0 +1,44 @@
+package nn
+
+import (
+	"fmt"
+
+	"safecross/internal/tensor"
+)
+
+// ConcatChannels4D concatenates two [C,T,H,W] tensors along the
+// channel axis. The non-channel dimensions must match. SlowFast uses
+// it to fuse the lateral fast-pathway features into the slow pathway.
+func ConcatChannels4D(a, b *tensor.Tensor) (*tensor.Tensor, error) {
+	if a.Rank() != 4 || b.Rank() != 4 {
+		return nil, fmt.Errorf("nn: concat needs rank-4 inputs, got %v and %v", a.Shape, b.Shape)
+	}
+	for i := 1; i < 4; i++ {
+		if a.Shape[i] != b.Shape[i] {
+			return nil, fmt.Errorf("nn: concat dims differ at axis %d: %v vs %v", i, a.Shape, b.Shape)
+		}
+	}
+	out := tensor.New(a.Shape[0]+b.Shape[0], a.Shape[1], a.Shape[2], a.Shape[3])
+	copy(out.Data, a.Data)
+	copy(out.Data[len(a.Data):], b.Data)
+	return out, nil
+}
+
+// SplitChannels4D splits a [C,T,H,W] tensor into its first ca channels
+// and the remainder — the adjoint of ConcatChannels4D, used in the
+// backward pass of the lateral fusion.
+func SplitChannels4D(x *tensor.Tensor, ca int) (*tensor.Tensor, *tensor.Tensor, error) {
+	if x.Rank() != 4 {
+		return nil, nil, fmt.Errorf("nn: split needs rank-4 input, got %v", x.Shape)
+	}
+	if ca <= 0 || ca >= x.Shape[0] {
+		return nil, nil, fmt.Errorf("nn: split point %d out of range for %d channels", ca, x.Shape[0])
+	}
+	t, h, w := x.Shape[1], x.Shape[2], x.Shape[3]
+	vol := t * h * w
+	a := tensor.New(ca, t, h, w)
+	b := tensor.New(x.Shape[0]-ca, t, h, w)
+	copy(a.Data, x.Data[:ca*vol])
+	copy(b.Data, x.Data[ca*vol:])
+	return a, b, nil
+}

@@ -1,0 +1,449 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"safecross/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over [C,H,W] inputs implemented with
+// im2col + matmul. Weight layout is [OutC, InC*KH*KW].
+type Conv2D struct {
+	W, B *Param
+
+	inC, outC      int
+	kh, kw, sh, sw int
+	ph, pw         int
+
+	cacheCols    *tensor.Tensor
+	cacheInShape [3]int
+}
+
+var _ Layer = (*Conv2D)(nil)
+
+// Conv2DConfig describes a Conv2D layer; zero strides default to 1.
+type Conv2DConfig struct {
+	InC, OutC int
+	KH, KW    int
+	SH, SW    int
+	PH, PW    int
+}
+
+// NewConv2D creates a 2-D convolution with He-initialised weights.
+func NewConv2D(name string, cfg Conv2DConfig, rng *rand.Rand) *Conv2D {
+	if cfg.SH == 0 {
+		cfg.SH = 1
+	}
+	if cfg.SW == 0 {
+		cfg.SW = 1
+	}
+	fanIn := cfg.InC * cfg.KH * cfg.KW
+	w := tensor.RandnTensor(rng, tensor.KaimingStd(fanIn), cfg.OutC, fanIn)
+	return &Conv2D{
+		W:    NewParam(name+".weight", w),
+		B:    NewParam(name+".bias", tensor.New(cfg.OutC)),
+		inC:  cfg.InC,
+		outC: cfg.OutC,
+		kh:   cfg.KH, kw: cfg.KW,
+		sh: cfg.SH, sw: cfg.SW,
+		ph: cfg.PH, pw: cfg.PW,
+	}
+}
+
+// Forward convolves a [InC,H,W] input into [OutC,OH,OW].
+func (c *Conv2D) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	if x.Rank() != 3 || x.Shape[0] != c.inC {
+		return nil, fmt.Errorf("conv2d %s: input shape %v, want [%d,H,W]", c.W.Name, x.Shape, c.inC)
+	}
+	cols, err := tensor.Im2Col(x, c.kh, c.kw, c.sh, c.sw, c.ph, c.pw)
+	if err != nil {
+		return nil, fmt.Errorf("conv2d %s: %w", c.W.Name, err)
+	}
+	c.cacheCols = cols
+	c.cacheInShape = [3]int{x.Shape[0], x.Shape[1], x.Shape[2]}
+	prod, err := tensor.MatMul(c.W.Value, cols)
+	if err != nil {
+		return nil, fmt.Errorf("conv2d %s: %w", c.W.Name, err)
+	}
+	oh := tensor.ConvOutSize(x.Shape[1], c.kh, c.sh, c.ph)
+	ow := tensor.ConvOutSize(x.Shape[2], c.kw, c.sw, c.pw)
+	out := prod.MustReshape(c.outC, oh, ow)
+	n := oh * ow
+	for o := 0; o < c.outC; o++ {
+		b := c.B.Value.Data[o]
+		row := out.Data[o*n : (o+1)*n]
+		for i := range row {
+			row[i] += b
+		}
+	}
+	return out, nil
+}
+
+// Backward accumulates weight/bias gradients and returns the input
+// gradient.
+func (c *Conv2D) Backward(dout *tensor.Tensor) (*tensor.Tensor, error) {
+	if c.cacheCols == nil {
+		return nil, fmt.Errorf("conv2d %s: Backward before Forward", c.W.Name)
+	}
+	n := c.cacheCols.Shape[1]
+	if dout.Len() != c.outC*n {
+		return nil, fmt.Errorf("conv2d %s: grad size %d, want %d", c.W.Name, dout.Len(), c.outC*n)
+	}
+	doutM := dout.MustReshape(c.outC, n)
+
+	// dB: row sums of dout.
+	for o := 0; o < c.outC; o++ {
+		s := 0.0
+		for _, v := range doutM.Data[o*n : (o+1)*n] {
+			s += v
+		}
+		c.B.Grad.Data[o] += s
+	}
+	// dW = dout · colsᵀ.
+	dw, err := tensor.MatMulTransB(doutM, c.cacheCols)
+	if err != nil {
+		return nil, fmt.Errorf("conv2d %s: %w", c.W.Name, err)
+	}
+	if err := c.W.Grad.AddInPlace(dw); err != nil {
+		return nil, fmt.Errorf("conv2d %s: %w", c.W.Name, err)
+	}
+	// dcols = Wᵀ · dout, then scatter back to input space.
+	dcols, err := tensor.MatMulTransA(c.W.Value, doutM)
+	if err != nil {
+		return nil, fmt.Errorf("conv2d %s: %w", c.W.Name, err)
+	}
+	s := c.cacheInShape
+	dx, err := tensor.Col2Im(dcols, s[0], s[1], s[2], c.kh, c.kw, c.sh, c.sw, c.ph, c.pw)
+	if err != nil {
+		return nil, fmt.Errorf("conv2d %s: %w", c.W.Name, err)
+	}
+	return dx, nil
+}
+
+// Params returns the weight and bias parameters.
+func (c *Conv2D) Params() []*Param { return []*Param{c.W, c.B} }
+
+// Conv3D is a spatio-temporal convolution over [C,T,H,W] inputs, the
+// building block of the SlowFast and C3D video classifiers. Weight
+// layout is [OutC, InC*KT*KH*KW].
+type Conv3D struct {
+	W, B *Param
+
+	inC, outC  int
+	kt, kh, kw int
+	st, sh, sw int
+	pt, ph, pw int
+
+	cacheCols    *tensor.Tensor
+	cacheInShape [4]int
+}
+
+var _ Layer = (*Conv3D)(nil)
+
+// Conv3DConfig describes a Conv3D layer; zero strides default to 1.
+type Conv3DConfig struct {
+	InC, OutC  int
+	KT, KH, KW int
+	ST, SH, SW int
+	PT, PH, PW int
+}
+
+// NewConv3D creates a 3-D convolution with He-initialised weights.
+func NewConv3D(name string, cfg Conv3DConfig, rng *rand.Rand) *Conv3D {
+	if cfg.ST == 0 {
+		cfg.ST = 1
+	}
+	if cfg.SH == 0 {
+		cfg.SH = 1
+	}
+	if cfg.SW == 0 {
+		cfg.SW = 1
+	}
+	fanIn := cfg.InC * cfg.KT * cfg.KH * cfg.KW
+	w := tensor.RandnTensor(rng, tensor.KaimingStd(fanIn), cfg.OutC, fanIn)
+	return &Conv3D{
+		W:    NewParam(name+".weight", w),
+		B:    NewParam(name+".bias", tensor.New(cfg.OutC)),
+		inC:  cfg.InC,
+		outC: cfg.OutC,
+		kt:   cfg.KT, kh: cfg.KH, kw: cfg.KW,
+		st: cfg.ST, sh: cfg.SH, sw: cfg.SW,
+		pt: cfg.PT, ph: cfg.PH, pw: cfg.PW,
+	}
+}
+
+// Forward convolves a [InC,T,H,W] input into [OutC,OT,OH,OW].
+func (c *Conv3D) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	if x.Rank() != 4 || x.Shape[0] != c.inC {
+		return nil, fmt.Errorf("conv3d %s: input shape %v, want [%d,T,H,W]", c.W.Name, x.Shape, c.inC)
+	}
+	cols, err := tensor.Im2Col3D(x, c.kt, c.kh, c.kw, c.st, c.sh, c.sw, c.pt, c.ph, c.pw)
+	if err != nil {
+		return nil, fmt.Errorf("conv3d %s: %w", c.W.Name, err)
+	}
+	c.cacheCols = cols
+	c.cacheInShape = [4]int{x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]}
+	prod, err := tensor.MatMul(c.W.Value, cols)
+	if err != nil {
+		return nil, fmt.Errorf("conv3d %s: %w", c.W.Name, err)
+	}
+	ot := tensor.ConvOutSize(x.Shape[1], c.kt, c.st, c.pt)
+	oh := tensor.ConvOutSize(x.Shape[2], c.kh, c.sh, c.ph)
+	ow := tensor.ConvOutSize(x.Shape[3], c.kw, c.sw, c.pw)
+	out := prod.MustReshape(c.outC, ot, oh, ow)
+	n := ot * oh * ow
+	for o := 0; o < c.outC; o++ {
+		b := c.B.Value.Data[o]
+		row := out.Data[o*n : (o+1)*n]
+		for i := range row {
+			row[i] += b
+		}
+	}
+	return out, nil
+}
+
+// Backward accumulates weight/bias gradients and returns the input
+// gradient.
+func (c *Conv3D) Backward(dout *tensor.Tensor) (*tensor.Tensor, error) {
+	if c.cacheCols == nil {
+		return nil, fmt.Errorf("conv3d %s: Backward before Forward", c.W.Name)
+	}
+	n := c.cacheCols.Shape[1]
+	if dout.Len() != c.outC*n {
+		return nil, fmt.Errorf("conv3d %s: grad size %d, want %d", c.W.Name, dout.Len(), c.outC*n)
+	}
+	doutM := dout.MustReshape(c.outC, n)
+
+	for o := 0; o < c.outC; o++ {
+		s := 0.0
+		for _, v := range doutM.Data[o*n : (o+1)*n] {
+			s += v
+		}
+		c.B.Grad.Data[o] += s
+	}
+	dw, err := tensor.MatMulTransB(doutM, c.cacheCols)
+	if err != nil {
+		return nil, fmt.Errorf("conv3d %s: %w", c.W.Name, err)
+	}
+	if err := c.W.Grad.AddInPlace(dw); err != nil {
+		return nil, fmt.Errorf("conv3d %s: %w", c.W.Name, err)
+	}
+	dcols, err := tensor.MatMulTransA(c.W.Value, doutM)
+	if err != nil {
+		return nil, fmt.Errorf("conv3d %s: %w", c.W.Name, err)
+	}
+	s := c.cacheInShape
+	dx, err := tensor.Col2Im3D(dcols, s[0], s[1], s[2], s[3],
+		c.kt, c.kh, c.kw, c.st, c.sh, c.sw, c.pt, c.ph, c.pw)
+	if err != nil {
+		return nil, fmt.Errorf("conv3d %s: %w", c.W.Name, err)
+	}
+	return dx, nil
+}
+
+// Params returns the weight and bias parameters.
+func (c *Conv3D) Params() []*Param { return []*Param{c.W, c.B} }
+
+// MaxPool2D is a 2-D max pooling layer over [C,H,W] inputs.
+type MaxPool2D struct {
+	// K and S are the square kernel size and stride.
+	K, S int
+
+	cacheArg     []int
+	cacheInShape [3]int
+}
+
+var _ Layer = (*MaxPool2D)(nil)
+
+// NewMaxPool2D creates a max-pool layer with kernel k and stride s.
+func NewMaxPool2D(k, s int) *MaxPool2D { return &MaxPool2D{K: k, S: s} }
+
+// Forward pools each channel plane, remembering argmax positions.
+func (m *MaxPool2D) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	if x.Rank() != 3 {
+		return nil, fmt.Errorf("maxpool2d: input shape %v, want [C,H,W]", x.Shape)
+	}
+	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
+	oh := tensor.ConvOutSize(h, m.K, m.S, 0)
+	ow := tensor.ConvOutSize(w, m.K, m.S, 0)
+	if oh <= 0 || ow <= 0 {
+		return nil, fmt.Errorf("maxpool2d: kernel %d too large for input %v", m.K, x.Shape)
+	}
+	out := tensor.New(c, oh, ow)
+	if cap(m.cacheArg) < out.Len() {
+		m.cacheArg = make([]int, out.Len())
+	}
+	m.cacheArg = m.cacheArg[:out.Len()]
+	m.cacheInShape = [3]int{c, h, w}
+	for ci := 0; ci < c; ci++ {
+		plane := x.Data[ci*h*w:]
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				best, bestIdx := plane[(oy*m.S)*w+ox*m.S], (oy*m.S)*w+ox*m.S
+				for ky := 0; ky < m.K; ky++ {
+					iy := oy*m.S + ky
+					if iy >= h {
+						break
+					}
+					for kx := 0; kx < m.K; kx++ {
+						ix := ox*m.S + kx
+						if ix >= w {
+							break
+						}
+						if v := plane[iy*w+ix]; v > best {
+							best, bestIdx = v, iy*w+ix
+						}
+					}
+				}
+				oi := (ci*oh+oy)*ow + ox
+				out.Data[oi] = best
+				m.cacheArg[oi] = ci*h*w + bestIdx
+			}
+		}
+	}
+	return out, nil
+}
+
+// Backward routes each gradient to the position that won the max.
+func (m *MaxPool2D) Backward(dout *tensor.Tensor) (*tensor.Tensor, error) {
+	if dout.Len() != len(m.cacheArg) {
+		return nil, fmt.Errorf("maxpool2d: grad size %d, want %d", dout.Len(), len(m.cacheArg))
+	}
+	s := m.cacheInShape
+	dx := tensor.New(s[0], s[1], s[2])
+	for i, src := range m.cacheArg {
+		dx.Data[src] += dout.Data[i]
+	}
+	return dx, nil
+}
+
+// Params returns nil; pooling has no parameters.
+func (m *MaxPool2D) Params() []*Param { return nil }
+
+// GlobalAvgPool3D reduces a [C,T,H,W] tensor to a rank-1 [C] vector by
+// averaging over all spatio-temporal positions. It is the final
+// pooling stage of the video classifiers.
+type GlobalAvgPool3D struct {
+	cacheInShape [4]int
+}
+
+var _ Layer = (*GlobalAvgPool3D)(nil)
+
+// NewGlobalAvgPool3D returns a global average-pooling layer.
+func NewGlobalAvgPool3D() *GlobalAvgPool3D { return &GlobalAvgPool3D{} }
+
+// Forward averages each channel volume to a single value.
+func (g *GlobalAvgPool3D) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	if x.Rank() != 4 {
+		return nil, fmt.Errorf("gap3d: input shape %v, want [C,T,H,W]", x.Shape)
+	}
+	c := x.Shape[0]
+	vol := x.Shape[1] * x.Shape[2] * x.Shape[3]
+	g.cacheInShape = [4]int{x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]}
+	out := tensor.New(c)
+	for ci := 0; ci < c; ci++ {
+		s := 0.0
+		for _, v := range x.Data[ci*vol : (ci+1)*vol] {
+			s += v
+		}
+		out.Data[ci] = s / float64(vol)
+	}
+	return out, nil
+}
+
+// Backward spreads each channel gradient uniformly over its volume.
+func (g *GlobalAvgPool3D) Backward(dout *tensor.Tensor) (*tensor.Tensor, error) {
+	s := g.cacheInShape
+	if dout.Len() != s[0] {
+		return nil, fmt.Errorf("gap3d: grad size %d, want %d", dout.Len(), s[0])
+	}
+	vol := s[1] * s[2] * s[3]
+	dx := tensor.New(s[0], s[1], s[2], s[3])
+	inv := 1 / float64(vol)
+	for ci := 0; ci < s[0]; ci++ {
+		gv := dout.Data[ci] * inv
+		row := dx.Data[ci*vol : (ci+1)*vol]
+		for i := range row {
+			row[i] = gv
+		}
+	}
+	return dx, nil
+}
+
+// Params returns nil; pooling has no parameters.
+func (g *GlobalAvgPool3D) Params() []*Param { return nil }
+
+// TemporalAvgPool averages a [C,T,H,W] tensor over the time axis with
+// a given stride/kernel, producing [C,T/k,H,W]. TSN-style consensus
+// and the fast→slow lateral reduction use it.
+type TemporalAvgPool struct {
+	// K is the temporal kernel (and stride): non-overlapping windows.
+	K int
+
+	cacheInShape [4]int
+}
+
+var _ Layer = (*TemporalAvgPool)(nil)
+
+// NewTemporalAvgPool creates a temporal average pool with window k.
+func NewTemporalAvgPool(k int) *TemporalAvgPool { return &TemporalAvgPool{K: k} }
+
+// Forward averages non-overlapping windows of K frames.
+func (p *TemporalAvgPool) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	if x.Rank() != 4 {
+		return nil, fmt.Errorf("tpool: input shape %v, want [C,T,H,W]", x.Shape)
+	}
+	c, t, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	if p.K <= 0 || t%p.K != 0 {
+		return nil, fmt.Errorf("tpool: T=%d not divisible by window %d", t, p.K)
+	}
+	p.cacheInShape = [4]int{c, t, h, w}
+	ot := t / p.K
+	out := tensor.New(c, ot, h, w)
+	spat := h * w
+	inv := 1 / float64(p.K)
+	for ci := 0; ci < c; ci++ {
+		for oz := 0; oz < ot; oz++ {
+			dst := out.Data[(ci*ot+oz)*spat : (ci*ot+oz+1)*spat]
+			for k := 0; k < p.K; k++ {
+				src := x.Data[(ci*t+oz*p.K+k)*spat:]
+				for i := range dst {
+					dst[i] += src[i]
+				}
+			}
+			for i := range dst {
+				dst[i] *= inv
+			}
+		}
+	}
+	return out, nil
+}
+
+// Backward spreads gradients uniformly over each pooled window.
+func (p *TemporalAvgPool) Backward(dout *tensor.Tensor) (*tensor.Tensor, error) {
+	s := p.cacheInShape
+	c, t, h, w := s[0], s[1], s[2], s[3]
+	ot := t / p.K
+	if dout.Len() != c*ot*h*w {
+		return nil, fmt.Errorf("tpool: grad size %d, want %d", dout.Len(), c*ot*h*w)
+	}
+	dx := tensor.New(c, t, h, w)
+	spat := h * w
+	inv := 1 / float64(p.K)
+	for ci := 0; ci < c; ci++ {
+		for oz := 0; oz < ot; oz++ {
+			src := dout.Data[(ci*ot+oz)*spat : (ci*ot+oz+1)*spat]
+			for k := 0; k < p.K; k++ {
+				dst := dx.Data[(ci*t+oz*p.K+k)*spat:]
+				for i, v := range src {
+					dst[i] = v * inv
+				}
+			}
+		}
+	}
+	return dx, nil
+}
+
+// Params returns nil; pooling has no parameters.
+func (p *TemporalAvgPool) Params() []*Param { return nil }

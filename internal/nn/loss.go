@@ -1,0 +1,148 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"safecross/internal/tensor"
+)
+
+// SoftmaxCrossEntropy computes the cross-entropy loss of rank-1 logits
+// against an integer class label, returning the loss and the gradient
+// of the loss with respect to the logits (softmax(x) - onehot(label)).
+func SoftmaxCrossEntropy(logits *tensor.Tensor, label int) (float64, *tensor.Tensor, error) {
+	if logits.Rank() != 1 {
+		return 0, nil, fmt.Errorf("nn: cross-entropy needs rank-1 logits, got %v", logits.Shape)
+	}
+	k := logits.Len()
+	if label < 0 || label >= k {
+		return 0, nil, fmt.Errorf("nn: label %d out of range [0,%d)", label, k)
+	}
+	probs := tensor.Softmax(logits)
+	p := probs.Data[label]
+	// Clamp to avoid -Inf on a (numerically) zero probability.
+	if p < 1e-300 {
+		p = 1e-300
+	}
+	loss := -math.Log(p)
+	grad := probs.Clone()
+	grad.Data[label] -= 1
+	return loss, grad, nil
+}
+
+// SoftmaxCrossEntropySmoothed is cross-entropy against a
+// label-smoothed target: the true class gets probability 1−eps and
+// the remaining eps spreads uniformly. Smoothing regularises the
+// small video classifiers against the over-confident saturation a
+// two-class task invites.
+func SoftmaxCrossEntropySmoothed(logits *tensor.Tensor, label int, eps float64) (float64, *tensor.Tensor, error) {
+	if eps < 0 || eps >= 1 {
+		return 0, nil, fmt.Errorf("nn: label smoothing %v outside [0,1)", eps)
+	}
+	if eps == 0 {
+		return SoftmaxCrossEntropy(logits, label)
+	}
+	if logits.Rank() != 1 {
+		return 0, nil, fmt.Errorf("nn: cross-entropy needs rank-1 logits, got %v", logits.Shape)
+	}
+	k := logits.Len()
+	if label < 0 || label >= k {
+		return 0, nil, fmt.Errorf("nn: label %d out of range [0,%d)", label, k)
+	}
+	probs := tensor.Softmax(logits)
+	uniform := eps / float64(k)
+	loss := 0.0
+	grad := probs.Clone()
+	for i := 0; i < k; i++ {
+		target := uniform
+		if i == label {
+			target += 1 - eps
+		}
+		p := probs.Data[i]
+		if p < 1e-300 {
+			p = 1e-300
+		}
+		loss -= target * math.Log(p)
+		grad.Data[i] -= target
+	}
+	return loss, grad, nil
+}
+
+// Predict returns the argmax class of rank-1 logits.
+func Predict(logits *tensor.Tensor) int { return logits.ArgMax() }
+
+// ConfusionMatrix accumulates per-class prediction counts; row =
+// ground truth, column = prediction. It backs the Top-1 and
+// mean-class-accuracy metrics the paper reports (Tables III–V).
+type ConfusionMatrix struct {
+	k      int
+	counts []int
+}
+
+// NewConfusionMatrix creates a k-class confusion matrix.
+func NewConfusionMatrix(k int) *ConfusionMatrix {
+	return &ConfusionMatrix{k: k, counts: make([]int, k*k)}
+}
+
+// Add records one (truth, prediction) observation.
+func (c *ConfusionMatrix) Add(truth, pred int) error {
+	if truth < 0 || truth >= c.k || pred < 0 || pred >= c.k {
+		return fmt.Errorf("nn: confusion index (%d,%d) out of range for k=%d", truth, pred, c.k)
+	}
+	c.counts[truth*c.k+pred]++
+	return nil
+}
+
+// Count returns the number of observations with the given truth and
+// prediction.
+func (c *ConfusionMatrix) Count(truth, pred int) int { return c.counts[truth*c.k+pred] }
+
+// Total returns the number of recorded observations.
+func (c *ConfusionMatrix) Total() int {
+	n := 0
+	for _, v := range c.counts {
+		n += v
+	}
+	return n
+}
+
+// Top1 returns overall accuracy: correct / total. It returns 0 for an
+// empty matrix.
+func (c *ConfusionMatrix) Top1() float64 {
+	total, correct := 0, 0
+	for i := 0; i < c.k; i++ {
+		for j := 0; j < c.k; j++ {
+			n := c.counts[i*c.k+j]
+			total += n
+			if i == j {
+				correct += n
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+// MeanClass returns the mean of per-class recalls, the
+// "Mean_class_acc" metric in the paper. Classes with no examples are
+// skipped.
+func (c *ConfusionMatrix) MeanClass() float64 {
+	sum, classes := 0.0, 0
+	for i := 0; i < c.k; i++ {
+		rowTotal := 0
+		for j := 0; j < c.k; j++ {
+			rowTotal += c.counts[i*c.k+j]
+		}
+		if rowTotal == 0 {
+			continue
+		}
+		sum += float64(c.counts[i*c.k+i]) / float64(rowTotal)
+		classes++
+	}
+	if classes == 0 {
+		return 0
+	}
+	return sum / float64(classes)
+}

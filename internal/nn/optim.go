@@ -1,0 +1,126 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"safecross/internal/tensor"
+)
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update to the given parameters. Callers zero
+	// the gradients afterwards (or use TrainStep helpers that do).
+	Step(params []*Param) error
+}
+
+// SGD is stochastic gradient descent with optional momentum and weight
+// decay. Its zero LR is invalid; construct with NewSGD.
+type SGD struct {
+	// LR is the learning rate.
+	LR float64
+	// Momentum is the classical momentum coefficient (0 disables).
+	Momentum float64
+	// WeightDecay is L2 regularisation strength applied to gradients.
+	WeightDecay float64
+
+	velocity map[*Param]*tensor.Tensor
+}
+
+var _ Optimizer = (*SGD)(nil)
+
+// NewSGD creates an SGD optimizer.
+func NewSGD(lr, momentum, weightDecay float64) *SGD {
+	return &SGD{
+		LR:          lr,
+		Momentum:    momentum,
+		WeightDecay: weightDecay,
+		velocity:    make(map[*Param]*tensor.Tensor),
+	}
+}
+
+// Step applies one SGD update.
+func (s *SGD) Step(params []*Param) error {
+	for _, p := range params {
+		g := p.Grad
+		if s.WeightDecay > 0 {
+			if err := g.AddScaled(p.Value, s.WeightDecay); err != nil {
+				return fmt.Errorf("sgd %q: %w", p.Name, err)
+			}
+		}
+		if s.Momentum > 0 {
+			v, ok := s.velocity[p]
+			if !ok {
+				v = tensor.New(p.Value.Shape...)
+				s.velocity[p] = v
+			}
+			v.Scale(s.Momentum)
+			if err := v.AddInPlace(g); err != nil {
+				return fmt.Errorf("sgd %q: %w", p.Name, err)
+			}
+			g = v
+		}
+		if err := p.Value.AddScaled(g, -s.LR); err != nil {
+			return fmt.Errorf("sgd %q: %w", p.Name, err)
+		}
+	}
+	return nil
+}
+
+// Adam is the Adam optimizer (Kingma & Ba) with bias correction.
+type Adam struct {
+	// LR is the learning rate; B1 and B2 are the moment decay rates;
+	// Eps stabilises the denominator.
+	LR, B1, B2, Eps float64
+	// WeightDecay is L2 regularisation strength applied to gradients.
+	WeightDecay float64
+
+	t int
+	m map[*Param]*tensor.Tensor
+	v map[*Param]*tensor.Tensor
+}
+
+var _ Optimizer = (*Adam)(nil)
+
+// NewAdam creates an Adam optimizer with the standard default moment
+// rates (β1=0.9, β2=0.999, ε=1e-8).
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		LR:  lr,
+		B1:  0.9,
+		B2:  0.999,
+		Eps: 1e-8,
+		m:   make(map[*Param]*tensor.Tensor),
+		v:   make(map[*Param]*tensor.Tensor),
+	}
+}
+
+// Step applies one Adam update.
+func (a *Adam) Step(params []*Param) error {
+	a.t++
+	bc1 := 1 - math.Pow(a.B1, float64(a.t))
+	bc2 := 1 - math.Pow(a.B2, float64(a.t))
+	for _, p := range params {
+		g := p.Grad
+		if a.WeightDecay > 0 {
+			if err := g.AddScaled(p.Value, a.WeightDecay); err != nil {
+				return fmt.Errorf("adam %q: %w", p.Name, err)
+			}
+		}
+		m, ok := a.m[p]
+		if !ok {
+			m = tensor.New(p.Value.Shape...)
+			a.m[p] = m
+			a.v[p] = tensor.New(p.Value.Shape...)
+		}
+		v := a.v[p]
+		for i, gv := range g.Data {
+			m.Data[i] = a.B1*m.Data[i] + (1-a.B1)*gv
+			v.Data[i] = a.B2*v.Data[i] + (1-a.B2)*gv*gv
+			mhat := m.Data[i] / bc1
+			vhat := v.Data[i] / bc2
+			p.Value.Data[i] -= a.LR * mhat / (math.Sqrt(vhat) + a.Eps)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// stateEntry is the serialized form of one parameter.
+type stateEntry struct {
+	Name  string
+	Shape []int
+	Data  []float64
+}
+
+// SaveState writes the named parameters to w in gob format. It is the
+// on-disk weight format used by cmd/safecross-train and the model
+// store in internal/safecross.
+func SaveState(w io.Writer, params []*Param) error {
+	entries := make([]stateEntry, 0, len(params))
+	seen := make(map[string]bool, len(params))
+	for _, p := range params {
+		if seen[p.Name] {
+			return fmt.Errorf("nn: duplicate parameter name %q", p.Name)
+		}
+		seen[p.Name] = true
+		entries = append(entries, stateEntry{
+			Name:  p.Name,
+			Shape: append([]int(nil), p.Value.Shape...),
+			Data:  append([]float64(nil), p.Value.Data...),
+		})
+	}
+	if err := gob.NewEncoder(w).Encode(entries); err != nil {
+		return fmt.Errorf("nn: encode state: %w", err)
+	}
+	return nil
+}
+
+// LoadState reads a state written by SaveState and copies values into
+// the matching parameters by name. Every parameter in params must be
+// present in the stream with a matching shape; extra entries in the
+// stream are an error too, so that silently stale checkpoints are
+// caught.
+func LoadState(r io.Reader, params []*Param) error {
+	var entries []stateEntry
+	if err := gob.NewDecoder(r).Decode(&entries); err != nil {
+		return fmt.Errorf("nn: decode state: %w", err)
+	}
+	byName := make(map[string]stateEntry, len(entries))
+	for _, e := range entries {
+		byName[e.Name] = e
+	}
+	if len(byName) != len(params) {
+		return fmt.Errorf("nn: state has %d parameters, network has %d", len(byName), len(params))
+	}
+	for _, p := range params {
+		e, ok := byName[p.Name]
+		if !ok {
+			return fmt.Errorf("nn: state missing parameter %q", p.Name)
+		}
+		if len(e.Data) != p.Value.Len() {
+			return fmt.Errorf("nn: parameter %q has %d values in state, want %d", p.Name, len(e.Data), p.Value.Len())
+		}
+		copy(p.Value.Data, e.Data)
+	}
+	return nil
+}

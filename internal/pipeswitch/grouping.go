@@ -1,0 +1,143 @@
+package pipeswitch
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"safecross/internal/gpusim"
+)
+
+// pipelineCosts precomputes, in float seconds, everything the
+// pipelined-makespan recurrence needs. Both the DP and the analytic
+// predictor share it so their arithmetic is bit-identical and the DP
+// result provably dominates any hand-chosen grouping.
+type pipelineCosts struct {
+	prefixXfer []float64 // transfer completion time of layers [0,i)
+	prefixFLOP []float64
+	sync       float64
+	kernel     float64
+	throughput float64
+}
+
+func newPipelineCosts(m Model, cfg gpusim.DeviceConfig) pipelineCosts {
+	n := len(m.Layers)
+	c := pipelineCosts{
+		prefixXfer: make([]float64, n+1),
+		prefixFLOP: make([]float64, n+1),
+		sync:       cfg.GroupSync.Seconds(),
+		kernel:     cfg.KernelOverhead.Seconds(),
+		throughput: cfg.ComputeThroughput,
+	}
+	var bytesSum int64
+	for i, l := range m.Layers {
+		bytesSum += l.Bytes
+		c.prefixXfer[i+1] = float64(bytesSum) / cfg.TransferBandwidth
+		c.prefixFLOP[i+1] = c.prefixFLOP[i] + l.FLOPs
+	}
+	return c
+}
+
+// groupCompute returns the execution time of layers [i, j).
+func (c pipelineCosts) groupCompute(i, j int) float64 {
+	return (c.prefixFLOP[j]-c.prefixFLOP[i])/c.throughput + float64(j-i)*c.kernel
+}
+
+// step advances the recurrence by one group: computation of [i, j)
+// starts after both the group's transfer and the previous group's
+// computation, plus a synchronisation.
+func (c pipelineCosts) step(computeDone float64, i, j int) float64 {
+	start := computeDone
+	if c.prefixXfer[j] > start {
+		start = c.prefixXfer[j]
+	}
+	return start + c.sync + c.groupCompute(i, j)
+}
+
+// makespan replays the recurrence for a boundary list.
+func (c pipelineCosts) makespan(boundaries []int) float64 {
+	done := 0.0
+	start := 0
+	for _, end := range boundaries {
+		done = c.step(done, start, end)
+		start = end
+	}
+	return done
+}
+
+// OptimalBoundaries computes the model-aware layer grouping that
+// minimises the pipelined switch makespan on a device with the given
+// performance model (the paper's Sec. III-E-3: small layers are
+// merged so each group's transfer is worth its synchronisation cost,
+// and boundaries are placed so computation never starves).
+//
+// The search is an exact dynamic program over group end positions.
+// Because the copy engine streams groups back to back, the transfer
+// completion time of a group ending at layer j depends only on the
+// byte prefix sum — not on earlier boundary choices — so the optimal
+// makespan satisfies
+//
+//	best[j] = min over i<j of max(best[i], prefixXfer[j]) + sync + compute(i..j)
+//
+// a recurrence with optimal substructure. Transitions are pruned once
+// their lower bound (transfer-gated start plus the growing group
+// compute) reaches the incumbent, the pruning the paper describes.
+func OptimalBoundaries(m Model, cfg gpusim.DeviceConfig) ([]int, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	costs := newPipelineCosts(m, cfg)
+	n := len(m.Layers)
+
+	best := make([]float64, n+1)
+	prev := make([]int, n+1)
+	for j := 1; j <= n; j++ {
+		best[j] = math.Inf(1)
+		prev[j] = -1
+	}
+	for j := 1; j <= n; j++ {
+		for i := j - 1; i >= 0; i-- {
+			if math.IsInf(best[i], 1) {
+				continue
+			}
+			cand := costs.step(best[i], i, j)
+			if cand < best[j] {
+				best[j] = cand
+				prev[j] = i
+			}
+			// Prune: for any i' < i the last group is larger, so its
+			// makespan is at least prefixXfer[j] + sync + compute(i,j);
+			// once that bound reaches the incumbent, earlier split
+			// points cannot win.
+			if costs.prefixXfer[j]+costs.sync+costs.groupCompute(i, j) >= best[j] {
+				break
+			}
+		}
+		if prev[j] == -1 {
+			return nil, fmt.Errorf("pipeswitch: grouping DP failed at layer %d", j)
+		}
+	}
+	var rev []int
+	for j := n; j > 0; j = prev[j] {
+		rev = append(rev, j)
+	}
+	boundaries := make([]int, len(rev))
+	for i, b := range rev {
+		boundaries[len(rev)-1-i] = b
+	}
+	return boundaries, nil
+}
+
+// PredictMakespan replays the pipeline recurrence analytically for a
+// given boundary list — the same arithmetic the DP optimises — so
+// callers can compare groupings without touching a device.
+func PredictMakespan(m Model, cfg gpusim.DeviceConfig, boundaries []int) (time.Duration, error) {
+	if err := validBoundaries(boundaries, len(m.Layers)); err != nil {
+		return 0, err
+	}
+	costs := newPipelineCosts(m, cfg)
+	return time.Duration(costs.makespan(boundaries) * float64(time.Second)), nil
+}

@@ -1,0 +1,132 @@
+package pipeswitch
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"safecross/internal/gpusim"
+)
+
+// Manager is the runtime face of the MS module: it keeps a registry
+// of per-scene models, tracks which one is resident on the device,
+// and switches with the configured method when the scene changes,
+// recording switch latencies against an SLO.
+type Manager struct {
+	mu sync.Mutex
+
+	dev      *gpusim.Device
+	switcher Switcher
+	slo      time.Duration
+
+	registry map[string]Model
+	active   string
+	history  []Report
+}
+
+// ManagerOption configures a Manager.
+type ManagerOption interface {
+	apply(*Manager)
+}
+
+type switcherOption struct{ s Switcher }
+
+func (o switcherOption) apply(m *Manager) { m.switcher = o.s }
+
+// WithSwitcher selects the switching method (default Pipelined with
+// optimal grouping).
+func WithSwitcher(s Switcher) ManagerOption { return switcherOption{s: s} }
+
+type sloOption struct{ d time.Duration }
+
+func (o sloOption) apply(m *Manager) { m.slo = o.d }
+
+// WithSLO sets the switch-latency service-level objective; the paper
+// requires real-time switching below 10 ms.
+func WithSLO(d time.Duration) ManagerOption { return sloOption{d: d} }
+
+// DefaultSLO is the paper's real-time bound for a model switch.
+const DefaultSLO = 10 * time.Millisecond
+
+// NewManager creates a model-switching manager on the given device.
+func NewManager(dev *gpusim.Device, opts ...ManagerOption) *Manager {
+	m := &Manager{
+		dev:      dev,
+		switcher: Pipelined{Grouping: GroupOptimal},
+		slo:      DefaultSLO,
+		registry: make(map[string]Model),
+	}
+	for _, o := range opts {
+		o.apply(m)
+	}
+	return m
+}
+
+// Register adds a model under a scene key (e.g. "day", "rain",
+// "snow").
+func (m *Manager) Register(scene string, model Model) error {
+	if err := model.Validate(); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.registry[scene]; ok {
+		return fmt.Errorf("pipeswitch: scene %q already registered", scene)
+	}
+	m.registry[scene] = model
+	return nil
+}
+
+// Active returns the scene key of the resident model ("" when none).
+func (m *Manager) Active() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.active
+}
+
+// Activate switches the device to the model registered for scene. It
+// is a no-op (with a zero-latency report) when the scene is already
+// active.
+func (m *Manager) Activate(scene string) (Report, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	model, ok := m.registry[scene]
+	if !ok {
+		return Report{}, fmt.Errorf("pipeswitch: scene %q not registered", scene)
+	}
+	if m.active == scene {
+		return Report{Model: model.Name, Method: "noop", Groups: 0}, nil
+	}
+	var prev *Model
+	if m.active != "" {
+		p := m.registry[m.active]
+		prev = &p
+	}
+	rep, err := m.switcher.Switch(m.dev, prev, model)
+	if err != nil {
+		return Report{}, fmt.Errorf("pipeswitch: activate %q: %w", scene, err)
+	}
+	m.active = scene
+	m.history = append(m.history, rep)
+	return rep, nil
+}
+
+// History returns a copy of all switch reports so far.
+func (m *Manager) History() []Report {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Report(nil), m.history...)
+}
+
+// SLOViolations counts switches that exceeded the SLO.
+func (m *Manager) SLOViolations() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, r := range m.history {
+		if r.Total > m.slo {
+			n++
+		}
+	}
+	return n
+}

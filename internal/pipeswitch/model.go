@@ -1,0 +1,183 @@
+// Package pipeswitch reproduces the paper's model-switching (MS)
+// module: PipeSwitch-style pipelined model loading on the simulated
+// GPU (internal/gpusim), the stop-and-start baseline it is compared
+// against in Table VI, and the model-aware layer grouping chosen by
+// an optimal search (Sec. III-E-3 of the paper).
+package pipeswitch
+
+import (
+	"fmt"
+	"time"
+)
+
+// Layer is one transferable/executable unit of a model: its parameter
+// bytes and its inference FLOPs.
+type Layer struct {
+	// Name identifies the layer for reports.
+	Name string
+	// Bytes is the parameter payload transferred to the device.
+	Bytes int64
+	// FLOPs is the inference cost of the layer at batch size 1.
+	FLOPs float64
+}
+
+// Model is an inference model manifest: an ordered layer list plus
+// the cold-initialisation scale (3-D convolution stacks autotune
+// longer than 2-D ones on a cold process).
+type Model struct {
+	// Name identifies the model ("slowfast-safecross", ...).
+	Name string
+	// Layers in execution order; PipeSwitch transfers and executes
+	// them front to back.
+	Layers []Layer
+	// ColdInitScale multiplies the per-layer cold-initialisation cost
+	// in the stop-and-start path.
+	ColdInitScale float64
+}
+
+// TotalBytes returns the summed parameter payload.
+func (m Model) TotalBytes() int64 {
+	var b int64
+	for _, l := range m.Layers {
+		b += l.Bytes
+	}
+	return b
+}
+
+// TotalFLOPs returns the summed inference cost.
+func (m Model) TotalFLOPs() float64 {
+	f := 0.0
+	for _, l := range m.Layers {
+		f += l.FLOPs
+	}
+	return f
+}
+
+// Validate checks manifest invariants.
+func (m Model) Validate() error {
+	if len(m.Layers) == 0 {
+		return fmt.Errorf("pipeswitch: model %q has no layers", m.Name)
+	}
+	for i, l := range m.Layers {
+		if l.Bytes < 0 || l.FLOPs < 0 {
+			return fmt.Errorf("pipeswitch: model %q layer %d (%s) has negative cost", m.Name, i, l.Name)
+		}
+	}
+	if m.ColdInitScale <= 0 {
+		return fmt.Errorf("pipeswitch: model %q needs positive cold-init scale", m.Name)
+	}
+	return nil
+}
+
+// buildLayers synthesises a layer list whose bytes and FLOPs follow
+// the usual CNN pattern — early layers are FLOP-heavy and
+// parameter-light, late layers the reverse — normalised to the given
+// totals. The distribution shape matters to the grouping optimizer:
+// uniform layers would make grouping trivial.
+func buildLayers(prefix string, n int, totalBytes int64, totalFLOPs float64) []Layer {
+	layers := make([]Layer, n)
+	// Weight profiles: bytes grow roughly quadratically with depth
+	// (channel widths double per stage), FLOPs decay (spatial dims
+	// shrink faster than channels grow).
+	byteW := make([]float64, n)
+	flopW := make([]float64, n)
+	var byteSum, flopSum float64
+	for i := 0; i < n; i++ {
+		d := float64(i+1) / float64(n)
+		byteW[i] = 0.2 + d*d*2.8
+		flopW[i] = 1.6 - d*1.1
+		byteSum += byteW[i]
+		flopSum += flopW[i]
+	}
+	var allocated int64
+	for i := 0; i < n; i++ {
+		b := int64(float64(totalBytes) * byteW[i] / byteSum)
+		layers[i] = Layer{
+			Name:  fmt.Sprintf("%s.layer%03d", prefix, i),
+			Bytes: b,
+			FLOPs: totalFLOPs * flopW[i] / flopSum,
+		}
+		allocated += b
+	}
+	// Put rounding residue in the last layer so totals are exact.
+	layers[n-1].Bytes += totalBytes - allocated
+	return layers
+}
+
+// Manifest totals. Parameter byte sizes are scaled from the real
+// architectures by the same factor the rest of the reproduction
+// applies to its substrate (see DESIGN.md); layer counts and FLOP
+// magnitudes follow the published architectures.
+const (
+	slowFastLayerCount = 140
+	slowFastBytes      = 75 << 20
+	slowFastFLOPs      = 50e9
+	slowFastColdScale  = 2.8
+
+	resNet152LayerCount = 155
+	resNet152Bytes      = 60 << 20
+	resNet152FLOPs      = 23e9
+	resNet152ColdScale  = 1.0
+
+	inceptionV3LayerCount = 94
+	inceptionV3Bytes      = 45 << 20
+	inceptionV3FLOPs      = 11e9
+	inceptionV3ColdScale  = 1.0
+)
+
+// SafeCrossSlowFast returns the manifest of the paper's deployed
+// model: SlowFast 4x16 R50 with the SafeCross head. Two pathways and
+// 3-D kernels give it the highest layer count, cold-init scale, and
+// payload of the three Table VI models.
+func SafeCrossSlowFast() Model {
+	return Model{
+		Name:          "slowfast-safecross",
+		Layers:        buildLayers("slowfast", slowFastLayerCount, slowFastBytes, slowFastFLOPs),
+		ColdInitScale: slowFastColdScale,
+	}
+}
+
+// ResNet152 returns the ResNet-152 comparison manifest.
+func ResNet152() Model {
+	return Model{
+		Name:          "resnet152",
+		Layers:        buildLayers("resnet152", resNet152LayerCount, resNet152Bytes, resNet152FLOPs),
+		ColdInitScale: resNet152ColdScale,
+	}
+}
+
+// InceptionV3 returns the Inception-v3 comparison manifest.
+func InceptionV3() Model {
+	return Model{
+		Name:          "inceptionv3",
+		Layers:        buildLayers("inceptionv3", inceptionV3LayerCount, inceptionV3Bytes, inceptionV3FLOPs),
+		ColdInitScale: inceptionV3ColdScale,
+	}
+}
+
+// BuiltinModels returns the three Table VI models in paper order.
+func BuiltinModels() []Model {
+	return []Model{SafeCrossSlowFast(), ResNet152(), InceptionV3()}
+}
+
+// Report describes one switch operation in virtual time.
+type Report struct {
+	// Model and Method identify the run.
+	Model, Method string
+	// Total is the switch-to-first-inference completion latency.
+	Total time.Duration
+	// Breakdown components (zero when not applicable to the method).
+	CtxInit, ColdLoad, ColdKernelInit time.Duration
+	// Transfer and Compute are the engine busy times.
+	Transfer, Compute time.Duration
+	// Groups is the number of transfer/execute groups used.
+	Groups int
+}
+
+// String formats the report as a one-line summary.
+func (r Report) String() string {
+	return fmt.Sprintf("%s/%s: total=%v groups=%d (ctx=%v load=%v init=%v xfer=%v compute=%v)",
+		r.Model, r.Method, r.Total.Round(10*time.Microsecond), r.Groups,
+		r.CtxInit, r.ColdLoad, r.ColdKernelInit,
+		r.Transfer.Round(10*time.Microsecond), r.Compute.Round(10*time.Microsecond))
+}

@@ -1,0 +1,315 @@
+package pipeswitch
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"safecross/internal/gpusim"
+)
+
+func newDevice(t *testing.T) *gpusim.Device {
+	t.Helper()
+	d, err := gpusim.NewDevice(gpusim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestBuiltinManifests(t *testing.T) {
+	models := BuiltinModels()
+	if len(models) != 3 {
+		t.Fatalf("builtin models = %d, want 3", len(models))
+	}
+	for _, m := range models {
+		if err := m.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sf, rn, iv := models[0], models[1], models[2]
+	if !(sf.TotalBytes() > rn.TotalBytes() && rn.TotalBytes() > iv.TotalBytes()) {
+		t.Fatalf("payload ordering wrong: %d/%d/%d", sf.TotalBytes(), rn.TotalBytes(), iv.TotalBytes())
+	}
+	if sf.TotalBytes() != slowFastBytes {
+		t.Fatalf("rounding residue lost: %d != %d", sf.TotalBytes(), int64(slowFastBytes))
+	}
+	if len(rn.Layers) != resNet152LayerCount {
+		t.Fatalf("resnet152 layers = %d", len(rn.Layers))
+	}
+	if sf.ColdInitScale <= rn.ColdInitScale {
+		t.Fatal("3-D model must have larger cold-init scale")
+	}
+}
+
+func TestModelValidate(t *testing.T) {
+	if err := (Model{Name: "empty", ColdInitScale: 1}).Validate(); err == nil {
+		t.Fatal("expected no-layers error")
+	}
+	bad := Model{Name: "neg", ColdInitScale: 1, Layers: []Layer{{Bytes: -1}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected negative-cost error")
+	}
+	noScale := Model{Name: "s", Layers: []Layer{{Bytes: 1}}}
+	if err := noScale.Validate(); err == nil {
+		t.Fatal("expected cold-scale error")
+	}
+}
+
+// TestTableVIShape is the core Table VI reproduction check:
+// stop-and-start takes seconds, PipeSwitch takes under 10 ms, and
+// both preserve the SlowFast > ResNet152 > Inception-v3 ordering.
+func TestTableVIShape(t *testing.T) {
+	dev := newDevice(t)
+	models := BuiltinModels()
+
+	var cold, warm []time.Duration
+	for _, m := range models {
+		rep, err := StopAndStart{}.Switch(dev, nil, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold = append(cold, rep.Total)
+	}
+	dev.Reset()
+	var prev *Model
+	for i := range models {
+		rep, err := Pipelined{}.Switch(dev, prev, models[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm = append(warm, rep.Total)
+		prev = &models[i]
+	}
+
+	for i, m := range models {
+		if cold[i] < time.Second {
+			t.Fatalf("%s stop-and-start = %v, want seconds", m.Name, cold[i])
+		}
+		if warm[i] >= 10*time.Millisecond {
+			t.Fatalf("%s pipeswitch = %v, want <10ms (paper's real-time bound)", m.Name, warm[i])
+		}
+		if cold[i] < 100*warm[i] {
+			t.Fatalf("%s speedup only %vx, paper reports ~1000x", m.Name, cold[i]/warm[i])
+		}
+	}
+	// Ordering: SlowFast > ResNet152 > Inception-v3 in both columns.
+	if !(cold[0] > cold[1] && cold[1] > cold[2]) {
+		t.Fatalf("stop-and-start ordering wrong: %v", cold)
+	}
+	if !(warm[0] > warm[1] && warm[1] > warm[2]) {
+		t.Fatalf("pipeswitch ordering wrong: %v", warm)
+	}
+}
+
+func TestStopAndStartBreakdownDominatedByColdPath(t *testing.T) {
+	dev := newDevice(t)
+	rep, err := StopAndStart{}.Switch(dev, nil, ResNet152())
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldPart := rep.CtxInit + rep.ColdLoad + rep.ColdKernelInit
+	if coldPart < rep.Total*9/10 {
+		t.Fatalf("cold path %v should dominate total %v (paper: context init + library load)", coldPart, rep.Total)
+	}
+}
+
+func TestPipelinedMemoryAccounting(t *testing.T) {
+	dev := newDevice(t)
+	sf := SafeCrossSlowFast()
+	rn := ResNet152()
+	if _, err := (Pipelined{}).Switch(dev, nil, sf); err != nil {
+		t.Fatal(err)
+	}
+	if dev.Allocated() != sf.TotalBytes() {
+		t.Fatalf("allocated %d, want %d", dev.Allocated(), sf.TotalBytes())
+	}
+	if _, err := (Pipelined{}).Switch(dev, &sf, rn); err != nil {
+		t.Fatal(err)
+	}
+	if dev.Allocated() != rn.TotalBytes() {
+		t.Fatalf("allocated %d after swap, want %d", dev.Allocated(), rn.TotalBytes())
+	}
+}
+
+func TestGroupingStrategies(t *testing.T) {
+	dev := newDevice(t)
+	m := ResNet152()
+	cfg := dev.Config()
+
+	opt, err := OptimalBoundaries(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt[len(opt)-1] != len(m.Layers) {
+		t.Fatalf("optimal boundaries must cover all layers: %v", opt)
+	}
+	tOpt, err := PredictMakespan(m, cfg, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tPer, err := PredictMakespan(m, cfg, perLayerBoundaries(len(m.Layers)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tOne, err := PredictMakespan(m, cfg, []int{len(m.Layers)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tOpt > tPer || tOpt > tOne {
+		t.Fatalf("optimal grouping (%v) must dominate per-layer (%v) and single (%v)", tOpt, tPer, tOne)
+	}
+	// The interesting regime: optimal strictly beats the single group
+	// (pipelining helps) — per-layer may tie when sync is tiny.
+	if tOpt >= tOne {
+		t.Fatalf("optimal (%v) should strictly beat single group (%v)", tOpt, tOne)
+	}
+}
+
+// Property: the DP result is no worse than any random grouping.
+func TestPropertyOptimalGroupingDominatesRandom(t *testing.T) {
+	m := InceptionV3()
+	cfg := gpusim.DefaultConfig()
+	opt, err := OptimalBoundaries(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tOpt, err := PredictMakespan(m, cfg, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := len(m.Layers)
+		var bounds []int
+		for i := 1; i < n; i++ {
+			if rng.Float64() < 0.2 {
+				bounds = append(bounds, i)
+			}
+		}
+		bounds = append(bounds, n)
+		tr, err := PredictMakespan(m, cfg, bounds)
+		if err != nil {
+			return false
+		}
+		return tOpt <= tr
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPredictMatchesSimulation cross-checks the analytic recurrence
+// against the device simulation.
+func TestPredictMatchesSimulation(t *testing.T) {
+	dev := newDevice(t)
+	m := InceptionV3()
+	bounds, err := OptimalBoundaries(m, dev.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	predicted, err := PredictMakespan(m, dev.Config(), bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := simulatePipeline(dev, m, "test", bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := rep.Total - predicted
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > time.Microsecond {
+		t.Fatalf("simulation %v != prediction %v", rep.Total, predicted)
+	}
+}
+
+func TestBoundaryValidation(t *testing.T) {
+	m := InceptionV3()
+	if _, err := PredictMakespan(m, gpusim.DefaultConfig(), []int{5, 4, len(m.Layers)}); err == nil {
+		t.Fatal("expected non-increasing boundary error")
+	}
+	if _, err := PredictMakespan(m, gpusim.DefaultConfig(), []int{5}); err == nil {
+		t.Fatal("expected incomplete-boundary error")
+	}
+}
+
+func TestSwitcherNames(t *testing.T) {
+	tests := []struct {
+		s    Switcher
+		want string
+	}{
+		{StopAndStart{}, "stop-and-start"},
+		{Pipelined{}, "pipeswitch"},
+		{Pipelined{Grouping: GroupOptimal}, "pipeswitch"},
+		{Pipelined{Grouping: GroupPerLayer}, "pipeswitch-per-layer"},
+		{Pipelined{Grouping: GroupSingle}, "pipeswitch-single"},
+	}
+	for _, tt := range tests {
+		if got := tt.s.Name(); got != tt.want {
+			t.Fatalf("Name() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestManagerLifecycle(t *testing.T) {
+	dev := newDevice(t)
+	mgr := NewManager(dev, WithSLO(10*time.Millisecond))
+	if err := mgr.Register("day", SafeCrossSlowFast()); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Register("snow", ResNet152()); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Register("day", InceptionV3()); err == nil {
+		t.Fatal("expected duplicate-scene error")
+	}
+	if _, err := mgr.Activate("fog"); err == nil {
+		t.Fatal("expected unknown-scene error")
+	}
+
+	rep, err := mgr.Activate("day")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total >= 10*time.Millisecond {
+		t.Fatalf("first activation %v, want <10ms", rep.Total)
+	}
+	if mgr.Active() != "day" {
+		t.Fatalf("active = %q", mgr.Active())
+	}
+	// Re-activating is a no-op.
+	rep2, err := mgr.Activate("day")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Method != "noop" || rep2.Total != 0 {
+		t.Fatalf("re-activation should be a no-op, got %+v", rep2)
+	}
+	// Scene change switches models within SLO.
+	if _, err := mgr.Activate("snow"); err != nil {
+		t.Fatal(err)
+	}
+	if len(mgr.History()) != 2 {
+		t.Fatalf("history = %d entries, want 2", len(mgr.History()))
+	}
+	if v := mgr.SLOViolations(); v != 0 {
+		t.Fatalf("SLO violations = %d, want 0", v)
+	}
+}
+
+func TestManagerStopAndStartViolatesSLO(t *testing.T) {
+	dev := newDevice(t)
+	mgr := NewManager(dev, WithSwitcher(StopAndStart{}))
+	if err := mgr.Register("day", InceptionV3()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.Activate("day"); err != nil {
+		t.Fatal(err)
+	}
+	if v := mgr.SLOViolations(); v != 1 {
+		t.Fatalf("stop-and-start must violate the 10ms SLO, violations = %d", v)
+	}
+}

@@ -1,0 +1,232 @@
+package pipeswitch
+
+import (
+	"fmt"
+	"time"
+
+	"safecross/internal/gpusim"
+)
+
+// Switcher performs a model switch on a device and reports its
+// virtual-time cost. Implementations must leave the device memory
+// accounting consistent (old model freed, new model resident).
+type Switcher interface {
+	// Name identifies the method ("stop-and-start", "pipeswitch").
+	Name() string
+	// Switch replaces the resident model (prev may be nil) with next
+	// and runs one inference, returning the timing report.
+	Switch(dev *gpusim.Device, prev *Model, next Model) (Report, error)
+}
+
+// StopAndStart is the baseline the paper calls "End-start": kill the
+// process serving the old model, start a new process, re-create the
+// CUDA context, reload the framework and weights from scratch, and
+// only then transfer and run. Every switch pays the full cold path.
+type StopAndStart struct{}
+
+var _ Switcher = StopAndStart{}
+
+// Name returns "stop-and-start".
+func (StopAndStart) Name() string { return "stop-and-start" }
+
+// Switch performs the cold-process switch.
+func (StopAndStart) Switch(dev *gpusim.Device, prev *Model, next Model) (Report, error) {
+	if err := next.Validate(); err != nil {
+		return Report{}, err
+	}
+	// Killing the old process frees its memory; timeline restarts at
+	// zero for the new process.
+	dev.Reset()
+	if err := dev.Alloc(next.TotalBytes()); err != nil {
+		return Report{}, fmt.Errorf("pipeswitch: %w", err)
+	}
+
+	ctx := dev.ContextInitDuration()
+	load := dev.ColdLoadDuration(next.TotalBytes())
+	kinit := dev.ColdKernelInitDuration(len(next.Layers), next.ColdInitScale)
+
+	// The cold path is strictly sequential: context, framework load,
+	// per-layer initialisation, then a single bulk transfer, then the
+	// first inference.
+	ready := ctx + load + kinit
+	_, xferDone := dev.TransferAt(ready, next.TotalBytes())
+	_, compDone := dev.ComputeAt(xferDone, next.TotalFLOPs(), len(next.Layers))
+
+	return Report{
+		Model:          next.Name,
+		Method:         "stop-and-start",
+		Total:          compDone,
+		CtxInit:        ctx,
+		ColdLoad:       load,
+		ColdKernelInit: kinit,
+		Transfer:       xferDone - ready,
+		Compute:        compDone - xferDone,
+		Groups:         1,
+	}, nil
+}
+
+// GroupingStrategy selects how Pipelined partitions layers into
+// transfer/execute groups.
+type GroupingStrategy int
+
+// Grouping strategies. GroupOptimal is the paper's model-aware
+// grouping; the other two are the ablation extremes it discusses:
+// per-layer grouping maximises overlap but pays a synchronisation
+// cost at every boundary, and a single group degenerates to
+// transfer-then-compute.
+const (
+	GroupOptimal GroupingStrategy = iota + 1
+	GroupPerLayer
+	GroupSingle
+)
+
+// String names the strategy.
+func (g GroupingStrategy) String() string {
+	switch g {
+	case GroupOptimal:
+		return "optimal"
+	case GroupPerLayer:
+		return "per-layer"
+	case GroupSingle:
+		return "single"
+	default:
+		return "unknown"
+	}
+}
+
+// Pipelined is the PipeSwitch method: the serving process stays warm
+// (context alive, memory pooled, weights pinned in host memory), and
+// a switch streams the new model group by group while already
+// executing the layers that have arrived.
+type Pipelined struct {
+	// Grouping selects the layer-grouping strategy (default
+	// GroupOptimal).
+	Grouping GroupingStrategy
+}
+
+var _ Switcher = Pipelined{}
+
+// Name returns "pipeswitch" qualified by a non-default grouping.
+func (p Pipelined) Name() string {
+	g := p.Grouping
+	if g == 0 {
+		g = GroupOptimal
+	}
+	if g == GroupOptimal {
+		return "pipeswitch"
+	}
+	return "pipeswitch-" + g.String()
+}
+
+// Switch performs the pipelined switch.
+func (p Pipelined) Switch(dev *gpusim.Device, prev *Model, next Model) (Report, error) {
+	if err := next.Validate(); err != nil {
+		return Report{}, err
+	}
+	// The warm server frees the previous model's pool allocation and
+	// reuses it; no context or framework cost.
+	if prev != nil {
+		if err := dev.Free(min64(prev.TotalBytes(), dev.Allocated())); err != nil {
+			return Report{}, fmt.Errorf("pipeswitch: free previous: %w", err)
+		}
+	}
+	if err := dev.Alloc(next.TotalBytes()); err != nil {
+		return Report{}, fmt.Errorf("pipeswitch: %w", err)
+	}
+
+	var boundaries []int
+	switch g := p.Grouping; g {
+	case GroupPerLayer:
+		boundaries = perLayerBoundaries(len(next.Layers))
+	case GroupSingle:
+		boundaries = []int{len(next.Layers)}
+	default:
+		var err error
+		boundaries, err = OptimalBoundaries(next, dev.Config())
+		if err != nil {
+			return Report{}, err
+		}
+	}
+	return simulatePipeline(dev, next, p.Name(), boundaries)
+}
+
+// perLayerBoundaries puts every layer in its own group.
+func perLayerBoundaries(n int) []int {
+	b := make([]int, n)
+	for i := range b {
+		b[i] = i + 1
+	}
+	return b
+}
+
+// simulatePipeline plays the grouped transfer/execute schedule on the
+// device: the copy engine streams groups back to back; each group's
+// execution starts once both its transfer and the previous group's
+// execution are done, after a group synchronisation.
+func simulatePipeline(dev *gpusim.Device, m Model, method string, boundaries []int) (Report, error) {
+	if err := validBoundaries(boundaries, len(m.Layers)); err != nil {
+		return Report{}, err
+	}
+	// The switch request arrives when the warm server is idle; all
+	// latencies are measured relative to that epoch.
+	epoch := dev.Now()
+	var (
+		computeDone  = epoch
+		transferBusy time.Duration
+		computeBusy  time.Duration
+		start        = 0
+	)
+	for _, end := range boundaries {
+		var bytes int64
+		var flops float64
+		for _, l := range m.Layers[start:end] {
+			bytes += l.Bytes
+			flops += l.FLOPs
+		}
+		tStart, tDone := dev.TransferAt(epoch, bytes)
+		transferBusy += tDone - tStart
+		syncDone := dev.SyncAt(maxDur(tDone, computeDone))
+		cStart, cDone := dev.ComputeAt(syncDone, flops, end-start)
+		computeBusy += cDone - cStart
+		computeDone = cDone
+		start = end
+	}
+	return Report{
+		Model:    m.Name,
+		Method:   method,
+		Total:    computeDone - epoch,
+		Transfer: transferBusy,
+		Compute:  computeBusy,
+		Groups:   len(boundaries),
+	}, nil
+}
+
+// validBoundaries checks that boundaries are strictly increasing and
+// end at the layer count.
+func validBoundaries(b []int, n int) error {
+	if len(b) == 0 || b[len(b)-1] != n {
+		return fmt.Errorf("pipeswitch: boundaries %v must end at %d", b, n)
+	}
+	prev := 0
+	for _, x := range b {
+		if x <= prev {
+			return fmt.Errorf("pipeswitch: boundaries %v not strictly increasing", b)
+		}
+		prev = x
+	}
+	return nil
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

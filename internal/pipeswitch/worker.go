@@ -1,0 +1,207 @@
+package pipeswitch
+
+import (
+	"fmt"
+	"time"
+
+	"safecross/internal/gpusim"
+)
+
+// The OSDI PipeSwitch system keeps the GPU warm with an
+// active-standby worker pair and a memory daemon that owns one big
+// pinned allocation: the active worker serves the resident model
+// while a standby worker has a live context ready, so a switch never
+// pays context creation, and freeing the old model is just returning
+// pool ranges. WorkerPool reproduces that architecture on the
+// simulated device; Pipelined.Switch is the data path it invokes.
+
+// WorkerState describes one worker process.
+type WorkerState int
+
+// Worker states.
+const (
+	// WorkerStandby: context initialised, no model resident.
+	WorkerStandby WorkerState = iota + 1
+	// WorkerActive: serving the resident model.
+	WorkerActive
+)
+
+// String names the state.
+func (s WorkerState) String() string {
+	switch s {
+	case WorkerStandby:
+		return "standby"
+	case WorkerActive:
+		return "active"
+	default:
+		return "unknown"
+	}
+}
+
+// Worker is one GPU-attached serving process.
+type Worker struct {
+	// ID identifies the worker in reports.
+	ID int
+	// State is the worker's role.
+	State WorkerState
+	// Model is the resident model name ("" when standby).
+	Model string
+	// CtxReadyAt is the virtual instant its context finished
+	// initialising.
+	CtxReadyAt time.Duration
+}
+
+// MemoryPool is the daemon-owned pinned allocation models are carved
+// from. Returning a model's range is O(1) — no device free/alloc on
+// the switch path.
+type MemoryPool struct {
+	capacity int64
+	used     int64
+}
+
+// NewMemoryPool reserves a pool of the given size on the device.
+func NewMemoryPool(dev *gpusim.Device, capacity int64) (*MemoryPool, error) {
+	if err := dev.Alloc(capacity); err != nil {
+		return nil, fmt.Errorf("pipeswitch: pool reserve: %w", err)
+	}
+	return &MemoryPool{capacity: capacity}, nil
+}
+
+// Capacity returns the pool size in bytes.
+func (p *MemoryPool) Capacity() int64 { return p.capacity }
+
+// Used returns the bytes currently carved out.
+func (p *MemoryPool) Used() int64 { return p.used }
+
+// Carve reserves bytes from the pool.
+func (p *MemoryPool) Carve(bytes int64) error {
+	if bytes < 0 || p.used+bytes > p.capacity {
+		return fmt.Errorf("pipeswitch: pool exhausted: %d + %d > %d", p.used, bytes, p.capacity)
+	}
+	p.used += bytes
+	return nil
+}
+
+// Return releases bytes back to the pool.
+func (p *MemoryPool) Return(bytes int64) error {
+	if bytes < 0 || bytes > p.used {
+		return fmt.Errorf("pipeswitch: bad pool return of %d (used %d)", bytes, p.used)
+	}
+	p.used -= bytes
+	return nil
+}
+
+// WorkerPool is the active-standby serving architecture.
+type WorkerPool struct {
+	dev  *gpusim.Device
+	pool *MemoryPool
+
+	active  *Worker
+	standby *Worker
+	nextID  int
+
+	resident *Model
+	history  []Report
+}
+
+// NewWorkerPool boots two workers (contexts initialised up front, off
+// the switching path) and the memory daemon's pool sized to hold the
+// largest built-in model with headroom.
+func NewWorkerPool(dev *gpusim.Device, poolBytes int64) (*WorkerPool, error) {
+	if poolBytes <= 0 {
+		return nil, fmt.Errorf("pipeswitch: pool size %d must be positive", poolBytes)
+	}
+	pool, err := NewMemoryPool(dev, poolBytes)
+	if err != nil {
+		return nil, err
+	}
+	ctx := dev.ContextInitDuration()
+	wp := &WorkerPool{
+		dev:  dev,
+		pool: pool,
+		// Both contexts initialise concurrently at boot; the pool is
+		// ready when the slower finishes. This cost is paid once,
+		// before any traffic — the whole point of the standby design.
+		active:  &Worker{ID: 1, State: WorkerActive, CtxReadyAt: ctx},
+		standby: &Worker{ID: 2, State: WorkerStandby, CtxReadyAt: ctx},
+		nextID:  3,
+	}
+	return wp, nil
+}
+
+// Active returns a copy of the active worker's descriptor.
+func (wp *WorkerPool) Active() Worker { return *wp.active }
+
+// Standby returns a copy of the standby worker's descriptor.
+func (wp *WorkerPool) Standby() Worker { return *wp.standby }
+
+// Pool returns the memory daemon's pool.
+func (wp *WorkerPool) Pool() *MemoryPool { return wp.pool }
+
+// Resident returns the name of the model being served ("" if none).
+func (wp *WorkerPool) Resident() string {
+	if wp.resident == nil {
+		return ""
+	}
+	return wp.resident.Name
+}
+
+// History returns all switch reports so far.
+func (wp *WorkerPool) History() []Report { return append([]Report(nil), wp.history...) }
+
+// Serve switches serving to the given model: the standby worker runs
+// the pipelined load (its context is already live), becomes active,
+// and the previous active worker releases its pool ranges and becomes
+// the new standby. The old worker's cleanup happens off the critical
+// path, after the new model is already serving.
+func (wp *WorkerPool) Serve(m Model) (Report, error) {
+	if err := m.Validate(); err != nil {
+		return Report{}, err
+	}
+	if wp.resident != nil && wp.resident.Name == m.Name {
+		return Report{Model: m.Name, Method: "noop"}, nil
+	}
+	if err := wp.pool.Carve(m.TotalBytes()); err != nil {
+		return Report{}, err
+	}
+	boundaries, err := OptimalBoundaries(m, wp.dev.Config())
+	if err != nil {
+		return Report{}, err
+	}
+	rep, err := simulatePipeline(wp.dev, m, "pipeswitch-standby", boundaries)
+	if err != nil {
+		return Report{}, err
+	}
+
+	// Promote standby, demote active; the demoted worker returns its
+	// ranges to the pool (O(1), not on the latency path).
+	wp.active, wp.standby = wp.standby, wp.active
+	wp.active.State = WorkerActive
+	wp.active.Model = m.Name
+	wp.standby.State = WorkerStandby
+	wp.standby.Model = ""
+	if wp.resident != nil {
+		if err := wp.pool.Return(wp.resident.TotalBytes()); err != nil {
+			return Report{}, err
+		}
+	}
+	resident := m
+	wp.resident = &resident
+	wp.history = append(wp.history, rep)
+	return rep, nil
+}
+
+// DefaultPoolBytes sizes the daemon pool to hold any two built-in
+// models simultaneously (the switching transient).
+func DefaultPoolBytes() int64 {
+	var largest, second int64
+	for _, m := range BuiltinModels() {
+		b := m.TotalBytes()
+		if b > largest {
+			largest, second = b, largest
+		} else if b > second {
+			second = b
+		}
+	}
+	return largest + second
+}

@@ -1,0 +1,180 @@
+package pipeswitch
+
+import (
+	"testing"
+	"time"
+
+	"safecross/internal/gpusim"
+)
+
+func newWorkerPool(t *testing.T) *WorkerPool {
+	t.Helper()
+	dev, err := gpusim.NewDevice(gpusim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wp, err := NewWorkerPool(dev, DefaultPoolBytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wp
+}
+
+func TestWorkerPoolBoot(t *testing.T) {
+	wp := newWorkerPool(t)
+	if wp.Active().State != WorkerActive || wp.Standby().State != WorkerStandby {
+		t.Fatalf("boot states: active=%v standby=%v", wp.Active().State, wp.Standby().State)
+	}
+	if wp.Active().CtxReadyAt <= 0 {
+		t.Fatal("context init must cost time at boot")
+	}
+	if wp.Resident() != "" {
+		t.Fatal("nothing resident at boot")
+	}
+	if got := WorkerState(99).String(); got != "unknown" {
+		t.Fatalf("state string = %q", got)
+	}
+}
+
+func TestWorkerPoolValidation(t *testing.T) {
+	dev, err := gpusim.NewDevice(gpusim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewWorkerPool(dev, 0); err == nil {
+		t.Fatal("expected pool-size error")
+	}
+	// Pool larger than device memory must fail.
+	small := gpusim.DefaultConfig()
+	small.MemoryBytes = 1 << 20
+	tiny, err := gpusim.NewDevice(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewWorkerPool(tiny, 1<<30); err == nil {
+		t.Fatal("expected device OOM error")
+	}
+}
+
+func TestServeSwapsWorkersWithinSLO(t *testing.T) {
+	wp := newWorkerPool(t)
+	sf := SafeCrossSlowFast()
+	rep, err := wp.Serve(sf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total >= 10*time.Millisecond {
+		t.Fatalf("standby switch %v must beat the 10ms SLO", rep.Total)
+	}
+	if wp.Resident() != sf.Name {
+		t.Fatalf("resident = %q", wp.Resident())
+	}
+	if wp.Active().Model != sf.Name || wp.Active().ID != 2 {
+		t.Fatalf("standby worker should now be active with the model: %+v", wp.Active())
+	}
+	if wp.Standby().Model != "" {
+		t.Fatal("demoted worker must drop its model")
+	}
+	if wp.Pool().Used() != sf.TotalBytes() {
+		t.Fatalf("pool used = %d, want %d", wp.Pool().Used(), sf.TotalBytes())
+	}
+
+	// Second switch: the old model's ranges return to the pool.
+	rn := ResNet152()
+	if _, err := wp.Serve(rn); err != nil {
+		t.Fatal(err)
+	}
+	if wp.Pool().Used() != rn.TotalBytes() {
+		t.Fatalf("pool used after swap = %d, want %d", wp.Pool().Used(), rn.TotalBytes())
+	}
+	if wp.Active().ID != 1 {
+		t.Fatal("workers must alternate roles")
+	}
+	if len(wp.History()) != 2 {
+		t.Fatalf("history = %d, want 2", len(wp.History()))
+	}
+}
+
+func TestServeSameModelIsNoop(t *testing.T) {
+	wp := newWorkerPool(t)
+	m := InceptionV3()
+	if _, err := wp.Serve(m); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := wp.Serve(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Method != "noop" || rep.Total != 0 {
+		t.Fatalf("re-serving the resident model must be a no-op: %+v", rep)
+	}
+}
+
+func TestMemoryPoolAccounting(t *testing.T) {
+	dev, err := gpusim.NewDevice(gpusim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := NewMemoryPool(dev, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pool.Capacity() != 100 {
+		t.Fatalf("capacity = %d", pool.Capacity())
+	}
+	if err := pool.Carve(70); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Carve(40); err == nil {
+		t.Fatal("expected exhaustion error")
+	}
+	if err := pool.Return(80); err == nil {
+		t.Fatal("expected over-return error")
+	}
+	if err := pool.Return(70); err != nil {
+		t.Fatal(err)
+	}
+	if pool.Used() != 0 {
+		t.Fatalf("used = %d", pool.Used())
+	}
+}
+
+func TestDefaultPoolHoldsTwoLargestModels(t *testing.T) {
+	want := SafeCrossSlowFast().TotalBytes() + ResNet152().TotalBytes()
+	if got := DefaultPoolBytes(); got != want {
+		t.Fatalf("pool bytes = %d, want %d", got, want)
+	}
+}
+
+// TestStandbyBeatsColdManagerPath compares the standby worker pool
+// against a stop-and-start manager on the same switch sequence — the
+// architectural claim of the PipeSwitch paper in one assertion.
+func TestStandbyBeatsColdManagerPath(t *testing.T) {
+	wp := newWorkerPool(t)
+	var warm time.Duration
+	for _, m := range BuiltinModels() {
+		rep, err := wp.Serve(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm += rep.Total
+	}
+	dev, err := gpusim.NewDevice(gpusim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cold time.Duration
+	var prev *Model
+	for _, m := range BuiltinModels() {
+		m := m
+		rep, err := StopAndStart{}.Switch(dev, prev, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold += rep.Total
+		prev = &m
+	}
+	if cold < 100*warm {
+		t.Fatalf("standby pool should be orders of magnitude faster: warm=%v cold=%v", warm, cold)
+	}
+}

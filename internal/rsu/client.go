@@ -1,0 +1,99 @@
+package rsu
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Client is a vehicle-side connection to the RSU.
+type Client struct {
+	conn net.Conn
+	msgs chan Message
+
+	mu     sync.Mutex
+	closed bool
+	done   chan struct{}
+}
+
+// Dial connects to the RSU at addr, subscribes with the vehicle id,
+// and waits for the welcome acknowledgement.
+func Dial(addr, vehicle string) (*Client, error) {
+	if vehicle == "" {
+		return nil, fmt.Errorf("rsu: empty vehicle id")
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rsu: dial: %w", err)
+	}
+	enc := json.NewEncoder(conn)
+	if err := enc.Encode(Message{Type: TypeSubscribe, Vehicle: vehicle}); err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("rsu: subscribe: %w", err)
+	}
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	var welcome Message
+	if err := dec.Decode(&welcome); err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("rsu: handshake: %w", err)
+	}
+	if welcome.Type != TypeWelcome {
+		_ = conn.Close()
+		return nil, fmt.Errorf("rsu: unexpected handshake reply %q", welcome.Type)
+	}
+	c := &Client{
+		conn: conn,
+		msgs: make(chan Message, clientQueueDepth),
+		done: make(chan struct{}),
+	}
+	go c.readLoop(dec)
+	return c, nil
+}
+
+// readLoop decodes server messages until the connection closes, then
+// closes the message channel.
+func (c *Client) readLoop(dec *json.Decoder) {
+	defer close(c.done)
+	defer close(c.msgs)
+	for {
+		var msg Message
+		if err := dec.Decode(&msg); err != nil {
+			return
+		}
+		select {
+		case c.msgs <- msg:
+		default:
+			// The consumer is not draining; drop the oldest to keep
+			// the newest advisory (staleness is worse than loss for a
+			// real-time warning).
+			select {
+			case <-c.msgs:
+			default:
+			}
+			select {
+			case c.msgs <- msg:
+			default:
+			}
+		}
+	}
+}
+
+// Messages returns the advisory stream; the channel closes when the
+// connection drops or Close is called.
+func (c *Client) Messages() <-chan Message { return c.msgs }
+
+// Close tears down the connection and waits for the reader to exit.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.conn.Close()
+	<-c.done
+	return err
+}

@@ -1,0 +1,86 @@
+// Package rsu implements the roadside-unit deployment surface of
+// SafeCross: a TCP server that streams left-turn advisories and
+// scene-switch notifications to subscribed vehicle clients as
+// newline-delimited JSON, and the matching client. This is the
+// "added to the existing infrastructure" integration the paper's
+// Fig. 1 sketches: the RSU has the global view; vehicles receive
+// warnings.
+package rsu
+
+import (
+	"fmt"
+
+	"safecross/internal/pipeswitch"
+	"safecross/internal/safecross"
+)
+
+// Message types exchanged between RSU and vehicles.
+const (
+	// TypeSubscribe is sent by a vehicle to start receiving
+	// advisories.
+	TypeSubscribe = "subscribe"
+	// TypeWelcome acknowledges a subscription.
+	TypeWelcome = "welcome"
+	// TypeAdvisory carries a per-frame turn/no-turn decision.
+	TypeAdvisory = "advisory"
+	// TypeSwitch notifies that the RSU switched its scene model.
+	TypeSwitch = "switch"
+)
+
+// Message is the single JSON envelope used on the wire.
+type Message struct {
+	// Type is one of the Type* constants.
+	Type string `json:"type"`
+	// Vehicle identifies the subscriber (subscribe/welcome).
+	Vehicle string `json:"vehicle,omitempty"`
+	// Frame is the camera frame index an advisory refers to.
+	Frame int `json:"frame,omitempty"`
+	// Ready reports whether the RSU's clip buffer was full; when
+	// false, Safe must be ignored.
+	Ready bool `json:"ready,omitempty"`
+	// Safe is the advisory verdict: true = the blind area is clear.
+	Safe bool `json:"safe,omitempty"`
+	// Scene is the detected weather scene name.
+	Scene string `json:"scene,omitempty"`
+	// SwitchMicros is the model-switch latency in microseconds
+	// (switch messages).
+	SwitchMicros int64 `json:"switchMicros,omitempty"`
+	// Method is the switching method used (switch messages).
+	Method string `json:"method,omitempty"`
+}
+
+// AdvisoryMessage builds the advisory message for a decision.
+func AdvisoryMessage(frame int, d *safecross.Decision) Message {
+	return Message{
+		Type:  TypeAdvisory,
+		Frame: frame,
+		Ready: d.Ready,
+		Safe:  d.Safe,
+		Scene: d.Scene.String(),
+	}
+}
+
+// SwitchMessage builds the scene-switch notification.
+func SwitchMessage(scene string, rep pipeswitch.Report) Message {
+	return Message{
+		Type:         TypeSwitch,
+		Scene:        scene,
+		Method:       rep.Method,
+		SwitchMicros: rep.Total.Microseconds(),
+	}
+}
+
+// Validate checks well-formedness of an inbound message.
+func (m Message) Validate() error {
+	switch m.Type {
+	case TypeSubscribe:
+		if m.Vehicle == "" {
+			return fmt.Errorf("rsu: subscribe without vehicle id")
+		}
+		return nil
+	case TypeWelcome, TypeAdvisory, TypeSwitch:
+		return nil
+	default:
+		return fmt.Errorf("rsu: unknown message type %q", m.Type)
+	}
+}

@@ -1,0 +1,216 @@
+package rsu
+
+import (
+	"encoding/json"
+	"net"
+	"testing"
+	"time"
+
+	"safecross/internal/pipeswitch"
+	"safecross/internal/safecross"
+	"safecross/internal/sim"
+)
+
+func TestMessageValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		msg     Message
+		wantErr bool
+	}{
+		{name: "subscribe-ok", msg: Message{Type: TypeSubscribe, Vehicle: "v1"}},
+		{name: "subscribe-missing-id", msg: Message{Type: TypeSubscribe}, wantErr: true},
+		{name: "advisory-ok", msg: Message{Type: TypeAdvisory}},
+		{name: "unknown", msg: Message{Type: "nope"}, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.msg.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("Validate() err=%v, wantErr=%v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestAdvisoryAndSwitchMessages(t *testing.T) {
+	d := &safecross.Decision{Ready: true, Safe: true, Scene: sim.Rain}
+	msg := AdvisoryMessage(42, d)
+	if msg.Type != TypeAdvisory || msg.Frame != 42 || !msg.Safe || !msg.Ready || msg.Scene != "rain" {
+		t.Fatalf("advisory message = %+v", msg)
+	}
+	rep := pipeswitch.Report{Method: "pipeswitch", Total: 6 * time.Millisecond}
+	sw := SwitchMessage("snow", rep)
+	if sw.Type != TypeSwitch || sw.Scene != "snow" || sw.SwitchMicros != 6000 || sw.Method != "pipeswitch" {
+		t.Fatalf("switch message = %+v", sw)
+	}
+}
+
+func TestServerClientRoundTrip(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cli, err := Dial(srv.Addr(), "vehicle-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	waitFor(t, func() bool { return srv.Subscribers() == 1 })
+
+	want := Message{Type: TypeAdvisory, Frame: 7, Ready: true, Safe: true, Scene: "day"}
+	srv.Broadcast(want)
+
+	select {
+	case got := <-cli.Messages():
+		if got.Type != want.Type || got.Frame != want.Frame || got.Safe != want.Safe || got.Scene != want.Scene {
+			t.Fatalf("got %+v, want %+v", got, want)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("timed out waiting for advisory")
+	}
+}
+
+func TestServerMultipleSubscribers(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var clients []*Client
+	for i := 0; i < 3; i++ {
+		c, err := Dial(srv.Addr(), "v")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		clients = append(clients, c)
+	}
+	waitFor(t, func() bool { return srv.Subscribers() == 3 })
+
+	srv.Broadcast(Message{Type: TypeSwitch, Scene: "rain"})
+	for i, c := range clients {
+		select {
+		case got := <-c.Messages():
+			if got.Scene != "rain" {
+				t.Fatalf("client %d got %+v", i, got)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("client %d timed out", i)
+		}
+	}
+}
+
+func TestServerRejectsBadHandshake(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := json.NewEncoder(conn).Encode(Message{Type: "bogus"}); err != nil {
+		t.Fatal(err)
+	}
+	// The server must close the connection without subscribing.
+	buf := make([]byte, 1)
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("expected connection close after bad handshake")
+	}
+	if srv.Subscribers() != 0 {
+		t.Fatal("bad handshake must not subscribe")
+	}
+}
+
+func TestClientChannelClosesOnServerClose(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := Dial(srv.Addr(), "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case _, ok := <-cli.Messages():
+		if ok {
+			// Drain any message delivered before the close.
+			for range cli.Messages() {
+			}
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("client channel did not close after server shutdown")
+	}
+}
+
+func TestDialValidation(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1", ""); err == nil {
+		t.Fatal("expected empty-vehicle error")
+	}
+	if _, err := Dial("127.0.0.1:2", "v"); err == nil {
+		t.Fatal("expected connection-refused error")
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+// waitFor polls a condition with a deadline, replacing sleeps.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("condition not met within deadline")
+}
+
+func TestServerStats(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cli, err := Dial(srv.Addr(), "v-stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	waitFor(t, func() bool { return srv.Subscribers() == 1 })
+
+	srv.Broadcast(Message{Type: TypeAdvisory, Frame: 1})
+	srv.Broadcast(Message{Type: TypeAdvisory, Frame: 2})
+	waitFor(t, func() bool {
+		s := srv.Stats()
+		return s.Broadcasts == 2 && s.Enqueued == 2 && s.Subscribed == 1
+	})
+	if s := srv.Stats(); s.Dropped != 0 {
+		t.Fatalf("unexpected drops: %+v", s)
+	}
+}

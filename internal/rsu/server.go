@@ -1,0 +1,197 @@
+package rsu
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Server is the RSU broadcast endpoint. It accepts vehicle
+// subscriptions and fans advisory/switch messages out to all
+// subscribers. Slow subscribers are disconnected rather than allowed
+// to stall the broadcast path (an RSU must stay real-time).
+type Server struct {
+	ln net.Listener
+
+	mu      sync.Mutex
+	clients map[*clientConn]struct{}
+	closed  bool
+	stats   Stats
+
+	wg sync.WaitGroup
+}
+
+// Stats counts server activity since start.
+type Stats struct {
+	// Subscribed is the total number of successful subscriptions.
+	Subscribed int
+	// Broadcasts is the number of Broadcast calls.
+	Broadcasts int
+	// Enqueued is the number of messages placed on client queues.
+	Enqueued int
+	// Dropped is the number of slow clients disconnected for a full
+	// queue.
+	Dropped int
+}
+
+// clientConn is one subscribed vehicle connection.
+type clientConn struct {
+	vehicle string
+	conn    net.Conn
+	out     chan Message
+	stop    chan struct{}
+}
+
+// clientQueueDepth bounds the per-client outbound queue; a vehicle
+// that falls this far behind is cut off.
+const clientQueueDepth = 64
+
+// Listen starts a server on addr (e.g. "127.0.0.1:0").
+func Listen(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rsu: listen: %w", err)
+	}
+	s := &Server{
+		ln:      ln,
+		clients: make(map[*clientConn]struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Subscribers returns the number of connected vehicles.
+func (s *Server) Subscribers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.clients)
+}
+
+// acceptLoop accepts connections until the listener closes.
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+// handle performs the subscribe handshake and then streams the
+// client's outbound queue.
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	reader := bufio.NewReader(conn)
+	dec := json.NewDecoder(reader)
+	var sub Message
+	if err := dec.Decode(&sub); err != nil || sub.Type != TypeSubscribe || sub.Validate() != nil {
+		_ = conn.Close()
+		return
+	}
+	c := &clientConn{
+		vehicle: sub.Vehicle,
+		conn:    conn,
+		out:     make(chan Message, clientQueueDepth),
+		stop:    make(chan struct{}),
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	s.clients[c] = struct{}{}
+	s.stats.Subscribed++
+	s.mu.Unlock()
+
+	enc := json.NewEncoder(conn)
+	if err := enc.Encode(Message{Type: TypeWelcome, Vehicle: c.vehicle}); err != nil {
+		s.drop(c)
+		return
+	}
+	for {
+		select {
+		case msg := <-c.out:
+			if err := enc.Encode(msg); err != nil {
+				s.drop(c)
+				return
+			}
+		case <-c.stop:
+			_ = conn.Close()
+			return
+		}
+	}
+}
+
+// drop removes a client and closes its connection.
+func (s *Server) drop(c *clientConn) {
+	s.mu.Lock()
+	if _, ok := s.clients[c]; ok {
+		delete(s.clients, c)
+		close(c.stop)
+	}
+	s.mu.Unlock()
+	_ = c.conn.Close()
+}
+
+// Broadcast enqueues a message to every subscriber, disconnecting any
+// whose queue is full.
+func (s *Server) Broadcast(msg Message) {
+	s.mu.Lock()
+	s.stats.Broadcasts++
+	var overloaded []*clientConn
+	for c := range s.clients {
+		select {
+		case c.out <- msg:
+			s.stats.Enqueued++
+		default:
+			s.stats.Dropped++
+			overloaded = append(overloaded, c)
+		}
+	}
+	s.mu.Unlock()
+	for _, c := range overloaded {
+		s.drop(c)
+	}
+}
+
+// Stats returns a snapshot of server activity counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Close stops accepting, disconnects all subscribers, and waits for
+// every goroutine to exit.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	clients := make([]*clientConn, 0, len(s.clients))
+	for c := range s.clients {
+		clients = append(clients, c)
+	}
+	s.clients = make(map[*clientConn]struct{})
+	s.mu.Unlock()
+
+	err := s.ln.Close()
+	for _, c := range clients {
+		close(c.stop)
+		_ = c.conn.Close()
+	}
+	s.wg.Wait()
+	return err
+}

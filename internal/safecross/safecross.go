@@ -1,0 +1,232 @@
+// Package safecross is the paper's primary contribution: the
+// framework that oversees an intersection and delivers blind-area
+// warnings to left-turning vehicles in real time, adapting to weather
+// scenes. It composes the four modules the paper describes:
+//
+//   - VP  — video pre-processing (internal/vision): dynamic
+//     background subtraction, morphology, occupancy-grid remapping.
+//   - VC  — video classification (internal/video): SlowFast clips →
+//     danger / safe.
+//   - FL  — few-shot learning (internal/fewshot): rain and snow
+//     models adapted from the daytime model.
+//   - MS  — model switching (internal/pipeswitch + internal/weather):
+//     scene detection triggers a PipeSwitch model swap in
+//     milliseconds.
+//
+// The Framework consumes camera frames one at a time and emits a
+// Decision per frame once its clip buffer is full.
+package safecross
+
+import (
+	"fmt"
+	"sync"
+
+	"safecross/internal/gpusim"
+	"safecross/internal/pipeswitch"
+	"safecross/internal/sim"
+	"safecross/internal/video"
+	"safecross/internal/vision"
+	"safecross/internal/weather"
+)
+
+// Decision is the framework's per-frame output.
+type Decision struct {
+	// Ready reports whether the clip buffer held enough frames to
+	// classify; when false, Safe is not meaningful.
+	Ready bool
+	// Safe is the warning verdict: true means the blind area is
+	// judged clear and the left turn may proceed.
+	Safe bool
+	// Scene is the detected weather condition.
+	Scene sim.Weather
+	// SceneChanged reports that this frame completed a scene change.
+	SceneChanged bool
+	// Switch describes the model switch performed on a scene change
+	// (nil otherwise).
+	Switch *pipeswitch.Report
+}
+
+// Config configures a Framework.
+type Config struct {
+	// VP is the video pre-processing configuration (defaults to
+	// vision.DefaultVPConfig).
+	VP vision.VPConfig
+	// ClipLen is the number of grids per classification clip
+	// (default sim.SegmentFrames, the paper's 32).
+	ClipLen int
+	// InitialScene is the scene assumed before the detector settles
+	// (default sim.Day).
+	InitialScene sim.Weather
+	// Debounce is the scene-change debounce window in frames.
+	Debounce int
+	// SafeStreak is the number of consecutive safe classifications
+	// required before a TURN advisory is issued (default 2). A single
+	// frame's verdict never releases a turn; danger takes effect
+	// immediately. This asymmetric hysteresis is the fail-safe bias a
+	// warning system must have.
+	SafeStreak int
+}
+
+// Framework is the SafeCross runtime.
+type Framework struct {
+	mu sync.Mutex
+
+	cfg     Config
+	vp      *vision.Preprocessor
+	monitor *weather.Monitor
+	models  map[sim.Weather]video.Classifier
+	mgr     *pipeswitch.Manager
+
+	ring       []*vision.Image
+	safeStreak int
+}
+
+// New assembles a Framework from per-scene classifiers, a fitted
+// weather detector, and a model-switch manager. Every scene in models
+// must be registered with the manager under sim.Weather.String().
+func New(cfg Config, models map[sim.Weather]video.Classifier, det *weather.Detector, mgr *pipeswitch.Manager) (*Framework, error) {
+	if len(models) == 0 {
+		return nil, fmt.Errorf("safecross: no classifiers")
+	}
+	if det == nil {
+		return nil, fmt.Errorf("safecross: nil weather detector")
+	}
+	if mgr == nil {
+		return nil, fmt.Errorf("safecross: nil model-switch manager")
+	}
+	if cfg.ClipLen == 0 {
+		cfg.ClipLen = sim.SegmentFrames
+	}
+	if cfg.ClipLen <= 0 {
+		return nil, fmt.Errorf("safecross: clip length %d must be positive", cfg.ClipLen)
+	}
+	if cfg.VP.GridW == 0 {
+		cfg.VP = vision.DefaultVPConfig()
+	}
+	if cfg.InitialScene == 0 {
+		cfg.InitialScene = sim.Day
+	}
+	if cfg.SafeStreak == 0 {
+		cfg.SafeStreak = 2
+	}
+	if cfg.SafeStreak < 0 {
+		return nil, fmt.Errorf("safecross: safe streak %d must be positive", cfg.SafeStreak)
+	}
+	if _, ok := models[cfg.InitialScene]; !ok {
+		return nil, fmt.Errorf("safecross: no classifier for initial scene %v", cfg.InitialScene)
+	}
+	f := &Framework{
+		cfg:     cfg,
+		vp:      vision.NewPreprocessor(cfg.VP),
+		monitor: weather.NewMonitor(det, cfg.InitialScene, cfg.Debounce),
+		models:  models,
+		mgr:     mgr,
+	}
+	if _, err := mgr.Activate(cfg.InitialScene.String()); err != nil {
+		return nil, fmt.Errorf("safecross: activate initial scene: %w", err)
+	}
+	return f, nil
+}
+
+// NewDefault builds a fully wired framework on a fresh simulated GPU:
+// the three built-in model manifests are registered under their
+// scenes and the weather detector is fitted from the simulator.
+func NewDefault(cfg Config, models map[sim.Weather]video.Classifier) (*Framework, error) {
+	det, err := weather.FitFromSim(20, 12345)
+	if err != nil {
+		return nil, fmt.Errorf("safecross: fit weather detector: %w", err)
+	}
+	dev, err := gpusim.NewDevice(gpusim.DefaultConfig())
+	if err != nil {
+		return nil, fmt.Errorf("safecross: %w", err)
+	}
+	mgr := pipeswitch.NewManager(dev)
+	manifests := map[sim.Weather]pipeswitch.Model{
+		sim.Day:  pipeswitch.SafeCrossSlowFast(),
+		sim.Rain: pipeswitch.SafeCrossSlowFast(),
+		sim.Snow: pipeswitch.SafeCrossSlowFast(),
+	}
+	for scene := range models {
+		m := manifests[scene]
+		m.Name = m.Name + "-" + scene.String()
+		if err := mgr.Register(scene.String(), m); err != nil {
+			return nil, fmt.Errorf("safecross: %w", err)
+		}
+	}
+	return New(cfg, models, det, mgr)
+}
+
+// Scene returns the currently settled weather scene.
+func (f *Framework) Scene() sim.Weather {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.monitor.Current()
+}
+
+// Manager exposes the model-switch manager (for SLO inspection).
+func (f *Framework) Manager() *pipeswitch.Manager { return f.mgr }
+
+// ProcessFrame ingests one camera frame: scene detection (possibly
+// switching models), VP pre-processing into the clip ring, and — once
+// the ring is full — classification into a warning decision.
+func (f *Framework) ProcessFrame(frame *vision.Image) (*Decision, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+
+	d := &Decision{}
+	scene, changed := f.monitor.Observe(frame)
+	d.Scene = scene
+	d.SceneChanged = changed
+	if changed {
+		if _, ok := f.models[scene]; !ok {
+			return nil, fmt.Errorf("safecross: no classifier for scene %v", scene)
+		}
+		rep, err := f.mgr.Activate(scene.String())
+		if err != nil {
+			return nil, fmt.Errorf("safecross: scene switch: %w", err)
+		}
+		d.Switch = &rep
+	}
+
+	grid, err := f.vp.Process(frame)
+	if err != nil {
+		return nil, fmt.Errorf("safecross: %w", err)
+	}
+	f.ring = append(f.ring, grid)
+	if len(f.ring) > f.cfg.ClipLen {
+		f.ring = f.ring[1:]
+	}
+	if len(f.ring) < f.cfg.ClipLen {
+		return d, nil
+	}
+
+	clip, err := vision.ClipTensor(f.ring)
+	if err != nil {
+		return nil, fmt.Errorf("safecross: %w", err)
+	}
+	model := f.models[scene]
+	label, err := video.Predict(model, clip)
+	if err != nil {
+		return nil, fmt.Errorf("safecross: classify: %w", err)
+	}
+	d.Ready = true
+	// Fail-safe hysteresis: danger verdicts take effect immediately;
+	// TURN is only advised after SafeStreak consecutive safe verdicts.
+	if label == 1 { // dataset.ClassSafe
+		f.safeStreak++
+	} else {
+		f.safeStreak = 0
+	}
+	d.Safe = f.safeStreak >= f.cfg.SafeStreak
+	return d, nil
+}
+
+// Reset clears the clip ring and the VP background, as after a camera
+// feed interruption.
+func (f *Framework) Reset() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ring = nil
+	f.safeStreak = 0
+	f.vp.Reset()
+}

@@ -1,0 +1,60 @@
+package sim
+
+// Extended scene conditions beyond the paper's three. The paper's
+// future-work section calls for "increas[ing] the number of extreme
+// scenes"; fog and night exercise the same adaptation machinery with
+// different physics: fog crushes contrast and visibility, night
+// darkens the ambient and adds sensor gain noise while roads stay
+// dry.
+const (
+	// Fog: dry road (normal friction) but heavy contrast loss; drivers
+	// slow down for visibility, not grip.
+	Fog Weather = iota + 4
+	// Night: dark ambient, high sensor gain noise, mildly reduced
+	// speeds.
+	Night
+)
+
+// ExtendedWeathers lists the future-work scenes. They are excluded
+// from AllWeathers so the Table I reproduction keeps the paper's
+// exact three-scene composition.
+func ExtendedWeathers() []Weather { return []Weather{Fog, Night} }
+
+// extendedString returns names for the extended conditions; Weather.
+// String dispatches here for values above Snow.
+func extendedString(w Weather) string {
+	switch w {
+	case Fog:
+		return "fog"
+	case Night:
+		return "night"
+	default:
+		return "unknown"
+	}
+}
+
+// extendedModel returns the weather models of the extended scenes.
+func extendedModel(w Weather) (WeatherModel, bool) {
+	switch w {
+	case Fog:
+		return WeatherModel{
+			Friction:   0.75, // dry road
+			MaxSpeed:   1.1,  // visibility-limited speeds
+			NoiseSigma: 0.03,
+			SaltPepper: 0,
+			Contrast:   0.45, // heavy washout
+			BaseLight:  0.52,
+		}, true
+	case Night:
+		return WeatherModel{
+			Friction:   0.70,
+			MaxSpeed:   1.4,
+			NoiseSigma: 0.09, // sensor gain noise
+			SaltPepper: 0.001,
+			Contrast:   0.85,
+			BaseLight:  0.12, // dark ambient
+		}, true
+	default:
+		return WeatherModel{}, false
+	}
+}

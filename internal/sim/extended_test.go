@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"testing"
+
+	"safecross/internal/vision"
+)
+
+func TestExtendedWeatherNamesAndModels(t *testing.T) {
+	tests := []struct {
+		w    Weather
+		want string
+	}{
+		{Fog, "fog"},
+		{Night, "night"},
+		{Weather(99), "unknown"},
+	}
+	for _, tt := range tests {
+		if got := tt.w.String(); got != tt.want {
+			t.Fatalf("String(%d) = %q, want %q", tt.w, got, tt.want)
+		}
+	}
+	if len(ExtendedWeathers()) != 2 {
+		t.Fatal("two extended scenes expected")
+	}
+	// Extended scenes stay out of the paper-faithful list.
+	for _, w := range AllWeathers() {
+		if w == Fog || w == Night {
+			t.Fatal("extended scenes must not appear in AllWeathers")
+		}
+	}
+	fog := ModelFor(Fog)
+	night := ModelFor(Night)
+	day := ModelFor(Day)
+	if fog.Contrast >= day.Contrast {
+		t.Fatal("fog must crush contrast")
+	}
+	if night.BaseLight >= day.BaseLight {
+		t.Fatal("night must be darker than day")
+	}
+	if fog.Friction < ModelFor(Rain).Friction {
+		t.Fatal("fog roads are dry; friction must exceed rain")
+	}
+}
+
+func TestExtendedScenesRenderAndLabel(t *testing.T) {
+	for _, w := range ExtendedWeathers() {
+		sc := Scenario{Weather: w, Blind: true, Danger: true, Seed: 17}
+		seg, err := sc.GenerateN(16)
+		if err != nil {
+			t.Fatalf("%v: %v", w, err)
+		}
+		if !seg.Danger || seg.Weather != w {
+			t.Fatalf("%v: metadata %+v", w, seg)
+		}
+	}
+	if err := (Config{Weather: Fog}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Config{Weather: Weather(42)}).Validate(); err == nil {
+		t.Fatal("expected unknown-weather error")
+	}
+}
+
+func TestFogFramesAreLowContrast(t *testing.T) {
+	contrast := func(w Weather) float64 {
+		world := NewWorld(Config{Weather: w, NoArrivals: true, Seed: 5, TruckPresent: true})
+		world.Step()
+		im := world.Render()
+		// Contrast proxy: truck brightness minus road brightness.
+		truck := regionMean(im, world.truck.Bounds())
+		road := regionMean(im, vision.Rect{X0: 4, Y0: oncomingLaneY0 + 2, X1: 24, Y1: oncomingLaneY1 - 2})
+		return truck - road
+	}
+	if contrast(Fog) >= contrast(Day)*0.7 {
+		t.Fatalf("fog contrast (%v) should be well below day (%v)", contrast(Fog), contrast(Day))
+	}
+}
+
+func TestPedestriansCrossAndExpire(t *testing.T) {
+	w := NewWorld(Config{Seed: 9, NoArrivals: true})
+	p := w.SpawnPedestrian(true)
+	if p.VY <= 0 {
+		t.Fatal("top-entry pedestrian must walk down")
+	}
+	if w.PedestrianOnRoad() {
+		t.Fatal("pedestrian on the kerb is not on the road yet")
+	}
+	onRoadSeen := false
+	for i := 0; i < 300 && len(w.Pedestrians()) > 0; i++ {
+		w.Step()
+		if w.PedestrianOnRoad() {
+			onRoadSeen = true
+		}
+	}
+	if !onRoadSeen {
+		t.Fatal("pedestrian never entered the crossing band")
+	}
+	if len(w.Pedestrians()) != 0 {
+		t.Fatal("pedestrian never finished crossing")
+	}
+}
+
+func TestPedestrianSpawnRate(t *testing.T) {
+	w := NewWorld(Config{Seed: 11, NoArrivals: true, PedestrianRate: 0.5})
+	for i := 0; i < 40; i++ {
+		w.Step()
+	}
+	if len(w.Pedestrians()) == 0 {
+		t.Fatal("high pedestrian rate spawned nobody")
+	}
+	if err := (Config{PedestrianRate: 2}).Validate(); err == nil {
+		t.Fatal("expected pedestrian-rate error")
+	}
+}
+
+func TestPedestrianRendered(t *testing.T) {
+	w := NewWorld(Config{Seed: 13, NoArrivals: true})
+	p := w.SpawnPedestrian(true)
+	// Walk until on the road.
+	for i := 0; i < 200 && !w.PedestrianOnRoad(); i++ {
+		w.Step()
+	}
+	im := w.Render()
+	ped := regionMean(im, p.Bounds())
+	road := regionMean(im, vision.Rect{X0: 4, Y0: oncomingLaneY0 + 2, X1: 24, Y1: oncomingLaneY1 - 2})
+	if ped <= road+0.1 {
+		t.Fatalf("pedestrian not visible: ped=%v road=%v", ped, road)
+	}
+}

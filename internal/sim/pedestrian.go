@@ -1,0 +1,100 @@
+package sim
+
+import "safecross/internal/vision"
+
+// Pedestrian support — the paper's future-work question "Is SafeCross
+// suitable for blind spot pedestrian warning?" made concrete: a
+// crosswalk crosses the oncoming lane just downstream (west) of the
+// conflict point, in the stretch a left-turning driver sweeps through
+// right after committing. Pedestrians are small, slow, vertically
+// moving blobs — very different from vehicles in both size and
+// motion axis, which is what the pedestrian monitor keys on.
+
+// Crosswalk geometry: a vertical band west of the conflict point.
+const (
+	// CrosswalkX0 and CrosswalkX1 bound the crosswalk band.
+	CrosswalkX0 = ConflictX - 22
+	CrosswalkX1 = ConflictX - 12
+	// crosswalkTop/Bottom are the walking extent (just beyond the
+	// road band on both sides).
+	crosswalkTop    = oncomingLaneY0 - 6
+	crosswalkBottom = pocketLaneY1 + 6
+)
+
+// Pedestrian is a person crossing the road.
+type Pedestrian struct {
+	// X, Y is the top-left corner of the rendered blob.
+	X, Y float64
+	// VY is the vertical walking speed in px/frame (positive = down).
+	VY float64
+}
+
+// pedestrian blob dimensions in pixels.
+const (
+	pedW = 3
+	pedH = 4
+)
+
+// Bounds returns the pedestrian's pixel rectangle.
+func (p *Pedestrian) Bounds() vision.Rect {
+	return vision.Rect{
+		X0: int(p.X), Y0: int(p.Y),
+		X1: int(p.X) + pedW, Y1: int(p.Y) + pedH,
+	}
+}
+
+// CrosswalkZone returns the pixel rectangle of the crossing band over
+// the road.
+func CrosswalkZone() vision.Rect {
+	return vision.Rect{X0: CrosswalkX0, Y0: oncomingLaneY0, X1: CrosswalkX1, Y1: pocketLaneY1}
+}
+
+// Pedestrians returns the pedestrians currently in the scene (shared
+// pointers; callers must not mutate).
+func (w *World) Pedestrians() []*Pedestrian { return w.pedestrians }
+
+// SpawnPedestrian inserts a pedestrian entering the crosswalk from
+// the top or bottom kerb.
+func (w *World) SpawnPedestrian(fromTop bool) *Pedestrian {
+	speed := 0.25 + 0.2*w.rng.Float64()
+	x := float64(CrosswalkX0+1) + w.rng.Float64()*float64(CrosswalkX1-CrosswalkX0-pedW-2)
+	p := &Pedestrian{X: x}
+	if fromTop {
+		p.Y = crosswalkTop
+		p.VY = speed
+	} else {
+		p.Y = crosswalkBottom
+		p.VY = -speed
+	}
+	w.pedestrians = append(w.pedestrians, p)
+	return p
+}
+
+// stepPedestrians advances walkers and drops those who finished
+// crossing.
+func (w *World) stepPedestrians() {
+	if w.cfg.PedestrianRate > 0 && w.rng.Float64() < w.cfg.PedestrianRate {
+		w.SpawnPedestrian(w.rng.Float64() < 0.5)
+	}
+	kept := w.pedestrians[:0]
+	for _, p := range w.pedestrians {
+		p.Y += p.VY
+		if p.Y > crosswalkTop-1 && p.Y < crosswalkBottom+1 {
+			kept = append(kept, p)
+		}
+	}
+	w.pedestrians = kept
+}
+
+// PedestrianOnRoad reports whether any pedestrian is currently inside
+// the crossing band over the road — the ground truth for the
+// pedestrian warning.
+func (w *World) PedestrianOnRoad() bool {
+	zone := CrosswalkZone()
+	for _, p := range w.pedestrians {
+		if p.Bounds().Overlaps(zone) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,311 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"safecross/internal/vision"
+)
+
+func TestWeatherString(t *testing.T) {
+	tests := []struct {
+		w    Weather
+		want string
+	}{
+		{Day, "day"},
+		{Rain, "rain"},
+		{Snow, "snow"},
+		{Weather(0), "unknown"},
+	}
+	for _, tt := range tests {
+		if got := tt.w.String(); got != tt.want {
+			t.Fatalf("String(%d) = %q, want %q", tt.w, got, tt.want)
+		}
+	}
+	if len(AllWeathers()) != 3 {
+		t.Fatal("AllWeathers must list three conditions")
+	}
+}
+
+func TestStoppingDistanceMonotonicInFriction(t *testing.T) {
+	day := StoppingDistance(1.5, ModelFor(Day).Friction)
+	rain := StoppingDistance(1.5, ModelFor(Rain).Friction)
+	snow := StoppingDistance(1.5, ModelFor(Snow).Friction)
+	if !(day < rain && rain < snow) {
+		t.Fatalf("stopping distances not ordered: day=%v rain=%v snow=%v", day, rain, snow)
+	}
+	if !math.IsInf(StoppingDistance(1, 0), 1) {
+		t.Fatal("zero friction must give infinite stopping distance")
+	}
+}
+
+// Property: stopping distance is quadratic in speed.
+func TestPropertyStoppingDistanceQuadratic(t *testing.T) {
+	f := func(v float64) bool {
+		v = math.Mod(math.Abs(v), 5) + 0.1
+		d1 := StoppingDistance(v, 0.5)
+		d2 := StoppingDistance(2*v, 0.5)
+		return math.Abs(d2-4*d1) < 1e-9*math.Max(1, d2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDangerZoneVariesWithWeather(t *testing.T) {
+	// Snow has the lowest friction but also the lowest speeds; the
+	// paper's point is that the zone differs per scene, and at equal
+	// speeds slippery surfaces need longer zones. Verify both facts.
+	zones := map[Weather]float64{}
+	for _, w := range AllWeathers() {
+		zones[w] = DangerZoneLength(ModelFor(w))
+	}
+	if zones[Day] == zones[Rain] || zones[Rain] == zones[Snow] || zones[Day] == zones[Snow] {
+		t.Fatalf("danger zones must differ per weather: %v", zones)
+	}
+	// Equal-speed comparison isolates the friction effect.
+	mRain, mDay := ModelFor(Rain), ModelFor(Day)
+	mRain.MaxSpeed = mDay.MaxSpeed
+	if DangerZoneLength(mRain) <= DangerZoneLength(mDay) {
+		t.Fatal("at equal speed, rain must need a longer zone than day")
+	}
+}
+
+func TestWorldDefaultsAndValidate(t *testing.T) {
+	w := NewWorld(Config{})
+	if w.Weather() != Day {
+		t.Fatalf("default weather = %v, want day", w.Weather())
+	}
+	if err := (Config{ArrivalRate: -1}).Validate(); err == nil {
+		t.Fatal("expected arrival-rate error")
+	}
+	if err := (Config{Weather: Weather(9)}).Validate(); err == nil {
+		t.Fatal("expected weather error")
+	}
+	if err := (Config{Weather: Rain, ArrivalRate: 0.1}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorldVehiclesMoveLeftAndExpire(t *testing.T) {
+	w := NewWorld(Config{Seed: 1})
+	v := w.SpawnOncoming(40)
+	x0 := v.X
+	w.Step()
+	if v.X >= x0 {
+		t.Fatal("oncoming vehicle must move left")
+	}
+	// Run until it exits; the fleet must eventually empty.
+	for i := 0; i < 300; i++ {
+		w.Step()
+	}
+	for _, veh := range w.Oncoming() {
+		if veh == v {
+			t.Fatal("vehicle past the edge was not removed")
+		}
+	}
+}
+
+func TestDangerZoneOccupancyGroundTruth(t *testing.T) {
+	w := NewWorld(Config{Seed: 2})
+	if w.DangerZoneOccupied() {
+		t.Fatal("empty world cannot have an occupied zone")
+	}
+	zone := w.DangerZone()
+	v := w.SpawnOncoming(float64(zone.X0 + zone.Width()/2))
+	if !w.DangerZoneOccupied() {
+		t.Fatalf("vehicle at %v inside zone %+v not detected", v.X, zone)
+	}
+	v.X = float64(zone.X1 + 50)
+	if w.DangerZoneOccupied() {
+		t.Fatal("vehicle far upstream must not occupy the zone")
+	}
+}
+
+func TestTurnerWaitsForDangerAndThenTurns(t *testing.T) {
+	w := NewWorld(Config{Seed: 3, TurnerEnabled: true})
+	zone := w.DangerZone()
+	// Hold an approaching car just upstream of the conflict point so
+	// the turner must wait (the car keeps its speed; we re-pin its
+	// position each step so the hazard persists).
+	blocker := w.SpawnOncoming(float64(zone.X0 + 8))
+	for i := 0; i < 80; i++ {
+		w.Step()
+		blocker.X = float64(zone.X0 + 8) // keep re-pinning
+	}
+	if w.TurnerPhase() != TurnerWaiting {
+		t.Fatalf("turner phase = %v, want waiting while zone occupied", w.TurnerPhase())
+	}
+	// Clear the zone: the turner must commit and eventually leave.
+	blocker.X = -100
+	for i := 0; i < 200 && w.TurnerPhase() != TurnerGone; i++ {
+		w.Step()
+		blocker.X = -100
+	}
+	if w.TurnerPhase() != TurnerGone {
+		t.Fatalf("turner never completed the turn; phase = %v", w.TurnerPhase())
+	}
+}
+
+func TestBlindHesitationSlowsTurn(t *testing.T) {
+	turnFrame := func(blind bool) int {
+		w := NewWorld(Config{Seed: 4, TurnerEnabled: true, TruckPresent: blind})
+		for i := 0; i < 400; i++ {
+			w.Step()
+			if w.TurnerPhase() == TurnerTurning || w.TurnerPhase() == TurnerGone {
+				return i
+			}
+		}
+		return 400
+	}
+	clear := turnFrame(false)
+	blind := turnFrame(true)
+	if blind <= clear {
+		t.Fatalf("occluded driver must hesitate longer: clear=%d blind=%d", clear, blind)
+	}
+}
+
+func TestRenderContainsVehicleAndTruck(t *testing.T) {
+	w := NewWorld(Config{Seed: 5, TruckPresent: true})
+	zone := w.DangerZone()
+	w.SpawnOncoming(float64(zone.X0 + 10))
+	im := w.Render()
+	if im.W != FrameW || im.H != FrameH {
+		t.Fatalf("frame size %dx%d", im.W, im.H)
+	}
+	// The car region must be brighter than the ambient road.
+	carMean := regionMean(im, vision.Rect{X0: zone.X0 + 10, Y0: oncomingLaneY0 + 1, X1: zone.X0 + 18, Y1: oncomingLaneY1 - 2})
+	roadMean := regionMean(im, vision.Rect{X0: 4, Y0: oncomingLaneY0 + 1, X1: 20, Y1: oncomingLaneY1 - 2})
+	if carMean <= roadMean+0.1 {
+		t.Fatalf("vehicle not visible: car=%v road=%v", carMean, roadMean)
+	}
+	truckMean := regionMean(im, vision.Rect{X0: ConflictX + 8, Y0: pocketLaneY0 + 2, X1: ConflictX + 28, Y1: pocketLaneY1 - 2})
+	if truckMean <= roadMean+0.1 {
+		t.Fatalf("truck not visible: truck=%v road=%v", truckMean, roadMean)
+	}
+}
+
+func TestRenderNoiseDiffersByWeather(t *testing.T) {
+	noise := func(weather Weather) float64 {
+		w := NewWorld(Config{Seed: 6, Weather: weather})
+		im := w.Render()
+		// Flat road patch: variation there is nearly all sensor noise.
+		patch := vision.NewImage(16, 6)
+		for y := 0; y < 6; y++ {
+			for x := 0; x < 16; x++ {
+				patch.Set(x, y, im.At(4+x, 2+y))
+			}
+		}
+		return patch.StdDev()
+	}
+	if noise(Rain) <= noise(Day) {
+		t.Fatal("rain frames must be noisier than day frames")
+	}
+	if noise(Snow) <= noise(Day) {
+		t.Fatal("snow frames must be noisier than day frames")
+	}
+}
+
+func TestScenarioGenerateMatchesLabels(t *testing.T) {
+	tests := []struct {
+		name string
+		sc   Scenario
+	}{
+		{name: "day-blind-danger", sc: Scenario{Weather: Day, Blind: true, Danger: true, Seed: 10}},
+		{name: "day-blind-safe", sc: Scenario{Weather: Day, Blind: true, Danger: false, Seed: 11}},
+		{name: "rain-noblind-danger", sc: Scenario{Weather: Rain, Blind: false, Danger: true, Seed: 12}},
+		{name: "snow-blind-safe", sc: Scenario{Weather: Snow, Blind: true, Danger: false, Seed: 13}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			seg, err := tt.sc.Generate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(seg.Frames) != SegmentFrames {
+				t.Fatalf("segment has %d frames, want %d", len(seg.Frames), SegmentFrames)
+			}
+			if seg.Danger != tt.sc.Danger || seg.Blind != tt.sc.Blind || seg.Weather != tt.sc.Weather {
+				t.Fatalf("segment metadata %+v does not match scenario %+v", seg, tt.sc)
+			}
+			if seg.KeyFrame() != seg.Frames[SegmentFrames-1] {
+				t.Fatal("KeyFrame must be the final frame")
+			}
+		})
+	}
+}
+
+// Property: scenario generation is deterministic in the seed and
+// always realises the requested danger label.
+func TestPropertyScenarioDeterministicAndLabelled(t *testing.T) {
+	f := func(seed int64, danger, blind bool, wsel uint8) bool {
+		weather := AllWeathers()[int(wsel)%3]
+		sc := Scenario{Weather: weather, Blind: blind, Danger: danger, Seed: seed}
+		a, err := sc.Generate()
+		if err != nil {
+			return false
+		}
+		b, err := sc.Generate()
+		if err != nil {
+			return false
+		}
+		if a.Danger != danger {
+			return false
+		}
+		// Bit-identical frames across runs.
+		for i := range a.Frames {
+			for j := range a.Frames[i].Pix {
+				if a.Frames[i].Pix[j] != b.Frames[i].Pix[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScenarioGenerateNValidation(t *testing.T) {
+	if _, err := (Scenario{Weather: Day}).GenerateN(0); err == nil {
+		t.Fatal("expected frame-count error")
+	}
+}
+
+func TestOccludedFrameScene(t *testing.T) {
+	prev, cur, car, zone, err := OccludedFrame(Day, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prev == nil || cur == nil {
+		t.Fatal("missing frames")
+	}
+	if !car.Overlaps(zone) {
+		t.Fatalf("car %+v must sit inside the danger zone %+v", car, zone)
+	}
+	// The car must actually be moving between the two frames.
+	d, err := vision.AbsDiff(prev, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	motion := regionMean(d, car)
+	if motion <= 0.02 {
+		t.Fatalf("no visible motion at the car: %v", motion)
+	}
+}
+
+func regionMean(im *vision.Image, r vision.Rect) float64 {
+	s, n := 0.0, 0
+	for y := r.Y0; y < r.Y1; y++ {
+		for x := r.X0; x < r.X1; x++ {
+			s += im.At(x, y)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return s / float64(n)
+}

@@ -1,0 +1,136 @@
+// Package sim implements the synthetic intersection that substitutes
+// for the paper's closed surveillance-video dataset: lane geometry, an
+// occluding truck, oncoming traffic with weather-dependent kinematics,
+// a left-turning driver model, and a grayscale renderer with
+// weather-specific sensor noise.
+//
+// The scene mirrors Fig. 1/2 of the paper: a vehicle in the left-turn
+// pocket cannot see the oncoming through-lane because an opposing
+// truck blocks its view; the roadside camera sees everything. The
+// "danger zone" is the stretch of the oncoming lane hidden behind the
+// truck, sized from weather-dependent stopping distance, exactly the
+// quantity the paper says must adapt across scenes.
+package sim
+
+import "math"
+
+// Weather identifies a scene condition. The paper's dataset has
+// three: daytime (sunny), rain, and snow.
+type Weather int
+
+// Scene conditions, ordered as in the paper's Table I.
+const (
+	Day Weather = iota + 1
+	Rain
+	Snow
+)
+
+// String returns the lowercase scene name used in reports.
+func (w Weather) String() string {
+	switch w {
+	case Day:
+		return "day"
+	case Rain:
+		return "rain"
+	case Snow:
+		return "snow"
+	default:
+		return extendedString(w)
+	}
+}
+
+// AllWeathers lists the supported conditions in report order.
+func AllWeathers() []Weather { return []Weather{Day, Rain, Snow} }
+
+// WeatherModel bundles the physical and sensor parameters of a scene
+// condition.
+type WeatherModel struct {
+	// Friction is the tyre-road friction coefficient μ; wet and snowy
+	// roads are slipperier, so stopping distances grow and the danger
+	// zone must extend further (Sec. III of the paper).
+	Friction float64
+	// MaxSpeed is the free-flow speed of through traffic in px/frame.
+	MaxSpeed float64
+	// NoiseSigma is the camera's Gaussian noise level.
+	NoiseSigma float64
+	// SaltPepper is the fraction of speckle pixels per frame (snowfall
+	// and sensor dropouts).
+	SaltPepper float64
+	// Contrast scales object-background separation; rain film and
+	// snow glare wash the image out.
+	Contrast float64
+	// BaseLight is the ambient background intensity.
+	BaseLight float64
+}
+
+// ModelFor returns the calibrated weather model for a condition.
+func ModelFor(w Weather) WeatherModel {
+	if m, ok := extendedModel(w); ok {
+		return m
+	}
+	switch w {
+	case Rain:
+		return WeatherModel{
+			Friction:   0.45,
+			MaxSpeed:   1.3,
+			NoiseSigma: 0.07,
+			SaltPepper: 0.002,
+			Contrast:   0.72,
+			BaseLight:  0.30,
+		}
+	case Snow:
+		return WeatherModel{
+			Friction:   0.30,
+			MaxSpeed:   1.0,
+			NoiseSigma: 0.05,
+			SaltPepper: 0.015,
+			Contrast:   0.80,
+			BaseLight:  0.48,
+		}
+	default: // Day
+		return WeatherModel{
+			Friction:   0.80,
+			MaxSpeed:   1.7,
+			NoiseSigma: 0.02,
+			SaltPepper: 0,
+			Contrast:   1.0,
+			BaseLight:  0.33,
+		}
+	}
+}
+
+// gravity is the gravitational constant expressed in the simulator's
+// pixel/frame unit system. It is calibrated so that day-time stopping
+// distances span a realistic fraction of the camera's view of the
+// oncoming lane.
+const gravity = 0.09
+
+// StoppingDistance returns v²/(2μg): how far a vehicle travelling at
+// speed px/frame needs to stop on a surface with friction mu.
+func StoppingDistance(speed, mu float64) float64 {
+	if mu <= 0 {
+		return math.Inf(1)
+	}
+	return speed * speed / (2 * mu * gravity)
+}
+
+// TurnDuration is the number of frames an average left turn occupies
+// the conflict point.
+const TurnDuration = 16
+
+// ClearingThreshold returns the distance an oncoming vehicle at the
+// given speed must be from the conflict point for a left turn in
+// front of it to be safe: the distance it covers during the turn plus
+// its stopping distance on the given surface. This is the
+// speed-dependent "gap" judgement the paper's introduction cites as
+// the core left-turn hazard.
+func ClearingThreshold(speed, friction float64) float64 {
+	return speed*TurnDuration + StoppingDistance(speed, friction)
+}
+
+// DangerZoneLength returns the length of the blind stretch that must
+// be watched under the given weather: the clearing threshold of a
+// free-flow-speed vehicle, the worst case the zone must cover.
+func DangerZoneLength(m WeatherModel) float64 {
+	return ClearingThreshold(m.MaxSpeed, m.Friction)
+}

@@ -1,0 +1,463 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"safecross/internal/vision"
+)
+
+// Default camera frame dimensions. The paper's cameras produce
+// 1376×776 frames; the simulator renders a proportionally scaled-down
+// view so pure-Go experiments stay fast. All geometry below is
+// expressed relative to these dimensions.
+const (
+	// FrameW and FrameH are the rendered camera frame size in pixels.
+	FrameW = 128
+	FrameH = 80
+)
+
+// Fixed scene geometry (pixel coordinates in the camera frame).
+const (
+	// Oncoming through-lane: vehicles travel right-to-left inside this
+	// horizontal band. The turner must cross it.
+	oncomingLaneY0 = 22
+	oncomingLaneY1 = 32
+
+	// Opposing left-turn pocket, where the occluding truck waits.
+	pocketLaneY0 = 34
+	pocketLaneY1 = 44
+
+	// Turner's approach lane: a vertical band at the bottom half.
+	turnerLaneX0 = 70
+	turnerLaneX1 = 78
+
+	// ConflictX is the x coordinate where a left turn crosses the
+	// oncoming lane; the danger zone extends to the right (upstream of
+	// oncoming traffic) from here.
+	ConflictX = 74
+)
+
+// Vehicle is a moving (or parked) vehicle in the scene.
+type Vehicle struct {
+	// X, Y are the top-left corner in pixels (floats for sub-pixel
+	// motion).
+	X, Y float64
+	// VX is the horizontal velocity in px/frame (negative = moving
+	// left, the oncoming direction).
+	VX float64
+	// Len and Wid are the rectangle dimensions in pixels.
+	Len, Wid int
+	// Brightness is the painted intensity before weather contrast.
+	Brightness float64
+}
+
+// Bounds returns the vehicle's pixel rectangle.
+func (v *Vehicle) Bounds() vision.Rect {
+	return vision.Rect{
+		X0: int(v.X), Y0: int(v.Y),
+		X1: int(v.X) + v.Len, Y1: int(v.Y) + v.Wid,
+	}
+}
+
+// TurnerPhase describes what the left-turning vehicle is doing.
+type TurnerPhase int
+
+// Turner lifecycle phases.
+const (
+	// TurnerApproaching: driving up the approach lane toward the stop
+	// line.
+	TurnerApproaching TurnerPhase = iota + 1
+	// TurnerWaiting: stopped at the line deciding whether to turn.
+	TurnerWaiting
+	// TurnerTurning: executing the left turn across the oncoming lane.
+	TurnerTurning
+	// TurnerGone: cleared the intersection.
+	TurnerGone
+)
+
+// Config configures a World. Zero values select sensible defaults via
+// NewWorld.
+type Config struct {
+	// Weather selects the scene condition (default Day).
+	Weather Weather
+	// TruckPresent places the occluding truck in the opposing pocket,
+	// creating the blind area.
+	TruckPresent bool
+	// ArrivalRate is the per-frame probability of spawning an oncoming
+	// vehicle (default 0.035 unless NoArrivals is set).
+	ArrivalRate float64
+	// NoArrivals disables ambient traffic entirely; scenario
+	// generators use deliberate spawns so labels stay exact.
+	NoArrivals bool
+	// TurnerEnabled places a left-turning vehicle in the scene.
+	TurnerEnabled bool
+	// TurnerRespawn starts a new left-turner whenever the previous
+	// one clears the intersection, so throughput (turns per unit
+	// time) can be measured over long runs.
+	TurnerRespawn bool
+	// PedestrianRate is the per-frame probability of a pedestrian
+	// entering the crosswalk (0 disables pedestrians).
+	PedestrianRate float64
+	// Seed seeds the world's private RNG.
+	Seed int64
+}
+
+// World simulates the intersection frame by frame.
+type World struct {
+	cfg         Config
+	model       WeatherModel
+	rng         *rand.Rand
+	frame       int
+	illum       float64
+	oncoming    []*Vehicle
+	truck       *Vehicle
+	pedestrians []*Pedestrian
+
+	turnerPhase TurnerPhase
+	turnerX     float64
+	turnerY     float64
+	safeStreak  int
+	turnsDone   int
+
+	advisoryValid bool
+	advisorySafe  bool
+}
+
+// NewWorld creates a simulator for the given configuration.
+func NewWorld(cfg Config) *World {
+	if cfg.Weather == 0 {
+		cfg.Weather = Day
+	}
+	if cfg.NoArrivals {
+		cfg.ArrivalRate = 0
+	} else if cfg.ArrivalRate == 0 {
+		cfg.ArrivalRate = 0.035
+	}
+	w := &World{
+		cfg:   cfg,
+		model: ModelFor(cfg.Weather),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+	if cfg.TruckPresent {
+		w.truck = &Vehicle{
+			X: float64(ConflictX + 6), Y: pocketLaneY0 + 1,
+			Len: 26, Wid: pocketLaneY1 - pocketLaneY0 - 2,
+			Brightness: 0.88,
+		}
+	}
+	if cfg.TurnerEnabled {
+		w.turnerPhase = TurnerApproaching
+		w.turnerX = turnerLaneX0 + 1
+		w.turnerY = float64(FrameH + 4)
+	} else {
+		w.turnerPhase = TurnerGone
+	}
+	return w
+}
+
+// Weather returns the scene condition.
+func (w *World) Weather() Weather { return w.cfg.Weather }
+
+// Model returns the weather model in effect.
+func (w *World) Model() WeatherModel { return w.model }
+
+// Frame returns the number of completed simulation steps.
+func (w *World) Frame() int { return w.frame }
+
+// TruckPresent reports whether the occluding truck is in the scene.
+func (w *World) TruckPresent() bool { return w.truck != nil }
+
+// TurnerPhase returns the turner's current lifecycle phase.
+func (w *World) TurnerPhase() TurnerPhase { return w.turnerPhase }
+
+// Oncoming returns the current oncoming vehicles (shared pointers;
+// callers must not mutate).
+func (w *World) Oncoming() []*Vehicle { return w.oncoming }
+
+// TurnsCompleted returns the number of left turns completed so far.
+func (w *World) TurnsCompleted() int { return w.turnsDone }
+
+// SetAdvisory feeds the SafeCross warning into the turner's decision:
+// when valid, an occluded driver trusts the roadside advisory instead
+// of creeping cautiously. Call with valid=false to withdraw it.
+func (w *World) SetAdvisory(safe, valid bool) {
+	w.advisorySafe = safe
+	w.advisoryValid = valid
+}
+
+// DangerZone returns the pixel rectangle of the blind stretch of the
+// oncoming lane: from the conflict point rightward for the
+// weather-dependent clearing length.
+func (w *World) DangerZone() vision.Rect {
+	length := int(DangerZoneLength(w.model))
+	x1 := ConflictX + length
+	if x1 > FrameW {
+		x1 = FrameW
+	}
+	return vision.Rect{X0: ConflictX, Y0: oncomingLaneY0, X1: x1, Y1: oncomingLaneY1}
+}
+
+// DangerZoneOccupied reports whether any oncoming vehicle currently
+// overlaps the danger-zone rectangle — the geometric ground truth the
+// detection study (Table II) tests against.
+func (w *World) DangerZoneOccupied() bool {
+	zone := w.DangerZone()
+	for _, v := range w.oncoming {
+		if v.Bounds().Overlaps(zone) {
+			return true
+		}
+	}
+	return false
+}
+
+// VehicleDangerous reports whether one oncoming vehicle makes a left
+// turn unsafe right now: it has not yet cleared the conflict point
+// and its own speed-dependent clearing threshold still covers its
+// distance to it. A slow car deep in the zone can be safe while a
+// fast car beyond it is not — the gap judgement the classifier must
+// learn, which requires temporal (speed) information, not just a
+// snapshot.
+func (w *World) VehicleDangerous(v *Vehicle) bool {
+	if v.VX >= 0 {
+		return false // not approaching
+	}
+	if v.X+float64(v.Len) < ConflictX {
+		return false // already past the conflict point
+	}
+	if v.X <= ConflictX {
+		return true // straddling the conflict point
+	}
+	d := v.X - ConflictX
+	return d <= ClearingThreshold(-v.VX, w.model.Friction)
+}
+
+// ConflictRisk reports whether any oncoming vehicle currently makes a
+// left turn unsafe — the ground-truth label of the classification
+// task and the signal the turner behaviour model acts on.
+func (w *World) ConflictRisk() bool {
+	for _, v := range w.oncoming {
+		if w.VehicleDangerous(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// SpawnOncoming inserts an oncoming vehicle at horizontal position x
+// with a speed jittered around the weather's free-flow speed.
+// Scenario generators use it to place a car so it sits in the danger
+// zone at a chosen key frame.
+func (w *World) SpawnOncoming(x float64) *Vehicle {
+	// Wide speed spread: the gap judgement below depends on it.
+	speed := w.model.MaxSpeed * (0.6 + 0.55*w.rng.Float64())
+	v := &Vehicle{
+		X:          x,
+		Y:          float64(oncomingLaneY0 + 1 + w.rng.Intn(2)),
+		VX:         -speed,
+		Len:        9 + w.rng.Intn(5),
+		Wid:        oncomingLaneY1 - oncomingLaneY0 - 3,
+		Brightness: 0.68 + 0.25*w.rng.Float64(),
+	}
+	w.oncoming = append(w.oncoming, v)
+	return v
+}
+
+// Step advances the world by one frame: arrivals, vehicle motion, and
+// the turner's behaviour model.
+func (w *World) Step() {
+	w.frame++
+	w.illum = 0.015 * math.Sin(float64(w.frame)/120)
+
+	// Poisson-ish arrivals from the right edge.
+	if w.cfg.ArrivalRate > 0 && w.rng.Float64() < w.cfg.ArrivalRate {
+		w.SpawnOncoming(float64(FrameW + 2))
+	}
+	// Advance oncoming vehicles; drop those past the left edge.
+	kept := w.oncoming[:0]
+	for _, v := range w.oncoming {
+		v.X += v.VX
+		if v.X+float64(v.Len) > -4 {
+			kept = append(kept, v)
+		}
+	}
+	w.oncoming = kept
+
+	w.stepPedestrians()
+	w.stepTurner()
+}
+
+// stepTurner advances the left-turner's behaviour model: approach the
+// stop line, wait until the danger zone is clear (human drivers judge
+// from what they can see; with the truck present they wait extra out
+// of caution), then turn across and leave.
+func (w *World) stepTurner() {
+	const approachSpeed = 1.4
+	switch w.turnerPhase {
+	case TurnerApproaching:
+		w.turnerY -= approachSpeed
+		if w.turnerY <= pocketLaneY1+6 {
+			w.turnerY = pocketLaneY1 + 6
+			w.turnerPhase = TurnerWaiting
+		}
+	case TurnerWaiting:
+		safe := !w.ConflictRisk()
+		if w.truck != nil && w.advisoryValid {
+			// Occluded view but a SafeCross advisory is available:
+			// the driver acts on the roadside unit's judgement.
+			safe = w.advisorySafe
+		}
+		if safe {
+			w.safeStreak++
+		} else {
+			w.safeStreak = 0
+		}
+		// With a clear view (or a trusted advisory) a short safe
+		// streak is enough; with the truck blocking the view and no
+		// advisory, the human driver creeps and waits through a long
+		// cautious streak before committing — the wasted green time
+		// SafeCross removes.
+		need := 1
+		if w.truck != nil {
+			if w.advisoryValid {
+				need = 2
+			} else {
+				need = 30
+			}
+		}
+		if w.safeStreak >= need {
+			w.turnerPhase = TurnerTurning
+		}
+	case TurnerTurning:
+		// Arc the turn: first cross up into the lane, then head left.
+		if w.turnerY > oncomingLaneY0+2 {
+			w.turnerY -= 1.2
+		} else {
+			w.turnerX -= 1.6
+		}
+		if w.turnerX < -10 {
+			w.turnerPhase = TurnerGone
+			w.turnsDone++
+		}
+	case TurnerGone:
+		if w.cfg.TurnerRespawn && w.cfg.TurnerEnabled {
+			w.turnerPhase = TurnerApproaching
+			w.turnerX = turnerLaneX0 + 1
+			w.turnerY = float64(FrameH + 4)
+			w.safeStreak = 0
+		}
+	}
+}
+
+// TurnerBounds returns the turner's current pixel rectangle and
+// whether it is in the scene at all.
+func (w *World) TurnerBounds() (vision.Rect, bool) {
+	if w.turnerPhase == TurnerGone {
+		return vision.Rect{}, false
+	}
+	// The footprint rotates from portrait (driving up) to landscape
+	// (heading left) as the turn progresses.
+	if w.turnerPhase == TurnerTurning && w.turnerY <= oncomingLaneY0+2 {
+		return vision.Rect{
+			X0: int(w.turnerX) - 5, Y0: int(w.turnerY),
+			X1: int(w.turnerX) + 5, Y1: int(w.turnerY) + 6,
+		}, true
+	}
+	return vision.Rect{
+		X0: int(w.turnerX), Y0: int(w.turnerY),
+		X1: int(w.turnerX) + 6, Y1: int(w.turnerY) + 10,
+	}, true
+}
+
+// Render paints the current scene into a fresh grayscale frame,
+// including weather noise and illumination drift.
+func (w *World) Render() *vision.Image {
+	im := vision.NewImage(FrameW, FrameH)
+	m := w.model
+	base := m.BaseLight + w.illum
+	im.Fill(base)
+
+	// Road bands slightly darker than surroundings.
+	im.FillRect(0, oncomingLaneY0-2, FrameW, pocketLaneY1+2, base-0.05)
+	im.FillRect(turnerLaneX0-2, pocketLaneY1+2, turnerLaneX1+2, FrameH, base-0.05)
+
+	// Dashed lane divider between the through lane and the pocket.
+	for x := 0; x < FrameW; x += 8 {
+		im.FillRect(x, pocketLaneY0-1, x+4, pocketLaneY0, base+0.25*m.Contrast)
+	}
+
+	paint := func(r vision.Rect, b float64) {
+		v := base + (b-m.BaseLight)*m.Contrast
+		im.FillRect(r.X0, r.Y0, r.X1, r.Y1, v)
+	}
+	for _, v := range w.oncoming {
+		paint(v.Bounds(), v.Brightness)
+	}
+	if w.truck != nil {
+		paint(w.truck.Bounds(), w.truck.Brightness)
+	}
+	if r, ok := w.TurnerBounds(); ok {
+		paint(r, 0.78)
+	}
+	if w.cfg.PedestrianRate > 0 || len(w.pedestrians) > 0 {
+		// Zebra stripes across the crossing band.
+		for y := oncomingLaneY0; y < pocketLaneY1; y += 4 {
+			im.FillRect(CrosswalkX0, y, CrosswalkX1, y+2, base+0.2*m.Contrast)
+		}
+		for _, p := range w.pedestrians {
+			paint(p.Bounds(), 0.72)
+		}
+	}
+
+	// Weather-specific degradation.
+	if w.cfg.Weather == Rain {
+		w.paintRainStreaks(im)
+	}
+	if m.SaltPepper > 0 {
+		im.AddSaltPepper(w.rng, m.SaltPepper)
+	}
+	im.AddGaussianNoise(w.rng, m.NoiseSigma)
+	return im
+}
+
+// paintRainStreaks draws short, semi-transparent vertical streaks.
+func (w *World) paintRainStreaks(im *vision.Image) {
+	n := 18
+	for i := 0; i < n; i++ {
+		x := w.rng.Intn(FrameW)
+		y := w.rng.Intn(FrameH)
+		l := 2 + w.rng.Intn(4)
+		for d := 0; d < l; d++ {
+			cur := im.At(x, y+d)
+			im.Set(x, y+d, cur+0.18)
+		}
+	}
+	im.Clamp()
+}
+
+// RunFrames advances the world n frames, rendering each one.
+func (w *World) RunFrames(n int) []*vision.Image {
+	frames := make([]*vision.Image, n)
+	for i := 0; i < n; i++ {
+		w.Step()
+		frames[i] = w.Render()
+	}
+	return frames
+}
+
+// Validate checks configuration invariants; NewWorld applies defaults
+// so this exists for callers that construct Config programmatically
+// and want early feedback.
+func (c Config) Validate() error {
+	if c.ArrivalRate < 0 || c.ArrivalRate > 1 {
+		return fmt.Errorf("sim: arrival rate %v outside [0,1]", c.ArrivalRate)
+	}
+	if c.PedestrianRate < 0 || c.PedestrianRate > 1 {
+		return fmt.Errorf("sim: pedestrian rate %v outside [0,1]", c.PedestrianRate)
+	}
+	if c.Weather != 0 && c.Weather.String() == "unknown" {
+		return fmt.Errorf("sim: unknown weather %d", c.Weather)
+	}
+	return nil
+}

@@ -1,0 +1,86 @@
+package vision
+
+import "fmt"
+
+// BackgroundModel maintains a dynamic per-pixel background estimate
+// with exponential forgetting, the "constantly updated background"
+// the paper's VP module subtracts from each frame. A dynamic model
+// tracks slow illumination drift that a static reference frame would
+// misclassify as motion.
+type BackgroundModel struct {
+	// Alpha is the per-frame learning rate in (0, 1]; larger values
+	// adapt faster but absorb slow-moving vehicles into the
+	// background.
+	Alpha float64
+
+	bg     *Image
+	primed bool
+}
+
+// NewBackgroundModel creates a background model with learning rate
+// alpha. The first observed frame primes the model.
+func NewBackgroundModel(alpha float64) *BackgroundModel {
+	return &BackgroundModel{Alpha: alpha}
+}
+
+// Background returns a copy of the current background estimate, or
+// nil if no frame has been observed yet.
+func (m *BackgroundModel) Background() *Image {
+	if !m.primed {
+		return nil
+	}
+	return m.bg.Clone()
+}
+
+// Primed reports whether the model has observed at least one frame.
+func (m *BackgroundModel) Primed() bool { return m.primed }
+
+// Update folds a new frame into the background estimate.
+func (m *BackgroundModel) Update(frame *Image) error {
+	if !m.primed {
+		m.bg = frame.Clone()
+		m.primed = true
+		return nil
+	}
+	if frame.W != m.bg.W || frame.H != m.bg.H {
+		return fmt.Errorf("vision: frame %dx%d does not match background %dx%d",
+			frame.W, frame.H, m.bg.W, m.bg.H)
+	}
+	a := m.Alpha
+	for i, v := range frame.Pix {
+		m.bg.Pix[i] = (1-a)*m.bg.Pix[i] + a*v
+	}
+	return nil
+}
+
+// Subtract returns the absolute difference between a frame and the
+// current background, without updating the model. Call Update
+// separately so callers control whether a frame is folded in before
+// or after differencing.
+func (m *BackgroundModel) Subtract(frame *Image) (*Image, error) {
+	if !m.primed {
+		return nil, fmt.Errorf("vision: background model not primed")
+	}
+	return AbsDiff(frame, m.bg)
+}
+
+// Foreground runs the full subtraction step the paper describes:
+// difference against the dynamic background, threshold into a binary
+// mask, then fold the frame into the background.
+func (m *BackgroundModel) Foreground(frame *Image, threshold float64) (*Image, error) {
+	if !m.primed {
+		if err := m.Update(frame); err != nil {
+			return nil, err
+		}
+		return NewImage(frame.W, frame.H), nil
+	}
+	diff, err := m.Subtract(frame)
+	if err != nil {
+		return nil, err
+	}
+	mask := diff.Threshold(threshold)
+	if err := m.Update(frame); err != nil {
+		return nil, err
+	}
+	return mask, nil
+}

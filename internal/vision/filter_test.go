@@ -1,0 +1,154 @@
+package vision
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMedianFilterRemovesSpeckle(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	im := NewImage(30, 20)
+	im.Fill(0.4)
+	im.FillRect(8, 6, 18, 12, 0.9) // a vehicle
+	im.AddSaltPepper(rng, 0.03)
+
+	filtered := MedianFilter(im, 1)
+	// Speckle is gone: no pure-extreme pixels outside the vehicle.
+	for y := 0; y < 20; y++ {
+		for x := 0; x < 30; x++ {
+			if x >= 7 && x < 19 && y >= 5 && y < 13 {
+				continue
+			}
+			v := filtered.At(x, y)
+			if v == 0 || v == 1 {
+				t.Fatalf("speckle survived at (%d,%d)", x, y)
+			}
+		}
+	}
+	// The vehicle's interior is preserved.
+	if filtered.At(12, 9) < 0.8 {
+		t.Fatalf("vehicle interior degraded: %v", filtered.At(12, 9))
+	}
+}
+
+func TestMedianFilterZeroRadiusClones(t *testing.T) {
+	im := NewImage(4, 4)
+	im.Set(1, 1, 0.7)
+	out := MedianFilter(im, 0)
+	if out.At(1, 1) != 0.7 {
+		t.Fatal("r=0 must copy")
+	}
+	out.Set(1, 1, 0)
+	if im.At(1, 1) != 0.7 {
+		t.Fatal("r=0 must not alias the input")
+	}
+}
+
+func TestOtsuThresholdBimodal(t *testing.T) {
+	im := NewImage(20, 20)
+	// Two clear modes: dark background, bright object.
+	im.Fill(0.2)
+	im.FillRect(5, 5, 15, 15, 0.8)
+	th := OtsuThreshold(im)
+	if th <= 0.2 || th >= 0.8 {
+		t.Fatalf("Otsu threshold %v must separate the modes (0.2, 0.8)", th)
+	}
+	mask := im.Threshold(th)
+	on := 0
+	for _, v := range mask.Pix {
+		if v >= 0.5 {
+			on++
+		}
+	}
+	if on != 100 {
+		t.Fatalf("Otsu binarisation found %d pixels, want the 100 object pixels", on)
+	}
+}
+
+func TestOtsuThresholdEdgeCases(t *testing.T) {
+	if got := OtsuThreshold(NewImage(0, 0)); got != 0 {
+		t.Fatalf("empty image threshold = %v", got)
+	}
+	flat := NewImage(5, 5)
+	flat.Fill(0.5)
+	th := OtsuThreshold(flat)
+	if th < 0 || th > 1 {
+		t.Fatalf("flat image threshold %v out of range", th)
+	}
+}
+
+func TestIntegralImageKnownSums(t *testing.T) {
+	im := NewImage(4, 3)
+	for i := range im.Pix {
+		im.Pix[i] = float64(i + 1) // 1..12
+	}
+	ii := NewIntegralImage(im)
+	if got := ii.BoxSum(Rect{X0: 0, Y0: 0, X1: 4, Y1: 3}); got != 78 {
+		t.Fatalf("full sum = %v, want 78", got)
+	}
+	if got := ii.BoxSum(Rect{X0: 1, Y0: 1, X1: 3, Y1: 2}); got != 6+7 {
+		t.Fatalf("inner sum = %v, want 13", got)
+	}
+	// Clipping: out-of-bounds portions contribute nothing.
+	if got := ii.BoxSum(Rect{X0: -5, Y0: -5, X1: 1, Y1: 1}); got != 1 {
+		t.Fatalf("clipped sum = %v, want 1", got)
+	}
+	if got := ii.BoxMean(Rect{X0: 0, Y0: 0, X1: 2, Y1: 1}); got != 1.5 {
+		t.Fatalf("mean = %v, want 1.5", got)
+	}
+	if got := ii.BoxMean(Rect{X0: 10, Y0: 10, X1: 12, Y1: 12}); got != 0 {
+		t.Fatalf("empty mean = %v, want 0", got)
+	}
+}
+
+// Property: integral-image box sums match brute-force sums.
+func TestPropertyIntegralMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w, h := 3+rng.Intn(10), 3+rng.Intn(8)
+		im := NewImage(w, h)
+		for i := range im.Pix {
+			im.Pix[i] = rng.Float64()
+		}
+		ii := NewIntegralImage(im)
+		r := Rect{X0: rng.Intn(w), Y0: rng.Intn(h)}
+		r.X1 = r.X0 + 1 + rng.Intn(w-r.X0)
+		r.Y1 = r.Y0 + 1 + rng.Intn(h-r.Y0)
+		brute := 0.0
+		for y := r.Y0; y < r.Y1; y++ {
+			for x := r.X0; x < r.X1; x++ {
+				brute += im.At(x, y)
+			}
+		}
+		return math.Abs(ii.BoxSum(r)-brute) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: median filtering is idempotent-ish on binary images —
+// output values always come from the input's value set.
+func TestPropertyMedianPreservesValueSet(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		im := NewImage(10, 8)
+		for i := range im.Pix {
+			if rng.Float64() < 0.5 {
+				im.Pix[i] = 1
+			}
+		}
+		out := MedianFilter(im, 1)
+		for _, v := range out.Pix {
+			if v != 0 && v != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
