@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build vet test race bench verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .
+
+# verify is the extended gate: everything must compile, vet clean, and
+# pass the full suite under the race detector (the serving and RSU
+# planes are concurrent by design).
+verify: build vet race

@@ -9,8 +9,10 @@ package safecross_test
 // metrics.
 
 import (
+	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"safecross/internal/dataset"
 	"safecross/internal/detect"
@@ -18,7 +20,9 @@ import (
 	"safecross/internal/gpusim"
 	"safecross/internal/pipeswitch"
 	"safecross/internal/safecross"
+	"safecross/internal/serve"
 	"safecross/internal/sim"
+	"safecross/internal/tensor"
 	"safecross/internal/video"
 	"safecross/internal/vision"
 )
@@ -301,6 +305,73 @@ func BenchmarkFig8_SlowFastInference(b *testing.B) {
 		if _, err := video.Predict(m, clips[0].Input); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkServe_MultiIntersection drives the inference-serving plane
+// with four concurrent intersection feeds, comparing the per-clip
+// single-GPU baseline against the dynamically batched multi-GPU
+// configuration. Throughput is reported in virtual GPU time
+// (virt-clip/s), which is deterministic and independent of host core
+// count; wall-clock clips/s is the standard benchmark metric.
+func BenchmarkServe_MultiIntersection(b *testing.B) {
+	builder := video.SlowFastBuilder(video.SlowFastConfig{
+		T: 16, H: 10, W: 16, Alpha: 8, Classes: 2, Lateral: true, Seed: 7,
+	})
+	models := make(map[sim.Weather]video.Classifier)
+	for _, scene := range sim.AllWeathers() {
+		m, err := builder()
+		if err != nil {
+			b.Fatal(err)
+		}
+		models[scene] = m
+	}
+	factory := serve.Replicas(builder, models)
+
+	const intersections, clipsPer = 4, 12
+	configs := []struct {
+		name string
+		cfg  serve.Config
+	}{
+		{"baseline-1gpu", serve.Config{Workers: 1, MaxBatch: 1, QueueDepth: 256, SLO: time.Minute}},
+		{"batched-4gpu", serve.Config{Workers: 4, MaxBatch: 8, QueueDepth: 256, SLO: time.Minute}},
+	}
+	for _, c := range configs {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			var st serve.Stats
+			for i := 0; i < b.N; i++ {
+				s, err := serve.New(c.cfg, factory)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var wg sync.WaitGroup
+				for p := 0; p < intersections; p++ {
+					wg.Add(1)
+					go func(p int) {
+						defer wg.Done()
+						rng := rand.New(rand.NewSource(int64(100 + p)))
+						for j := 0; j < clipsPer; j++ {
+							clip := tensor.RandnTensor(rng, 1, 1, 16, 10, 16)
+							scene := sim.AllWeathers()[(p+j)%3]
+							if _, err := s.Submit(serve.Request{Scene: scene, Clip: clip}); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}(p)
+				}
+				wg.Wait()
+				st = s.Stats()
+				s.Close()
+				if st.Completed != intersections*clipsPer {
+					b.Fatalf("%d of %d clips completed", st.Completed, intersections*clipsPer)
+				}
+			}
+			b.ReportMetric(st.VirtualThroughput(), "virt-clip/s")
+			b.ReportMetric(float64(st.P99.Microseconds()), "p99-µs")
+			b.ReportMetric(st.MeanBatch(), "mean-batch")
+		})
 	}
 }
 

@@ -6,6 +6,7 @@
 //	safecross-bench -all                 # every table and figure
 //	safecross-bench -table 3 -profile standard
 //	safecross-bench -fig 8
+//	safecross-bench -serve               # multi-intersection serving study
 //
 // Profiles scale the learning experiments: quick (≈2 % of Table I,
 // seconds), standard (≈10 %, minutes), full (paper scale).
@@ -36,6 +37,7 @@ func run(args []string, w io.Writer) error {
 		fig       = fs.Int("fig", 0, "figure number to regenerate (3 or 8)")
 		all       = fs.Bool("all", false, "regenerate everything")
 		ablations = fs.Bool("ablations", false, "run the design-choice ablation studies")
+		serveCmp  = fs.Bool("serve", false, "run the multi-intersection serving study (batched multi-GPU vs single GPU)")
 		profile   = fs.String("profile", "quick", "experiment profile: quick | standard | full")
 		reps      = fs.Int("reps", 3, "timing repetitions for Table II")
 		verbose   = fs.Bool("v", false, "log training progress")
@@ -50,9 +52,9 @@ func run(args []string, w io.Writer) error {
 	if *verbose {
 		cfg.Log = w
 	}
-	if !*all && *table == 0 && *fig == 0 && !*ablations {
+	if !*all && *table == 0 && *fig == 0 && !*ablations && !*serveCmp {
 		fs.Usage()
-		return fmt.Errorf("nothing selected; use -all, -table N, -fig N, or -ablations")
+		return fmt.Errorf("nothing selected; use -all, -table N, -fig N, -ablations, or -serve")
 	}
 
 	wantTable := func(n int) bool { return *all || *table == n }
@@ -140,6 +142,11 @@ func run(args []string, w io.Writer) error {
 	}
 	if *all || *ablations {
 		if err := printAblations(w, cfg); err != nil {
+			return err
+		}
+	}
+	if *all || *serveCmp {
+		if err := printServeBench(w); err != nil {
 			return err
 		}
 	}

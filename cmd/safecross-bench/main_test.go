@@ -52,6 +52,22 @@ func TestRunFig3(t *testing.T) {
 	}
 }
 
+func TestRunServeStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serving study skipped in -short mode")
+	}
+	var sb strings.Builder
+	if err := run([]string{"-serve"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Serving study", "4x baseline", "4x batched", "batched speedup at 4 intersections"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestRunTableIII(t *testing.T) {
 	if testing.Short() {
 		t.Skip("training run skipped in -short mode")

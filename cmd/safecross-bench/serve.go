@@ -1,0 +1,122 @@
+package main
+
+// The -serve study: how does the internal/serve plane — dynamic
+// batching plus warm per-scene routing over a pool of simulated GPUs —
+// scale with the number of intersections sharing one RSU, against the
+// naive baseline of one clip at a time on a single GPU? Throughput is
+// anchored on virtual GPU time (the discrete-event device timelines),
+// so the comparison is deterministic and host-independent; wall-clock
+// is reported alongside for orientation.
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+
+	"safecross/internal/serve"
+	"safecross/internal/sim"
+	"safecross/internal/tensor"
+	"safecross/internal/video"
+)
+
+// serveClipsPerIntersection is the offered load per intersection in
+// one serving-study run.
+const serveClipsPerIntersection = 12
+
+func printServeBench(w io.Writer) error {
+	// Untrained weights at reduced geometry: this is a scheduling and
+	// throughput study, so only the cost of the forward pass matters,
+	// not the verdicts.
+	builder := video.SlowFastBuilder(video.SlowFastConfig{
+		T: 16, H: 10, W: 16, Alpha: 8, Classes: 2, Lateral: true, Seed: 7,
+	})
+	models := make(map[sim.Weather]video.Classifier)
+	for _, scene := range sim.AllWeathers() {
+		m, err := builder()
+		if err != nil {
+			return err
+		}
+		models[scene] = m
+	}
+	factory := serve.Replicas(builder, models)
+
+	fmt.Fprintln(w, "== Serving study: dynamic batching + warm routing vs per-clip single GPU ==")
+	fmt.Fprintf(w, "%-14s %-10s %-12s %-12s %-10s %-10s %s\n",
+		"config", "clips", "virt-clip/s", "virt-span", "p99", "batches", "warm/switch")
+
+	var speedup4 float64
+	for _, intersections := range []int{1, 2, 4} {
+		base, err := runServeLoad(serve.Config{
+			Workers: 1, MaxBatch: 1, QueueDepth: 256, SLO: time.Minute,
+		}, factory, intersections)
+		if err != nil {
+			return err
+		}
+		batched, err := runServeLoad(serve.Config{
+			Workers: 4, MaxBatch: 8, QueueDepth: 256, SLO: time.Minute,
+		}, factory, intersections)
+		if err != nil {
+			return err
+		}
+		printServeRow(w, fmt.Sprintf("%dx baseline", intersections), base)
+		printServeRow(w, fmt.Sprintf("%dx batched", intersections), batched)
+		if intersections == 4 {
+			speedup4 = batched.VirtualThroughput() / base.VirtualThroughput()
+		}
+	}
+	fmt.Fprintf(w, "batched speedup at 4 intersections: x%.2f (virtual throughput)\n\n", speedup4)
+	if speedup4 <= 1 {
+		return fmt.Errorf("serving study: batched plane did not beat the baseline (x%.2f)", speedup4)
+	}
+	return nil
+}
+
+func printServeRow(w io.Writer, name string, st serve.Stats) {
+	fmt.Fprintf(w, "%-14s %-10d %-12.1f %-12v %-10v %-10d %d/%d\n",
+		name, st.Completed, st.VirtualThroughput(),
+		st.VirtualMakespan.Round(10*time.Microsecond),
+		st.P99.Round(10*time.Microsecond),
+		st.Batches, st.WarmBatches, st.Switches)
+}
+
+// runServeLoad drives one serving configuration with concurrent
+// per-intersection producers, each cycling through the weather scenes
+// at its own phase (so a single shared GPU must thrash between
+// models), and returns the plane's final stats.
+func runServeLoad(cfg serve.Config, factory serve.ModelFactory, intersections int) (serve.Stats, error) {
+	s, err := serve.New(cfg, factory)
+	if err != nil {
+		return serve.Stats{}, err
+	}
+	defer s.Close()
+
+	scenes := sim.AllWeathers()
+	errs := make(chan error, intersections)
+	var wg sync.WaitGroup
+	for i := 0; i < intersections; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + i)))
+			for j := 0; j < serveClipsPerIntersection; j++ {
+				clip := tensor.RandnTensor(rng, 1, 1, 16, 10, 16)
+				if _, err := s.Submit(serve.Request{Scene: scenes[(i+j)%len(scenes)], Clip: clip}); err != nil {
+					errs <- fmt.Errorf("intersection %d clip %d: %w", i, j, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return serve.Stats{}, err
+	}
+	st := s.Stats()
+	if want := intersections * serveClipsPerIntersection; st.Completed != want {
+		return serve.Stats{}, fmt.Errorf("serving study: %d of %d clips completed", st.Completed, want)
+	}
+	return st, nil
+}

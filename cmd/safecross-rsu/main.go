@@ -1,28 +1,37 @@
-// Command safecross-rsu runs a SafeCross roadside unit over a
-// simulated camera feed: it trains a quick daytime model, adapts the
-// weather models, then serves left-turn advisories over TCP while the
-// simulated intersection cycles through weather scenes.
+// Command safecross-rsu runs a SafeCross roadside unit over simulated
+// camera feeds: it trains a quick daytime model, adapts the weather
+// models, then serves left-turn advisories over TCP while one or more
+// simulated intersections cycle through weather scenes. All
+// classification flows through the internal/serve plane — a dynamic
+// batcher over a pool of simulated GPUs with per-scene warm routing —
+// so several intersections share the same models and hardware.
 //
 // Usage:
 //
-//	safecross-rsu -addr 127.0.0.1:7447 -frames 400 -demo
+//	safecross-rsu -addr 127.0.0.1:7447 -frames 400 -intersections 4 -gpus 2 -demo
 //
 // With -demo a vehicle client connects in-process and prints the
 // advisories it receives.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"safecross/internal/dataset"
 	"safecross/internal/experiments"
 	"safecross/internal/rsu"
 	"safecross/internal/safecross"
+	"safecross/internal/serve"
 	"safecross/internal/sim"
+	"safecross/internal/tensor"
+	"safecross/internal/weather"
 )
 
 func main() {
@@ -35,14 +44,20 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("safecross-rsu", flag.ContinueOnError)
 	var (
-		addr     = fs.String("addr", "127.0.0.1:7447", "listen address")
-		frames   = fs.Int("frames", 300, "camera frames to serve (0 = run until killed)")
-		perScene = fs.Int("scene-frames", 120, "frames per weather scene in the feed")
-		demo     = fs.Bool("demo", false, "attach an in-process vehicle client and print advisories")
-		verbose  = fs.Bool("v", false, "log training progress")
+		addr          = fs.String("addr", "127.0.0.1:7447", "listen address")
+		frames        = fs.Int("frames", 300, "camera frames to serve per intersection")
+		perScene      = fs.Int("scene-frames", 120, "frames per weather scene in each feed")
+		intersections = fs.Int("intersections", 1, "simulated intersections sharing this RSU")
+		gpus          = fs.Int("gpus", 2, "simulated GPUs in the serving plane")
+		maxBatch      = fs.Int("max-batch", 8, "dynamic batcher's maximum clips per forward pass")
+		demo          = fs.Bool("demo", false, "attach an in-process vehicle client and print advisories")
+		verbose       = fs.Bool("v", false, "log training progress")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *intersections < 1 {
+		return fmt.Errorf("need at least one intersection")
 	}
 
 	cfg := experiments.Quick()
@@ -54,9 +69,44 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	framework, err := safecross.NewDefault(safecross.Config{ClipLen: cfg.ClipLen}, tm.Models)
+	det, err := weather.FitFromSim(20, 12345)
 	if err != nil {
 		return err
+	}
+
+	// One serving plane for every intersection: per-worker model
+	// replicas cloned from the trained weights, dynamic batching, and
+	// warm per-scene routing across the simulated GPUs.
+	plane, err := serve.New(serve.Config{
+		Workers:  *gpus,
+		MaxBatch: *maxBatch,
+	}, serve.Replicas(tm.Builder, tm.Models))
+	if err != nil {
+		return err
+	}
+	defer plane.Close()
+
+	// Backpressure is fail-safe: a clip the plane sheds (queue full or
+	// deadline blown) is reported as danger, never as a silent pass.
+	var sheds atomic.Int64
+	classify := func(scene sim.Weather, clip *tensor.Tensor) (int, error) {
+		v, err := plane.Submit(serve.Request{Scene: scene, Clip: clip})
+		switch {
+		case err == nil:
+			return v.Label, nil
+		case errors.Is(err, serve.ErrQueueFull), errors.Is(err, serve.ErrDeadlineExceeded):
+			sheds.Add(1)
+			return dataset.ClassDanger, nil
+		default:
+			return 0, err
+		}
+	}
+
+	frameworks := make([]*safecross.Framework, *intersections)
+	for i := range frameworks {
+		if frameworks[i], err = safecross.NewServed(safecross.Config{ClipLen: cfg.ClipLen}, classify, det); err != nil {
+			return err
+		}
 	}
 
 	srv, err := rsu.Listen(*addr)
@@ -80,42 +130,65 @@ func run(args []string, w io.Writer) error {
 				switch msg.Type {
 				case rsu.TypeAdvisory:
 					if msg.Ready {
-						fmt.Fprintf(w, "vehicle: frame %4d scene=%-5s safe=%v\n", msg.Frame, msg.Scene, msg.Safe)
+						fmt.Fprintf(w, "vehicle: intersection %d frame %4d scene=%-5s safe=%v\n",
+							msg.Intersection, msg.Frame, msg.Scene, msg.Safe)
 					}
-				case rsu.TypeSwitch:
-					fmt.Fprintf(w, "vehicle: model switched to %s in %dµs (%s)\n", msg.Scene, msg.SwitchMicros, msg.Method)
+				case rsu.TypeStats:
+					fmt.Fprintf(w, "vehicle: plane served=%d rejected=%d p99=%dµs\n",
+						msg.Served, msg.Rejected, msg.P99Micros)
 				}
 			}
 		}()
 	}
 
-	// Simulated camera: cycle day → rain → snow.
+	// Each intersection is an independent camera feed cycling through
+	// the weather scenes at its own phase; all of them classify through
+	// the shared serving plane concurrently.
+	var (
+		feeds    sync.WaitGroup
+		served   atomic.Int64
+		errOnce  sync.Once
+		firstErr error
+	)
 	scenes := sim.AllWeathers()
-	frame := 0
-	for sceneIdx := 0; *frames == 0 || frame < *frames; sceneIdx++ {
-		weather := scenes[sceneIdx%len(scenes)]
-		world := sim.NewWorld(sim.Config{
-			Weather:       weather,
-			TruckPresent:  true,
-			TurnerEnabled: true,
-			TurnerRespawn: true,
-			Seed:          int64(1000 + sceneIdx),
-		})
-		for i := 0; i < *perScene && (*frames == 0 || frame < *frames); i++ {
-			world.Step()
-			frame++
-			d, err := framework.ProcessFrame(world.Render())
-			if err != nil {
-				return err
+	for idx, fw := range frameworks {
+		feeds.Add(1)
+		go func(idx int, fw *safecross.Framework) {
+			defer feeds.Done()
+			frame := 0
+			for sceneIdx := idx; frame < *frames; sceneIdx++ {
+				world := sim.NewWorld(sim.Config{
+					Weather:       scenes[sceneIdx%len(scenes)],
+					TruckPresent:  true,
+					TurnerEnabled: true,
+					TurnerRespawn: true,
+					Seed:          int64(1000 + 100*idx + sceneIdx),
+				})
+				for i := 0; i < *perScene && frame < *frames; i++ {
+					world.Step()
+					frame++
+					d, err := fw.ProcessFrame(world.Render())
+					if err != nil {
+						errOnce.Do(func() { firstErr = fmt.Errorf("intersection %d: %w", idx, err) })
+						return
+					}
+					served.Add(1)
+					srv.Broadcast(rsu.IntersectionAdvisory(idx, frame, d))
+				}
 			}
-			if d.SceneChanged && d.Switch != nil {
-				srv.Broadcast(rsu.SwitchMessage(d.Scene.String(), *d.Switch))
-			}
-			srv.Broadcast(rsu.AdvisoryMessage(frame, d))
-		}
+		}(idx, fw)
 	}
-	fmt.Fprintf(w, "served %d frames, final scene %v, %d model switches, %d SLO violations\n",
-		frame, framework.Scene(), len(framework.Manager().History()), framework.Manager().SLOViolations())
+	feeds.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	srv.Broadcast(rsu.StatsMessage(plane.Stats()))
+
+	st := plane.Stats()
+	fmt.Fprintf(w, "served %d frames across %d intersections, %d fail-safe sheds\n",
+		served.Load(), *intersections, sheds.Load())
+	fmt.Fprintf(w, "serving plane: %d clips in %d batches (mean %.2f, warm %d, switches %d), p50 %v p99 %v\n",
+		st.Completed, st.Batches, st.MeanBatch(), st.WarmBatches, st.Switches, st.P50, st.P99)
 
 	if *demo {
 		// Give the demo client a moment to drain, then shut down.

@@ -30,3 +30,27 @@ func TestRunServesFramesWithDemoClient(t *testing.T) {
 		t.Fatalf("demo client received nothing:\n%s", out)
 	}
 }
+
+func TestRunMultiplexesIntersectionsThroughServingPlane(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end RSU run skipped in -short mode")
+	}
+	var sb strings.Builder
+	err := run([]string{
+		"-addr", "127.0.0.1:0",
+		"-frames", "30",
+		"-scene-frames", "30",
+		"-intersections", "3",
+		"-gpus", "2",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "served 90 frames across 3 intersections") {
+		t.Fatalf("missing multi-intersection summary:\n%s", out)
+	}
+	if !strings.Contains(out, "serving plane:") {
+		t.Fatalf("missing serving-plane stats:\n%s", out)
+	}
+}

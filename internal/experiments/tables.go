@@ -85,6 +85,10 @@ type TrainedModels struct {
 	Models map[sim.Weather]video.Classifier
 	Scenes map[sim.Weather]*sceneData
 	Cfg    Config
+	// Builder reconstructs the exact network geometry the models were
+	// trained with, so downstream consumers (the serving layer's
+	// per-worker replicas) can clone them weight-for-weight.
+	Builder video.Builder
 }
 
 // TrainSceneModels runs the paper's training pipeline: the basic
@@ -125,7 +129,7 @@ func TrainSceneModels(cfg Config) (*TrainedModels, error) {
 		}
 		models[w] = adapted
 	}
-	return &TrainedModels{Models: models, Scenes: scenes, Cfg: cfg}, nil
+	return &TrainedModels{Models: models, Scenes: scenes, Cfg: cfg, Builder: builder}, nil
 }
 
 // TableIII evaluates the per-scene models on their held-out test

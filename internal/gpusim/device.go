@@ -158,6 +158,18 @@ func (d *Device) ComputeAt(ready time.Duration, flops float64, kernels int) (sta
 	return start, done
 }
 
+// InferAt schedules one batched inference on the compute engine, no
+// earlier than ready: FLOPs scale linearly with the batch size, but
+// the per-kernel launch overhead is paid once per kernel regardless
+// of how many clips share the launch. This amortisation is the
+// dynamic-batching win an inference server harvests from a GPU.
+func (d *Device) InferAt(ready time.Duration, flopsPerClip float64, kernels, batch int) (start, done time.Duration) {
+	if batch < 1 {
+		batch = 1
+	}
+	return d.ComputeAt(ready, flopsPerClip*float64(batch), kernels)
+}
+
 // SyncAt models a group-boundary synchronisation on the compute
 // engine timeline.
 func (d *Device) SyncAt(ready time.Duration) time.Duration {

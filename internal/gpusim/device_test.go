@@ -164,3 +164,42 @@ func TestSyncAtAdvancesComputeEngine(t *testing.T) {
 		t.Fatalf("compute after sync started at %v, want 3ms", start)
 	}
 }
+
+func TestInferAtAmortisesKernelOverhead(t *testing.T) {
+	cfg := DefaultConfig()
+	d, err := NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const flops, kernels, batch = 1e9, 100, 8
+
+	// Unbatched: batch separate launches, each paying kernel overhead.
+	var unbatched time.Duration
+	for i := 0; i < batch; i++ {
+		_, done := d.InferAt(d.Now(), flops, kernels, 1)
+		unbatched = done
+	}
+	d.Reset()
+	_, batched := d.InferAt(0, flops, kernels, batch)
+
+	saved := time.Duration(batch-1) * time.Duration(kernels) * cfg.KernelOverhead
+	if got := unbatched - batched; got != saved {
+		t.Fatalf("batching saved %v, want exactly the %v of amortised kernel launches", got, saved)
+	}
+	if batched <= 0 {
+		t.Fatal("batched inference must take virtual time")
+	}
+}
+
+func TestInferAtClampsBatch(t *testing.T) {
+	d, err := NewDevice(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, a := d.InferAt(0, 1e9, 10, 0)
+	d.Reset()
+	_, b := d.InferAt(0, 1e9, 10, 1)
+	if a != b {
+		t.Fatalf("batch 0 must clamp to 1: %v vs %v", a, b)
+	}
+}

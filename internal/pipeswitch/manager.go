@@ -77,6 +77,21 @@ func (m *Manager) Register(scene string, model Model) error {
 	return nil
 }
 
+// Device returns the simulated accelerator the manager switches on.
+// The serving layer (internal/serve) schedules batched inference on
+// it so switch and compute share one virtual timeline per worker.
+func (m *Manager) Device() *gpusim.Device { return m.dev }
+
+// ModelFor returns the manifest registered under scene, reporting
+// whether the scene is known. Inference servers use it to convert a
+// batch into simulated compute cost (FLOPs, kernel count).
+func (m *Manager) ModelFor(scene string) (Model, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	model, ok := m.registry[scene]
+	return model, ok
+}
+
 // Active returns the scene key of the resident model ("" when none).
 func (m *Manager) Active() string {
 	m.mu.Lock()

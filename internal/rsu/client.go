@@ -6,7 +6,14 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 )
+
+// DefaultHandshakeTimeout bounds Dial's connect-plus-handshake: a
+// vehicle approaching an intersection cannot wait indefinitely on an
+// RSU that accepts the TCP connection but never answers the
+// subscribe.
+const DefaultHandshakeTimeout = 5 * time.Second
 
 // Client is a vehicle-side connection to the RSU.
 type Client struct {
@@ -19,14 +26,28 @@ type Client struct {
 }
 
 // Dial connects to the RSU at addr, subscribes with the vehicle id,
-// and waits for the welcome acknowledgement.
+// and waits for the welcome acknowledgement. The whole handshake is
+// bounded by DefaultHandshakeTimeout.
 func Dial(addr, vehicle string) (*Client, error) {
+	return DialTimeout(addr, vehicle, DefaultHandshakeTimeout)
+}
+
+// DialTimeout is Dial with an explicit bound covering both the TCP
+// connect and the subscribe/welcome exchange; a non-positive timeout
+// waits forever.
+func DialTimeout(addr, vehicle string, timeout time.Duration) (*Client, error) {
 	if vehicle == "" {
 		return nil, fmt.Errorf("rsu: empty vehicle id")
 	}
-	conn, err := net.Dial("tcp", addr)
+	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("rsu: dial: %w", err)
+	}
+	if timeout > 0 {
+		if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+			_ = conn.Close()
+			return nil, fmt.Errorf("rsu: handshake deadline: %w", err)
+		}
 	}
 	enc := json.NewEncoder(conn)
 	if err := enc.Encode(Message{Type: TypeSubscribe, Vehicle: vehicle}); err != nil {
@@ -42,6 +63,12 @@ func Dial(addr, vehicle string) (*Client, error) {
 	if welcome.Type != TypeWelcome {
 		_ = conn.Close()
 		return nil, fmt.Errorf("rsu: unexpected handshake reply %q", welcome.Type)
+	}
+	// The deadline only guards the handshake; the advisory stream is
+	// long-lived.
+	if err := conn.SetDeadline(time.Time{}); err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("rsu: clear deadline: %w", err)
 	}
 	c := &Client{
 		conn: conn,

@@ -1,0 +1,167 @@
+package rsu
+
+// Failure-mode coverage for the broadcast path: a vehicle that stops
+// reading must be evicted without stalling the RSU or the healthy
+// subscribers, and a vehicle dialing an RSU that accepts but never
+// answers must time out instead of hanging.
+
+import (
+	"bufio"
+	"encoding/json"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// stalledSubscriber subscribes over a raw connection, reads the
+// welcome, and then never reads again — the worst-behaved vehicle.
+func stalledSubscriber(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = conn.Close() })
+	if err := json.NewEncoder(conn).Encode(Message{Type: TypeSubscribe, Vehicle: "stalled"}); err != nil {
+		t.Fatal(err)
+	}
+	var welcome Message
+	if err := json.NewDecoder(bufio.NewReader(conn)).Decode(&welcome); err != nil {
+		t.Fatal(err)
+	}
+	if welcome.Type != TypeWelcome {
+		t.Fatalf("handshake reply %+v", welcome)
+	}
+	return conn
+}
+
+func TestBroadcastEvictsStalledSubscribers(t *testing.T) {
+	tests := []struct {
+		name    string
+		stalled int
+		healthy int
+	}{
+		{name: "one-stalled-one-healthy", stalled: 1, healthy: 1},
+		{name: "two-stalled-two-healthy", stalled: 2, healthy: 2},
+		{name: "stalled-only", stalled: 1, healthy: 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			srv, err := Listen("127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer srv.Close()
+
+			for i := 0; i < tt.stalled; i++ {
+				stalledSubscriber(t, srv.Addr())
+			}
+			// Each healthy client is drained continuously, so it only
+			// falls behind if Broadcast itself stalls; sawMarker[i]
+			// closes when client i receives the post-eviction probe.
+			sawMarker := make([]chan struct{}, tt.healthy)
+			for i := 0; i < tt.healthy; i++ {
+				c, err := Dial(srv.Addr(), "healthy")
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer c.Close()
+				saw := make(chan struct{})
+				sawMarker[i] = saw
+				go func() {
+					marked := false
+					for msg := range c.Messages() {
+						if msg.Frame == 424242 && !marked {
+							marked = true
+							close(saw)
+						}
+					}
+				}()
+			}
+			waitFor(t, func() bool { return srv.Subscribers() == tt.stalled+tt.healthy })
+
+			// Bloated messages fill the stalled connections' TCP buffers,
+			// so their handler goroutines block and their out queues
+			// overflow; the pacing keeps the drained (healthy) clients
+			// comfortably ahead. The loop terminating at all proves
+			// Broadcast never blocks on a stalled subscriber.
+			big := Message{Type: TypeAdvisory, Vehicle: strings.Repeat("x", 1<<16)}
+			for i := 0; i < 2000 && srv.Subscribers() > tt.healthy; i++ {
+				srv.Broadcast(big)
+				time.Sleep(time.Millisecond)
+			}
+			waitFor(t, func() bool { return srv.Subscribers() == tt.healthy })
+			if st := srv.Stats(); st.Dropped < tt.stalled {
+				t.Fatalf("dropped %d, want >= %d: %+v", st.Dropped, tt.stalled, st)
+			}
+
+			// Healthy subscribers must still be served after the purge.
+			for i, saw := range sawMarker {
+				deadline := time.After(2 * time.Second)
+				for done := false; !done; {
+					srv.Broadcast(Message{Type: TypeAdvisory, Frame: 424242})
+					select {
+					case <-saw:
+						done = true
+					case <-deadline:
+						t.Fatalf("healthy client %d starved after eviction", i)
+					case <-time.After(20 * time.Millisecond):
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestClientCloseTwice(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := Dial(srv.Addr(), "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+func TestDialTimeoutOnHungServer(t *testing.T) {
+	// A listener that accepts connections but never completes the
+	// handshake: without a deadline, Dial would block forever on the
+	// welcome decode.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				<-stop
+				_ = conn.Close()
+			}()
+		}
+	}()
+
+	start := time.Now()
+	_, err = DialTimeout(ln.Addr().String(), "v1", 150*time.Millisecond)
+	if err == nil {
+		t.Fatal("expected handshake timeout against a mute server")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("DialTimeout took %v, deadline not enforced", elapsed)
+	}
+}

@@ -12,6 +12,7 @@ import (
 
 	"safecross/internal/pipeswitch"
 	"safecross/internal/safecross"
+	"safecross/internal/serve"
 )
 
 // Message types exchanged between RSU and vehicles.
@@ -25,6 +26,8 @@ const (
 	TypeAdvisory = "advisory"
 	// TypeSwitch notifies that the RSU switched its scene model.
 	TypeSwitch = "switch"
+	// TypeStats carries a periodic serving-plane health snapshot.
+	TypeStats = "stats"
 )
 
 // Message is the single JSON envelope used on the wire.
@@ -47,16 +50,47 @@ type Message struct {
 	SwitchMicros int64 `json:"switchMicros,omitempty"`
 	// Method is the switching method used (switch messages).
 	Method string `json:"method,omitempty"`
+	// Intersection identifies which intersection's camera an
+	// advisory or switch refers to when one RSU serves several
+	// (0 for a single-intersection deployment).
+	Intersection int `json:"intersection,omitempty"`
+	// Served is the number of verdicts the serving plane has
+	// delivered (stats messages).
+	Served int `json:"served,omitempty"`
+	// Rejected is the number of requests shed by backpressure —
+	// queue-full plus expired deadlines (stats messages).
+	Rejected int `json:"rejected,omitempty"`
+	// P99Micros is the serving plane's p99 submit-to-verdict latency
+	// in microseconds (stats messages).
+	P99Micros int64 `json:"p99Micros,omitempty"`
 }
 
 // AdvisoryMessage builds the advisory message for a decision.
 func AdvisoryMessage(frame int, d *safecross.Decision) Message {
+	return IntersectionAdvisory(0, frame, d)
+}
+
+// IntersectionAdvisory builds an advisory tagged with the
+// intersection it concerns, for RSUs multiplexing several cameras
+// through one serving plane.
+func IntersectionAdvisory(intersection, frame int, d *safecross.Decision) Message {
 	return Message{
-		Type:  TypeAdvisory,
-		Frame: frame,
-		Ready: d.Ready,
-		Safe:  d.Safe,
-		Scene: d.Scene.String(),
+		Type:         TypeAdvisory,
+		Intersection: intersection,
+		Frame:        frame,
+		Ready:        d.Ready,
+		Safe:         d.Safe,
+		Scene:        d.Scene.String(),
+	}
+}
+
+// StatsMessage builds the serving-plane health snapshot broadcast.
+func StatsMessage(st serve.Stats) Message {
+	return Message{
+		Type:      TypeStats,
+		Served:    st.Completed,
+		Rejected:  st.Rejected + st.Expired,
+		P99Micros: st.P99.Microseconds(),
 	}
 }
 
@@ -78,7 +112,7 @@ func (m Message) Validate() error {
 			return fmt.Errorf("rsu: subscribe without vehicle id")
 		}
 		return nil
-	case TypeWelcome, TypeAdvisory, TypeSwitch:
+	case TypeWelcome, TypeAdvisory, TypeSwitch, TypeStats:
 		return nil
 	default:
 		return fmt.Errorf("rsu: unknown message type %q", m.Type)

@@ -24,6 +24,7 @@ import (
 	"safecross/internal/gpusim"
 	"safecross/internal/pipeswitch"
 	"safecross/internal/sim"
+	"safecross/internal/tensor"
 	"safecross/internal/video"
 	"safecross/internal/vision"
 	"safecross/internal/weather"
@@ -67,15 +68,23 @@ type Config struct {
 	SafeStreak int
 }
 
+// ClassifyFunc routes a ready clip to an external inference service
+// (the serving plane in internal/serve) and returns the predicted
+// class label. When a Framework is built with one (NewServed), it
+// performs no local classification or model switching — the service
+// owns model residency, batching, and GPU scheduling.
+type ClassifyFunc func(scene sim.Weather, clip *tensor.Tensor) (int, error)
+
 // Framework is the SafeCross runtime.
 type Framework struct {
 	mu sync.Mutex
 
-	cfg     Config
-	vp      *vision.Preprocessor
-	monitor *weather.Monitor
-	models  map[sim.Weather]video.Classifier
-	mgr     *pipeswitch.Manager
+	cfg      Config
+	vp       *vision.Preprocessor
+	monitor  *weather.Monitor
+	models   map[sim.Weather]video.Classifier
+	mgr      *pipeswitch.Manager
+	classify ClassifyFunc
 
 	ring       []*vision.Image
 	safeStreak int
@@ -156,6 +165,45 @@ func NewDefault(cfg Config, models map[sim.Weather]video.Classifier) (*Framework
 	return New(cfg, models, det, mgr)
 }
 
+// NewServed assembles a Framework whose classification path is an
+// external inference service instead of locally owned models: scene
+// detection and VP pre-processing stay in-process (they are cheap and
+// camera-local), while every ready clip is submitted through classify.
+// The service is responsible for per-scene model routing and
+// switching, so Decision.Switch is always nil and Manager returns nil.
+func NewServed(cfg Config, classify ClassifyFunc, det *weather.Detector) (*Framework, error) {
+	if classify == nil {
+		return nil, fmt.Errorf("safecross: nil classify func")
+	}
+	if det == nil {
+		return nil, fmt.Errorf("safecross: nil weather detector")
+	}
+	if cfg.ClipLen == 0 {
+		cfg.ClipLen = sim.SegmentFrames
+	}
+	if cfg.ClipLen <= 0 {
+		return nil, fmt.Errorf("safecross: clip length %d must be positive", cfg.ClipLen)
+	}
+	if cfg.VP.GridW == 0 {
+		cfg.VP = vision.DefaultVPConfig()
+	}
+	if cfg.InitialScene == 0 {
+		cfg.InitialScene = sim.Day
+	}
+	if cfg.SafeStreak == 0 {
+		cfg.SafeStreak = 2
+	}
+	if cfg.SafeStreak < 0 {
+		return nil, fmt.Errorf("safecross: safe streak %d must be positive", cfg.SafeStreak)
+	}
+	return &Framework{
+		cfg:      cfg,
+		vp:       vision.NewPreprocessor(cfg.VP),
+		monitor:  weather.NewMonitor(det, cfg.InitialScene, cfg.Debounce),
+		classify: classify,
+	}, nil
+}
+
 // Scene returns the currently settled weather scene.
 func (f *Framework) Scene() sim.Weather {
 	f.mu.Lock()
@@ -163,7 +211,9 @@ func (f *Framework) Scene() sim.Weather {
 	return f.monitor.Current()
 }
 
-// Manager exposes the model-switch manager (for SLO inspection).
+// Manager exposes the model-switch manager (for SLO inspection). It
+// is nil for served frameworks (NewServed), where the inference
+// service owns switching.
 func (f *Framework) Manager() *pipeswitch.Manager { return f.mgr }
 
 // ProcessFrame ingests one camera frame: scene detection (possibly
@@ -177,7 +227,9 @@ func (f *Framework) ProcessFrame(frame *vision.Image) (*Decision, error) {
 	scene, changed := f.monitor.Observe(frame)
 	d.Scene = scene
 	d.SceneChanged = changed
-	if changed {
+	if changed && f.classify == nil {
+		// Served frameworks skip this: the serving plane routes each
+		// clip to a warm worker and switches models itself.
 		if _, ok := f.models[scene]; !ok {
 			return nil, fmt.Errorf("safecross: no classifier for scene %v", scene)
 		}
@@ -204,10 +256,15 @@ func (f *Framework) ProcessFrame(frame *vision.Image) (*Decision, error) {
 	if err != nil {
 		return nil, fmt.Errorf("safecross: %w", err)
 	}
-	model := f.models[scene]
-	label, err := video.Predict(model, clip)
-	if err != nil {
-		return nil, fmt.Errorf("safecross: classify: %w", err)
+	var label int
+	if f.classify != nil {
+		if label, err = f.classify(scene, clip); err != nil {
+			return nil, fmt.Errorf("safecross: classify: %w", err)
+		}
+	} else {
+		if label, err = video.Predict(f.models[scene], clip); err != nil {
+			return nil, fmt.Errorf("safecross: classify: %w", err)
+		}
 	}
 	d.Ready = true
 	// Fail-safe hysteresis: danger verdicts take effect immediately;

@@ -7,6 +7,7 @@ import (
 	"safecross/internal/gpusim"
 	"safecross/internal/pipeswitch"
 	"safecross/internal/sim"
+	"safecross/internal/tensor"
 	"safecross/internal/video"
 	"safecross/internal/vision"
 	"safecross/internal/weather"
@@ -305,5 +306,62 @@ func TestSafeStreakHysteresis(t *testing.T) {
 	// Negative config rejected.
 	if _, err := New(Config{ClipLen: clipLen, SafeStreak: -1}, newTestModels(t, clipLen), det, mgr); err == nil {
 		t.Fatal("expected safe-streak validation error")
+	}
+}
+
+func TestNewServedRoutesClassificationExternally(t *testing.T) {
+	det, err := weather.FitFromSim(15, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	classify := func(scene sim.Weather, clip *tensor.Tensor) (int, error) {
+		calls++
+		if clip == nil || clip.Rank() != 4 {
+			t.Fatalf("served clip shape %v", clip)
+		}
+		return dataset.ClassSafe, nil
+	}
+	f, err := NewServed(Config{ClipLen: 4, SafeStreak: 1}, classify, det)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Manager() != nil {
+		t.Fatal("served framework must not own a switch manager")
+	}
+	world := sim.NewWorld(sim.Config{Weather: sim.Day, TruckPresent: true, Seed: 5})
+	var last *Decision
+	for i := 0; i < 6; i++ {
+		world.Step()
+		last, err = f.ProcessFrame(world.Render())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if last.Switch != nil {
+			t.Fatal("served framework must never report a local switch")
+		}
+	}
+	if calls == 0 {
+		t.Fatal("external classifier never called")
+	}
+	if !last.Ready || !last.Safe {
+		t.Fatalf("decision = %+v, want ready safe verdict from service", last)
+	}
+}
+
+func TestNewServedValidation(t *testing.T) {
+	det, err := weather.FitFromSim(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := func(sim.Weather, *tensor.Tensor) (int, error) { return 0, nil }
+	if _, err := NewServed(Config{}, nil, det); err == nil {
+		t.Fatal("expected nil-classify error")
+	}
+	if _, err := NewServed(Config{}, ok, nil); err == nil {
+		t.Fatal("expected nil-detector error")
+	}
+	if _, err := NewServed(Config{ClipLen: -1}, ok, det); err == nil {
+		t.Fatal("expected clip-length error")
 	}
 }

@@ -1,0 +1,80 @@
+package serve
+
+// Concurrency coverage for the serving plane (run under
+// `go test -race`): many producers across every scene, with admission
+// pressure and aggressive deadlines, must account for every single
+// request — a verdict or an explicit rejection error, never silence.
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"safecross/internal/sim"
+)
+
+func TestConcurrentSubmitNoSilentDrops(t *testing.T) {
+	const producers, perProducer = 9, 20
+
+	s, err := New(Config{
+		Workers:      3,
+		MaxBatch:     4,
+		BatchLatency: time.Millisecond,
+		QueueDepth:   8, // small on purpose: force ErrQueueFull under load
+		SLO:          10 * time.Second,
+	}, stubFactory(500*time.Microsecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var verdicts, queueFull, expired, other atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < producers; i++ {
+		scene := sim.AllWeathers()[i%3]
+		tight := i%4 == 3 // every fourth producer uses a hair-trigger deadline
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perProducer; j++ {
+				req := Request{Scene: scene, Clip: testClip()}
+				if tight {
+					req.Deadline = 100 * time.Microsecond
+				}
+				_, err := s.Submit(req)
+				switch {
+				case err == nil:
+					verdicts.Add(1)
+				case errors.Is(err, ErrQueueFull):
+					queueFull.Add(1)
+				case errors.Is(err, ErrDeadlineExceeded):
+					expired.Add(1)
+				default:
+					other.Add(1)
+					t.Errorf("unexpected error: %v", err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	total := int64(producers * perProducer)
+	if got := verdicts.Load() + queueFull.Load() + expired.Load() + other.Load(); got != total {
+		t.Fatalf("accounted for %d of %d requests", got, total)
+	}
+	st := s.Stats()
+	if int64(st.Submitted+st.Rejected) != total {
+		t.Fatalf("submitted %d + rejected %d != %d", st.Submitted, st.Rejected, total)
+	}
+	if st.Completed+st.Expired+st.Failed != st.Submitted {
+		t.Fatalf("admitted-request leak: %+v", st)
+	}
+	if int64(st.Completed) != verdicts.Load() || int64(st.Expired) != expired.Load() {
+		t.Fatalf("stats disagree with callers: %+v vs verdicts=%d expired=%d", st, verdicts.Load(), expired.Load())
+	}
+	if st.Batches == 0 || st.BatchedClips != st.Completed {
+		t.Fatalf("batch accounting: %+v", st)
+	}
+}

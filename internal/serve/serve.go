@@ -1,0 +1,181 @@
+// Package serve is the multi-intersection inference-serving
+// subsystem: it sits between feed sources (RSU camera loops,
+// benchmarks, examples) and the per-scene video classifiers, turning
+// the one-camera-one-GPU Framework deployment into a shared serving
+// plane a city's worth of intersections can submit to.
+//
+// The pipeline is:
+//
+//	Submit → bounded admission queue → per-scene dynamic batcher →
+//	scheduler → worker pool over N simulated GPUs → verdict
+//
+// Backpressure is explicit at every stage: a full admission queue
+// rejects with ErrQueueFull rather than blocking, and a request whose
+// deadline lapses while queued is shed with ErrDeadlineExceeded
+// before it wastes GPU time. Every accepted request therefore ends in
+// exactly one of a verdict or an error — nothing is dropped silently.
+//
+// Dynamic batching coalesces queued clips for the same scene into one
+// batched forward pass, flushing a batch when it reaches MaxBatch or
+// when its oldest member has waited BatchLatency. The scheduler
+// routes a sealed batch to a worker whose resident model already
+// matches the batch's scene when one is idle, and only triggers a
+// PipeSwitch model swap when no warm worker exists.
+//
+// Each worker owns a private replica of every scene model (forward
+// passes carry mutable state, so replicas are mandatory for
+// parallelism) and its own simulated GPU; switch and compute share
+// one virtual timeline per worker, so Stats reports both wall-clock
+// and deterministic virtual-time serving metrics.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"safecross/internal/sim"
+	"safecross/internal/tensor"
+	"safecross/internal/video"
+)
+
+// Sentinel errors returned by Submit. Both are explicit backpressure:
+// the caller learns immediately that the request was not served.
+var (
+	// ErrQueueFull reports that the admission queue was full at
+	// submission time.
+	ErrQueueFull = errors.New("serve: admission queue full")
+	// ErrDeadlineExceeded reports that the request's deadline lapsed
+	// while it was still queued, so it was shed before inference.
+	ErrDeadlineExceeded = errors.New("serve: deadline exceeded before inference")
+	// ErrClosed reports that the server was shut down before the
+	// request could be served.
+	ErrClosed = errors.New("serve: server closed")
+)
+
+// Config sizes the serving plane.
+type Config struct {
+	// Workers is the number of simulated GPUs (default 2).
+	Workers int
+	// MaxBatch is the largest batch one forward pass may carry
+	// (default 8; 1 disables batching).
+	MaxBatch int
+	// BatchLatency is the longest a queued clip may wait for
+	// batch-mates before its batch is flushed anyway (default 2ms;
+	// 0 flushes every batch immediately).
+	BatchLatency time.Duration
+	// QueueDepth bounds the admission queue (default 64).
+	QueueDepth int
+	// SLO is the default per-request deadline when a Request carries
+	// none (default 250ms). It is also the latency bound SLO
+	// accounting is measured against.
+	SLO time.Duration
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Workers == 0 {
+		c.Workers = 2
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 8
+	}
+	if c.BatchLatency == 0 {
+		c.BatchLatency = 2 * time.Millisecond
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.SLO == 0 {
+		c.SLO = 250 * time.Millisecond
+	}
+	return c
+}
+
+// Validate rejects unusable configurations.
+func (c Config) Validate() error {
+	if c.Workers < 1 {
+		return fmt.Errorf("serve: %d workers, need at least 1", c.Workers)
+	}
+	if c.MaxBatch < 1 {
+		return fmt.Errorf("serve: max batch %d, need at least 1", c.MaxBatch)
+	}
+	if c.QueueDepth < 1 {
+		return fmt.Errorf("serve: queue depth %d, need at least 1", c.QueueDepth)
+	}
+	if c.BatchLatency < 0 || c.SLO < 0 {
+		return fmt.Errorf("serve: negative latency bound")
+	}
+	return nil
+}
+
+// Request is one classification submission: a pre-processed clip, the
+// scene whose model must judge it, and an optional deadline.
+type Request struct {
+	// Scene selects the per-scene model.
+	Scene sim.Weather
+	// Clip is the [1,T,H,W] occupancy-grid clip tensor.
+	Clip *tensor.Tensor
+	// Deadline is the SLO budget from submission to verdict; zero
+	// means the server's Config.SLO.
+	Deadline time.Duration
+}
+
+// Timing is the per-request SLO accounting: where the latency went.
+type Timing struct {
+	// Queue is the wait in the admission queue before the scheduler
+	// placed the request into a scene batch.
+	Queue time.Duration
+	// BatchWait is the wait inside the batch until a worker took it.
+	BatchWait time.Duration
+	// Compute is the wall-clock time of the batched forward pass the
+	// request rode in.
+	Compute time.Duration
+	// Total is submission to verdict delivery.
+	Total time.Duration
+	// Switch is the virtual-time cost of the PipeSwitch model swap
+	// this batch triggered (zero on a warm worker).
+	Switch time.Duration
+	// VirtualCompute is the simulated-GPU duration of the batched
+	// inference (kernel launches amortised over the batch).
+	VirtualCompute time.Duration
+	// Worker is the GPU worker that served the request.
+	Worker int
+	// Batch is the size of the batch the request was served in.
+	Batch int
+	// SLOMet reports Total ≤ the request's deadline.
+	SLOMet bool
+}
+
+// Verdict is the served classification result.
+type Verdict struct {
+	// Label is the predicted class (dataset.ClassDanger or
+	// dataset.ClassSafe).
+	Label int
+	// Safe is the advisory reading of the label.
+	Safe bool
+	// Timing is the request's latency breakdown.
+	Timing Timing
+}
+
+// ModelFactory builds one private replica of the per-scene
+// classifiers for a worker. It is called once per worker at server
+// construction; replicas must not share mutable state.
+type ModelFactory func() (map[sim.Weather]video.Classifier, error)
+
+// Replicas returns a ModelFactory that clones trained per-scene
+// classifiers weight-for-weight through the builder that produced
+// them (experiments.TrainedModels carries it).
+func Replicas(builder video.Builder, trained map[sim.Weather]video.Classifier) ModelFactory {
+	return func() (map[sim.Weather]video.Classifier, error) {
+		out := make(map[sim.Weather]video.Classifier, len(trained))
+		for scene, m := range trained {
+			clone, err := video.CloneWeights(builder, m)
+			if err != nil {
+				return nil, fmt.Errorf("serve: replicate %v model: %w", scene, err)
+			}
+			out[scene] = clone
+		}
+		return out, nil
+	}
+}

@@ -1,0 +1,385 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"safecross/internal/dataset"
+	"safecross/internal/nn"
+	"safecross/internal/sim"
+	"safecross/internal/tensor"
+	"safecross/internal/video"
+)
+
+// stubClassifier is a controllable classifier for serving tests: it
+// always predicts label, optionally sleeping to simulate compute. The
+// unsynchronised forwards counter is deliberate — if the server ever
+// shared one replica across workers, `go test -race` would flag it.
+type stubClassifier struct {
+	label    int
+	delay    time.Duration
+	forwards int
+}
+
+func (c *stubClassifier) Name() string { return "stub" }
+
+func (c *stubClassifier) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	c.forwards++
+	if c.delay > 0 {
+		time.Sleep(c.delay)
+	}
+	out := tensor.New(2)
+	out.Data[c.label] = 1
+	return out, nil
+}
+
+func (c *stubClassifier) Backward(d *tensor.Tensor) error { return nil }
+func (c *stubClassifier) Params() []*nn.Param             { return nil }
+func (c *stubClassifier) SetTrain(train bool)             {}
+
+// stubFactory returns fresh per-worker replicas predicting safe for
+// day and danger for rain/snow, with the given per-clip delay.
+func stubFactory(delay time.Duration) ModelFactory {
+	return func() (map[sim.Weather]video.Classifier, error) {
+		return map[sim.Weather]video.Classifier{
+			sim.Day:  &stubClassifier{label: dataset.ClassSafe, delay: delay},
+			sim.Rain: &stubClassifier{label: dataset.ClassDanger, delay: delay},
+			sim.Snow: &stubClassifier{label: dataset.ClassDanger, delay: delay},
+		}, nil
+	}
+}
+
+func testClip() *tensor.Tensor { return tensor.New(1, 4, 2, 2) }
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		cfg     Config
+		wantErr bool
+	}{
+		{name: "defaults", cfg: Config{}.withDefaults()},
+		{name: "negative-workers", cfg: Config{Workers: -1, MaxBatch: 1, QueueDepth: 1}, wantErr: true},
+		{name: "negative-batch", cfg: Config{Workers: 1, MaxBatch: -2, QueueDepth: 1}, wantErr: true},
+		{name: "negative-queue", cfg: Config{Workers: 1, MaxBatch: 1, QueueDepth: -1}, wantErr: true},
+		{name: "negative-slo", cfg: Config{Workers: 1, MaxBatch: 1, QueueDepth: 1, SLO: -time.Second}, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.cfg.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("Validate() err=%v, wantErr=%v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestSubmitDeliversVerdictWithTiming(t *testing.T) {
+	s, err := New(Config{Workers: 1}, stubFactory(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	v, err := s.Submit(Request{Scene: sim.Day, Clip: testClip()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Label != dataset.ClassSafe || !v.Safe {
+		t.Fatalf("verdict = %+v, want safe", v)
+	}
+	if v.Timing.Batch != 1 || v.Timing.Worker != 0 {
+		t.Fatalf("timing batch/worker = %+v", v.Timing)
+	}
+	if v.Timing.VirtualCompute <= 0 {
+		t.Fatalf("no virtual compute charged: %+v", v.Timing)
+	}
+	if v.Timing.Switch <= 0 {
+		t.Fatalf("first batch on a cold worker must pay a switch: %+v", v.Timing)
+	}
+	if !v.Timing.SLOMet {
+		t.Fatalf("default SLO violated in an idle server: %+v", v.Timing)
+	}
+
+	st := s.Stats()
+	if st.Submitted != 1 || st.Completed != 1 || st.Batches != 1 || st.Switches != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.VirtualMakespan <= 0 {
+		t.Fatalf("virtual makespan not tracked: %+v", st)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	s, err := New(Config{Workers: 1}, stubFactory(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Submit(Request{Scene: sim.Day}); err == nil {
+		t.Fatal("expected nil-clip error")
+	}
+	if _, err := s.Submit(Request{Scene: sim.Weather(99), Clip: testClip()}); err == nil {
+		t.Fatal("expected unknown-scene error")
+	}
+}
+
+// TestDynamicBatchingCoalesces checks that same-scene requests queued
+// behind a busy worker ride one batched forward pass.
+func TestDynamicBatchingCoalesces(t *testing.T) {
+	s, err := New(Config{
+		Workers:      1,
+		MaxBatch:     4,
+		BatchLatency: 2 * time.Millisecond,
+		SLO:          10 * time.Second,
+	}, stubFactory(30*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var wg sync.WaitGroup
+	// Occupy the single worker.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := s.Submit(Request{Scene: sim.Day, Clip: testClip()}); err != nil {
+			t.Error(err)
+		}
+	}()
+	time.Sleep(10 * time.Millisecond) // let it reach the worker
+
+	// Four more arrive while the worker is busy: MaxBatch seals them
+	// into one batch that runs as a single forward pass.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := s.Submit(Request{Scene: sim.Day, Clip: testClip()})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if v.Timing.Batch < 2 {
+				t.Errorf("expected a coalesced batch, got size %d", v.Timing.Batch)
+			}
+		}()
+	}
+	wg.Wait()
+
+	st := s.Stats()
+	if st.Completed != 5 {
+		t.Fatalf("completed %d, want 5", st.Completed)
+	}
+	if st.MaxBatch != 4 {
+		t.Fatalf("max batch %d, want 4", st.MaxBatch)
+	}
+	if st.Batches != 2 {
+		t.Fatalf("batches %d, want 2 (1 + coalesced 4)", st.Batches)
+	}
+}
+
+// TestQueueFullRejects checks explicit admission backpressure: once
+// QueueDepth requests wait un-dispatched, further submissions fail
+// fast with ErrQueueFull instead of blocking.
+func TestQueueFullRejects(t *testing.T) {
+	s, err := New(Config{
+		Workers:    1,
+		MaxBatch:   1,
+		QueueDepth: 2,
+		SLO:        10 * time.Second,
+	}, stubFactory(60*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var wg sync.WaitGroup
+	submit := func() {
+		defer wg.Done()
+		if _, err := s.Submit(Request{Scene: sim.Day, Clip: testClip()}); err != nil {
+			t.Error(err)
+		}
+	}
+	wg.Add(1)
+	go submit() // dispatched to the worker, leaves the queue
+	time.Sleep(15 * time.Millisecond)
+	wg.Add(2)
+	go submit() // queued
+	go submit() // queued — admission now full
+	time.Sleep(15 * time.Millisecond)
+
+	if _, err := s.Submit(Request{Scene: sim.Day, Clip: testClip()}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	wg.Wait()
+	if st := s.Stats(); st.Rejected != 1 || st.Completed != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestDeadlineShedding checks SLO-aware backpressure: a request whose
+// deadline lapses while queued is rejected before inference.
+func TestDeadlineShedding(t *testing.T) {
+	s, err := New(Config{
+		Workers:  1,
+		MaxBatch: 1,
+		SLO:      10 * time.Second,
+	}, stubFactory(50*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := s.Submit(Request{Scene: sim.Day, Clip: testClip()}); err != nil {
+			t.Error(err)
+		}
+	}()
+	time.Sleep(15 * time.Millisecond) // occupy the worker
+
+	_, err = s.Submit(Request{Scene: sim.Day, Clip: testClip(), Deadline: time.Millisecond})
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrDeadlineExceeded", err)
+	}
+	wg.Wait()
+	if st := s.Stats(); st.Expired != 1 || st.Completed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestWarmRouting checks that the scheduler pins scenes to workers:
+// after day and rain have each claimed a worker, alternating traffic
+// never switches again.
+func TestWarmRouting(t *testing.T) {
+	s, err := New(Config{Workers: 2, MaxBatch: 1, SLO: 10 * time.Second}, stubFactory(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	scenes := []sim.Weather{sim.Day, sim.Rain, sim.Day, sim.Rain, sim.Day, sim.Rain}
+	for i, scene := range scenes {
+		v, err := s.Submit(Request{Scene: scene, Clip: testClip()})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		if i >= 2 && v.Timing.Switch != 0 {
+			t.Fatalf("submit %d (%v) paid a switch on a warm fleet: %+v", i, scene, v.Timing)
+		}
+	}
+	st := s.Stats()
+	if st.Switches != 2 {
+		t.Fatalf("switches = %d, want 2 (one per scene)", st.Switches)
+	}
+	if st.WarmBatches != st.Batches-2 {
+		t.Fatalf("warm batches = %d of %d, want all but the first two", st.WarmBatches, st.Batches)
+	}
+}
+
+func TestCloseRejectsAndIsIdempotent(t *testing.T) {
+	s, err := New(Config{Workers: 1}, stubFactory(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if _, err := s.Submit(Request{Scene: sim.Day, Clip: testClip()}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+// TestCloseDuringTraffic checks that shutdown under load leaves no
+// submitter hanging: every in-flight request ends in a verdict or an
+// explicit error.
+func TestCloseDuringTraffic(t *testing.T) {
+	s, err := New(Config{Workers: 2, MaxBatch: 4, SLO: 10 * time.Second}, stubFactory(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		scene := sim.AllWeathers()[i%3]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if _, err := s.Submit(Request{Scene: scene, Clip: testClip()}); err != nil {
+					if !errors.Is(err, ErrClosed) && !errors.Is(err, ErrQueueFull) {
+						t.Errorf("unexpected error: %v", err)
+					}
+					if errors.Is(err, ErrClosed) {
+						return
+					}
+				}
+			}
+		}()
+	}
+	time.Sleep(25 * time.Millisecond)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait() // returning at all proves no silent drop hung a submitter
+
+	st := s.Stats()
+	if got := st.Completed + st.Expired + st.Failed; got != st.Submitted {
+		t.Fatalf("accounting leak: completed+expired+failed = %d, submitted = %d", got, st.Submitted)
+	}
+}
+
+// TestBatchedMultiGPUBeatsSingleGPUBaseline is the acceptance
+// comparison: 4 simulated intersections served by a batched 4-GPU
+// fleet must achieve strictly higher clip throughput — measured in
+// deterministic virtual GPU time — than the per-clip single-GPU
+// baseline, with every accepted request receiving a verdict.
+func TestBatchedMultiGPUBeatsSingleGPUBaseline(t *testing.T) {
+	const intersections, perIntersection = 4, 12
+
+	run := func(cfg Config) Stats {
+		s, err := New(cfg, stubFactory(200*time.Microsecond))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		var wg sync.WaitGroup
+		for i := 0; i < intersections; i++ {
+			scene := sim.AllWeathers()[i%3]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := 0; j < perIntersection; j++ {
+					if _, err := s.Submit(Request{Scene: scene, Clip: testClip()}); err != nil {
+						t.Errorf("submit: %v", err)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		return s.Stats()
+	}
+
+	baseline := run(Config{Workers: 1, MaxBatch: 1, QueueDepth: 256, SLO: time.Minute})
+	served := run(Config{Workers: 4, MaxBatch: 8, QueueDepth: 256, SLO: time.Minute})
+
+	total := intersections * perIntersection
+	for name, st := range map[string]Stats{"baseline": baseline, "served": served} {
+		if st.Completed != total || st.Expired != 0 || st.Failed != 0 {
+			t.Fatalf("%s dropped requests: %+v", name, st)
+		}
+	}
+	if served.VirtualThroughput() <= baseline.VirtualThroughput() {
+		t.Fatalf("batched 4-GPU fleet (%.1f clips/s virtual) not faster than per-clip single GPU (%.1f clips/s virtual)",
+			served.VirtualThroughput(), baseline.VirtualThroughput())
+	}
+	if served.VirtualMakespan >= baseline.VirtualMakespan {
+		t.Fatalf("served makespan %v not below baseline %v", served.VirtualMakespan, baseline.VirtualMakespan)
+	}
+}

@@ -1,0 +1,356 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"safecross/internal/sim"
+)
+
+// pending is one in-flight request with its bookkeeping instants.
+type pending struct {
+	req      Request
+	deadline time.Duration
+
+	submitted  time.Time // Submit accepted it
+	bucketed   time.Time // scheduler placed it in a scene bucket
+	dispatched time.Time // scheduler handed its batch to a worker
+
+	done chan outcome // capacity 1; exactly one outcome is ever sent
+}
+
+// outcome is a verdict or an explicit rejection.
+type outcome struct {
+	v   Verdict
+	err error
+}
+
+// batch is a sealed group of same-scene requests bound for one
+// batched forward pass.
+type batch struct {
+	scene sim.Weather
+	reqs  []*pending
+	warm  bool // assigned worker already held the scene's model
+}
+
+// idleNote is a worker's report that it is free, with its resident
+// model so the scheduler can route warm.
+type idleNote struct {
+	worker   int
+	scene    sim.Weather
+	hasModel bool
+}
+
+// Server is the inference-serving plane.
+type Server struct {
+	cfg     Config
+	scenes  map[sim.Weather]bool
+	workers []*worker
+
+	submitCh chan *pending
+	idleCh   chan idleNote
+	stopCh   chan struct{}
+	wg       sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+	stats  statsAccum
+	// inflight counts requests admitted but not yet handed to a
+	// worker or rejected; QueueDepth bounds it, so admission
+	// backpressure covers the scene buckets and the ready queue, not
+	// just the channel.
+	inflight int
+}
+
+// New builds and starts a serving plane: cfg.Workers simulated GPUs,
+// each with a private model replica set from the factory and a
+// per-scene PipeSwitch manager, plus the batching scheduler.
+func New(cfg Config, factory ModelFactory) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if factory == nil {
+		return nil, fmt.Errorf("serve: nil model factory")
+	}
+	s := &Server{
+		cfg:      cfg,
+		scenes:   make(map[sim.Weather]bool),
+		submitCh: make(chan *pending, cfg.QueueDepth),
+		// Buffered past the worst case (one stale note plus one
+		// post-shutdown note per worker) so workers never block on it.
+		idleCh: make(chan idleNote, 2*cfg.Workers),
+		stopCh: make(chan struct{}),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		w, err := newWorker(i, factory)
+		if err != nil {
+			return nil, err
+		}
+		s.workers = append(s.workers, w)
+	}
+	for scene := range s.workers[0].models {
+		s.scenes[scene] = true
+	}
+	for _, w := range s.workers {
+		s.wg.Add(1)
+		go w.run(s)
+	}
+	s.wg.Add(1)
+	go s.schedule()
+	return s, nil
+}
+
+// Submit queues one request and blocks until its verdict or explicit
+// rejection. It never blocks on admission: a full queue returns
+// ErrQueueFull immediately.
+func (s *Server) Submit(req Request) (Verdict, error) {
+	if req.Clip == nil {
+		return Verdict{}, fmt.Errorf("serve: nil clip")
+	}
+	if !s.scenes[req.Scene] {
+		return Verdict{}, fmt.Errorf("serve: no model for scene %v", req.Scene)
+	}
+	p := &pending{
+		req:       req,
+		deadline:  req.Deadline,
+		submitted: time.Now(),
+		done:      make(chan outcome, 1),
+	}
+	if p.deadline <= 0 {
+		p.deadline = s.cfg.SLO
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return Verdict{}, ErrClosed
+	}
+	if s.inflight >= s.cfg.QueueDepth {
+		s.stats.Rejected++
+		s.mu.Unlock()
+		return Verdict{}, ErrQueueFull
+	}
+	// The channel holds a subset of the inflight requests and shares
+	// its capacity, so this send cannot block.
+	s.submitCh <- p
+	s.inflight++
+	s.stats.Submitted++
+	s.mu.Unlock()
+	out := <-p.done
+	return out.v, out.err
+}
+
+// release returns admission-queue slots once requests leave the
+// scheduler's ownership (dispatched to a worker, or rejected before
+// dispatch).
+func (s *Server) release(n int) {
+	s.mu.Lock()
+	s.inflight -= n
+	s.mu.Unlock()
+}
+
+// Close stops admission, fails all queued requests with ErrClosed,
+// lets in-flight batches finish delivering, and waits for every
+// goroutine to exit. Safe to call twice.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.stopCh)
+	s.wg.Wait()
+	return nil
+}
+
+// reject delivers an explicit rejection and counts it.
+func (s *Server) reject(p *pending, err error) {
+	s.mu.Lock()
+	if errors.Is(err, ErrDeadlineExceeded) {
+		s.stats.Expired++
+	} else {
+		s.stats.Failed++
+	}
+	s.mu.Unlock()
+	p.done <- outcome{err: err}
+}
+
+// bucket accumulates same-scene requests until sealed into a batch.
+type bucket struct {
+	reqs  []*pending
+	first time.Time
+}
+
+// schedule is the single goroutine owning the batcher and routing
+// state. All sends it performs are non-blocking by construction
+// (worker channels are only written after an idle report; capacities
+// cover the rest), so it can never deadlock against workers.
+func (s *Server) schedule() {
+	defer s.wg.Done()
+
+	buckets := make(map[sim.Weather]*bucket)
+	var ready []*batch
+	idle := make([]idleNote, 0, len(s.workers))
+	for i := range s.workers {
+		idle = append(idle, idleNote{worker: i})
+	}
+
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	timerSet := false
+
+	seal := func(scene sim.Weather) {
+		b := buckets[scene]
+		delete(buckets, scene)
+		ready = append(ready, &batch{scene: scene, reqs: b.reqs})
+	}
+
+	// resetTimer re-arms the flush timer for the oldest open bucket.
+	resetTimer := func() {
+		if timerSet {
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+			timerSet = false
+		}
+		var next time.Time
+		for _, b := range buckets {
+			d := b.first.Add(s.cfg.BatchLatency)
+			if next.IsZero() || d.Before(next) {
+				next = d
+			}
+		}
+		if !next.IsZero() {
+			timer.Reset(time.Until(next))
+			timerSet = true
+		}
+	}
+
+	// dispatch pairs ready batches with idle workers, preferring a
+	// worker whose resident model matches (warm routing), shedding
+	// requests whose deadline lapsed while they waited.
+	dispatch := func() {
+		for len(ready) > 0 && len(idle) > 0 {
+			bi, wi := -1, -1
+			for i, b := range ready {
+				for j, n := range idle {
+					if n.hasModel && n.scene == b.scene {
+						bi, wi = i, j
+						break
+					}
+				}
+				if bi >= 0 {
+					break
+				}
+			}
+			if bi < 0 {
+				// No warm pairing: oldest batch onto a model-less
+				// worker when one exists (keeps warm workers warm),
+				// else onto any idle worker, paying a switch.
+				bi, wi = 0, 0
+				for j, n := range idle {
+					if !n.hasModel {
+						wi = j
+						break
+					}
+				}
+			}
+			b := ready[bi]
+			ready = append(ready[:bi], ready[bi+1:]...)
+			note := idle[wi]
+			idle = append(idle[:wi], idle[wi+1:]...)
+			b.warm = note.hasModel && note.scene == b.scene
+
+			now := time.Now()
+			kept := b.reqs[:0]
+			for _, p := range b.reqs {
+				if now.Sub(p.submitted) > p.deadline {
+					s.release(1)
+					s.reject(p, ErrDeadlineExceeded)
+					continue
+				}
+				p.dispatched = now
+				kept = append(kept, p)
+			}
+			b.reqs = kept
+			if len(b.reqs) == 0 {
+				idle = append(idle, note)
+				continue
+			}
+			s.release(len(b.reqs))
+			s.workers[note.worker].ch <- b
+		}
+	}
+
+	for {
+		select {
+		case p := <-s.submitCh:
+			now := time.Now()
+			p.bucketed = now
+			b := buckets[p.req.Scene]
+			if b == nil {
+				b = &bucket{first: now}
+				buckets[p.req.Scene] = b
+			}
+			b.reqs = append(b.reqs, p)
+			if len(b.reqs) >= s.cfg.MaxBatch {
+				seal(p.req.Scene)
+			}
+			dispatch()
+			resetTimer()
+
+		case <-timer.C:
+			timerSet = false
+			now := time.Now()
+			for scene, b := range buckets {
+				if !now.Before(b.first.Add(s.cfg.BatchLatency)) {
+					seal(scene)
+				}
+			}
+			dispatch()
+			resetTimer()
+
+		case n := <-s.idleCh:
+			idle = append(idle, n)
+			dispatch()
+
+		case <-s.stopCh:
+			// Fail everything not yet handed to a worker; in-flight
+			// batches still deliver their verdicts.
+			for drained := false; !drained; {
+				select {
+				case p := <-s.submitCh:
+					s.release(1)
+					s.reject(p, ErrClosed)
+				default:
+					drained = true
+				}
+			}
+			for _, b := range buckets {
+				for _, p := range b.reqs {
+					s.release(1)
+					s.reject(p, ErrClosed)
+				}
+			}
+			for _, b := range ready {
+				for _, p := range b.reqs {
+					s.release(1)
+					s.reject(p, ErrClosed)
+				}
+			}
+			for _, w := range s.workers {
+				close(w.ch)
+			}
+			return
+		}
+	}
+}

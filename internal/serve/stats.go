@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"sort"
+	"time"
+
+	"safecross/internal/pipeswitch"
+)
+
+// Stats is a point-in-time snapshot of serving activity.
+type Stats struct {
+	// Submitted counts requests accepted into the admission queue.
+	Submitted int
+	// Rejected counts submissions refused for a full queue
+	// (ErrQueueFull backpressure).
+	Rejected int
+	// Expired counts queued requests shed because their deadline
+	// lapsed before inference (ErrDeadlineExceeded).
+	Expired int
+	// Failed counts requests that ended in any other explicit error
+	// (model failure, shutdown).
+	Failed int
+	// Completed counts requests that received a verdict.
+	Completed int
+	// SLOViolations counts completed requests whose total latency
+	// exceeded their deadline.
+	SLOViolations int
+
+	// Batches is the number of batched forward passes; BatchedClips
+	// the clips they carried; MaxBatch the largest batch observed.
+	Batches, BatchedClips, MaxBatch int
+	// WarmBatches counts batches routed to a worker already holding
+	// the scene's model; Switches counts batches that triggered a
+	// PipeSwitch model swap.
+	WarmBatches, Switches int
+
+	// QueueWait, BatchWait, and ComputeWall are cumulative wall-clock
+	// components over completed requests.
+	QueueWait, BatchWait, ComputeWall time.Duration
+	// TotalLatency is the cumulative submit-to-verdict latency over
+	// completed requests.
+	TotalLatency time.Duration
+	// P50 and P99 are total-latency percentiles over recently
+	// completed requests.
+	P50, P99 time.Duration
+
+	// SwitchVirtual is the cumulative virtual-time cost of all model
+	// swaps performed by workers.
+	SwitchVirtual time.Duration
+	// VirtualBusy sums every worker's simulated-GPU timeline;
+	// VirtualMakespan is the busiest worker's timeline — the
+	// deterministic serving-completion time on the simulated
+	// hardware, independent of the host machine.
+	VirtualBusy, VirtualMakespan time.Duration
+}
+
+// MeanBatch returns the average clips per batched forward pass.
+func (st Stats) MeanBatch() float64 {
+	if st.Batches == 0 {
+		return 0
+	}
+	return float64(st.BatchedClips) / float64(st.Batches)
+}
+
+// VirtualThroughput returns completed clips per second of virtual
+// makespan — the host-independent throughput of the simulated GPU
+// fleet.
+func (st Stats) VirtualThroughput() float64 {
+	if st.VirtualMakespan <= 0 {
+		return 0
+	}
+	return float64(st.Completed) / st.VirtualMakespan.Seconds()
+}
+
+// latencySample bounds percentile memory: a ring of the most recent
+// completed-request latencies.
+const latencySample = 8192
+
+// statsAccum is the mutable accumulator behind Stats, guarded by
+// Server.mu.
+type statsAccum struct {
+	Stats
+	ring  [latencySample]time.Duration
+	ringN int // total ever recorded
+}
+
+// record adds one completed request's total latency.
+func (a *statsAccum) record(total time.Duration) {
+	a.ring[a.ringN%latencySample] = total
+	a.ringN++
+}
+
+// recordBatch folds one served batch into the counters.
+func (s *Server) recordBatch(b *batch, rep pipeswitch.Report, computeWall time.Duration, now time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := &s.stats
+	st.Batches++
+	st.BatchedClips += len(b.reqs)
+	if len(b.reqs) > st.MaxBatch {
+		st.MaxBatch = len(b.reqs)
+	}
+	if b.warm {
+		st.WarmBatches++
+	}
+	if rep.Method != "noop" && rep.Method != "" {
+		st.Switches++
+		st.SwitchVirtual += rep.Total
+	}
+	for _, p := range b.reqs {
+		total := now.Sub(p.submitted)
+		st.Completed++
+		st.QueueWait += p.bucketed.Sub(p.submitted)
+		st.BatchWait += p.dispatched.Sub(p.bucketed)
+		st.ComputeWall += computeWall
+		st.TotalLatency += total
+		if total > p.deadline {
+			st.SLOViolations++
+		}
+		st.record(total)
+	}
+}
+
+// Stats returns a snapshot, including percentiles over the recent
+// latency sample and the per-worker virtual timelines.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	out := s.stats.Stats
+	n := s.stats.ringN
+	if n > latencySample {
+		n = latencySample
+	}
+	sample := make([]time.Duration, n)
+	copy(sample, s.stats.ring[:n])
+	s.mu.Unlock()
+
+	if len(sample) > 0 {
+		sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
+		out.P50 = sample[len(sample)/2]
+		out.P99 = sample[(len(sample)*99)/100]
+	}
+	for _, w := range s.workers {
+		v := time.Duration(w.virtualNow.Load())
+		out.VirtualBusy += v
+		if v > out.VirtualMakespan {
+			out.VirtualMakespan = v
+		}
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package serve
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"safecross/internal/dataset"
+	"safecross/internal/gpusim"
+	"safecross/internal/pipeswitch"
+	"safecross/internal/sim"
+	"safecross/internal/tensor"
+	"safecross/internal/video"
+)
+
+// worker is one GPU-attached serving process: a private replica of
+// every scene model, a simulated device, and a PipeSwitch manager so
+// model swaps and batched inference share one virtual timeline.
+type worker struct {
+	id     int
+	ch     chan *batch
+	mgr    *pipeswitch.Manager
+	models map[sim.Weather]video.Classifier
+
+	// virtualNow mirrors the device clock (nanoseconds) after each
+	// batch so Stats can read it without racing the worker.
+	virtualNow atomic.Int64
+}
+
+// newWorker builds a worker: model replicas from the factory, a fresh
+// simulated GPU, and the per-scene switch manifests registered under
+// sim.Weather.String() keys (mirroring safecross.NewDefault).
+func newWorker(id int, factory ModelFactory) (*worker, error) {
+	models, err := factory()
+	if err != nil {
+		return nil, fmt.Errorf("serve: worker %d models: %w", id, err)
+	}
+	if len(models) == 0 {
+		return nil, fmt.Errorf("serve: worker %d has no models", id)
+	}
+	dev, err := gpusim.NewDevice(gpusim.DefaultConfig())
+	if err != nil {
+		return nil, fmt.Errorf("serve: worker %d: %w", id, err)
+	}
+	mgr := pipeswitch.NewManager(dev)
+	for scene := range models {
+		m := pipeswitch.SafeCrossSlowFast()
+		m.Name = m.Name + "-" + scene.String()
+		if err := mgr.Register(scene.String(), m); err != nil {
+			return nil, fmt.Errorf("serve: worker %d: %w", id, err)
+		}
+	}
+	return &worker{
+		id:     id,
+		ch:     make(chan *batch, 1),
+		mgr:    mgr,
+		models: models,
+	}, nil
+}
+
+// run serves batches until the scheduler closes the channel.
+func (w *worker) run(s *Server) {
+	defer s.wg.Done()
+	for b := range w.ch {
+		w.serveBatch(s, b)
+		s.idleCh <- idleNote{worker: w.id, scene: b.scene, hasModel: true}
+	}
+}
+
+// serveBatch activates the batch's scene model (a PipeSwitch swap
+// when the worker is cold for it), runs one batched forward pass, and
+// delivers a verdict to every request. Any failure is delivered as an
+// explicit error — a taken batch never vanishes.
+func (w *worker) serveBatch(s *Server, b *batch) {
+	rep, err := w.mgr.Activate(b.scene.String())
+	if err != nil {
+		w.failBatch(s, b, fmt.Errorf("serve: switch to %v: %w", b.scene, err))
+		return
+	}
+	clips := make([]*tensor.Tensor, len(b.reqs))
+	for i, p := range b.reqs {
+		clips[i] = p.req.Clip
+	}
+	computeStart := time.Now()
+	labels, err := video.PredictBatch(w.models[b.scene], clips)
+	computeWall := time.Since(computeStart)
+	if err != nil {
+		w.failBatch(s, b, fmt.Errorf("serve: classify %v batch: %w", b.scene, err))
+		return
+	}
+
+	// Charge the batch to the simulated GPU: FLOPs scale with the
+	// batch, kernel launches are paid once (the batching win), on the
+	// same timeline the switch just advanced.
+	manifest, ok := w.mgr.ModelFor(b.scene.String())
+	if !ok {
+		w.failBatch(s, b, fmt.Errorf("serve: no manifest for scene %v", b.scene))
+		return
+	}
+	dev := w.mgr.Device()
+	start, done := dev.InferAt(dev.Now(), manifest.TotalFLOPs(), len(manifest.Layers), len(clips))
+	virtCompute := done - start
+	w.virtualNow.Store(int64(dev.Now()))
+
+	now := time.Now()
+	for i, p := range b.reqs {
+		t := Timing{
+			Queue:          p.bucketed.Sub(p.submitted),
+			BatchWait:      p.dispatched.Sub(p.bucketed),
+			Compute:        computeWall,
+			Total:          now.Sub(p.submitted),
+			Switch:         rep.Total,
+			VirtualCompute: virtCompute,
+			Worker:         w.id,
+			Batch:          len(b.reqs),
+		}
+		t.SLOMet = t.Total <= p.deadline
+		label := labels[i]
+		p.done <- outcome{v: Verdict{
+			Label:  label,
+			Safe:   label == dataset.ClassSafe,
+			Timing: t,
+		}}
+	}
+	s.recordBatch(b, rep, computeWall, now)
+}
+
+// failBatch rejects every request in a batch with the same error.
+func (w *worker) failBatch(s *Server, b *batch, err error) {
+	for _, p := range b.reqs {
+		s.reject(p, err)
+	}
+}

@@ -1,0 +1,73 @@
+package video
+
+import (
+	"bytes"
+	"fmt"
+
+	"safecross/internal/nn"
+	"safecross/internal/tensor"
+)
+
+// BatchForwarder is optionally implemented by classifiers that can
+// run several clips through one forward pass. The serving layer
+// (internal/serve) coalesces same-scene requests and prefers this
+// path; classifiers without it are driven clip by clip, which still
+// amortises the per-batch costs above the model (locking, model
+// switching, simulated kernel launches).
+type BatchForwarder interface {
+	// ForwardBatch maps n [1,T,H,W] clips to n rank-1 logit tensors.
+	ForwardBatch(xs []*tensor.Tensor) ([]*tensor.Tensor, error)
+}
+
+// PredictBatch classifies a batch of clips with one eval-mode model,
+// returning the predicted label per clip in input order. It uses the
+// classifier's native batched forward when implemented and falls back
+// to sequential forwards otherwise.
+func PredictBatch(m Classifier, clips []*tensor.Tensor) ([]int, error) {
+	if len(clips) == 0 {
+		return nil, fmt.Errorf("video: empty batch")
+	}
+	m.SetTrain(false)
+	if bf, ok := m.(BatchForwarder); ok {
+		logits, err := bf.ForwardBatch(clips)
+		if err != nil {
+			return nil, fmt.Errorf("video: batched forward: %w", err)
+		}
+		if len(logits) != len(clips) {
+			return nil, fmt.Errorf("video: batched forward returned %d outputs for %d clips", len(logits), len(clips))
+		}
+		labels := make([]int, len(logits))
+		for i, l := range logits {
+			labels[i] = nn.Predict(l)
+		}
+		return labels, nil
+	}
+	labels := make([]int, len(clips))
+	for i, x := range clips {
+		logits, err := m.Forward(x)
+		if err != nil {
+			return nil, fmt.Errorf("video: batch clip %d: %w", i, err)
+		}
+		labels[i] = nn.Predict(logits)
+	}
+	return labels, nil
+}
+
+// CloneWeights builds a fresh classifier from the builder and copies
+// the source model's parameters into it. The serving layer uses it to
+// give every worker a private replica of each trained scene model, so
+// concurrent workers never share mutable forward-pass state.
+func CloneWeights(b Builder, src Classifier) (Classifier, error) {
+	dst, err := b()
+	if err != nil {
+		return nil, fmt.Errorf("video: clone build: %w", err)
+	}
+	var buf bytes.Buffer
+	if err := nn.SaveState(&buf, src.Params()); err != nil {
+		return nil, fmt.Errorf("video: clone save: %w", err)
+	}
+	if err := nn.LoadState(&buf, dst.Params()); err != nil {
+		return nil, fmt.Errorf("video: clone load: %w", err)
+	}
+	return dst, nil
+}

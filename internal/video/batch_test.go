@@ -1,0 +1,90 @@
+package video
+
+import (
+	"math/rand"
+	"testing"
+
+	"safecross/internal/tensor"
+)
+
+// batchClips builds n random clips matching smallCfg geometry.
+func batchClips(n int) []*tensor.Tensor {
+	rng := rand.New(rand.NewSource(41))
+	clips := make([]*tensor.Tensor, n)
+	for i := range clips {
+		clips[i] = tensor.RandnTensor(rng, 1, 1, 16, 10, 16)
+	}
+	return clips
+}
+
+func TestPredictBatchMatchesSequential(t *testing.T) {
+	m, err := SlowFastBuilder(smallCfg(23))()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clips := batchClips(4)
+	batched, err := PredictBatch(m, clips)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batched) != len(clips) {
+		t.Fatalf("got %d labels for %d clips", len(batched), len(clips))
+	}
+	for i, clip := range clips {
+		want, err := Predict(m, clip)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batched[i] != want {
+			t.Fatalf("clip %d: batched label %d != sequential %d", i, batched[i], want)
+		}
+	}
+}
+
+func TestPredictBatchRejectsEmpty(t *testing.T) {
+	m, err := SlowFastBuilder(smallCfg(24))()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PredictBatch(m, nil); err == nil {
+		t.Fatal("expected empty-batch error")
+	}
+}
+
+func TestCloneWeightsProducesIndependentReplica(t *testing.T) {
+	builder := SlowFastBuilder(smallCfg(25))
+	src, err := builder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone, err := CloneWeights(builder, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clip := batchClips(1)[0]
+	want, err := Predict(src, clip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Predict(clone, clip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("clone predicts %d, source %d", got, want)
+	}
+
+	// Perturbing the clone must not leak into the source.
+	for _, p := range clone.Params() {
+		for i := range p.Value.Data {
+			p.Value.Data[i] = 0
+		}
+	}
+	after, err := Predict(src, clip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after != want {
+		t.Fatal("mutating the clone changed the source model")
+	}
+}
