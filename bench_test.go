@@ -9,6 +9,7 @@ package safecross_test
 // metrics.
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"testing"
@@ -354,7 +355,7 @@ func BenchmarkServe_MultiIntersection(b *testing.B) {
 						for j := 0; j < clipsPer; j++ {
 							clip := tensor.RandnTensor(rng, 1, 1, 16, 10, 16)
 							scene := sim.AllWeathers()[(p+j)%3]
-							if _, err := s.Submit(serve.Request{Scene: scene, Clip: clip}); err != nil {
+							if _, err := s.Submit(context.Background(), serve.Request{Scene: scene, Clip: clip}); err != nil {
 								b.Error(err)
 								return
 							}
@@ -373,6 +374,79 @@ func BenchmarkServe_MultiIntersection(b *testing.B) {
 			b.ReportMetric(st.MeanBatch(), "mean-batch")
 		})
 	}
+}
+
+// BenchmarkServe_MemoryPressure drives the serving plane with a
+// per-worker memory budget that holds a single SlowFast model while
+// three scenes rotate through it, so every scene change forces an LRU
+// eviction and returning scenes pay a PipeSwitch reload. The run must
+// complete every clip — memory pressure degrades latency, never
+// correctness — and the churn is reported as evictions/reloads
+// alongside the per-class queue-wait percentiles.
+func BenchmarkServe_MemoryPressure(b *testing.B) {
+	builder := video.SlowFastBuilder(video.SlowFastConfig{
+		T: 16, H: 10, W: 16, Alpha: 8, Classes: 2, Lateral: true, Seed: 11,
+	})
+	models := make(map[sim.Weather]video.Classifier)
+	for _, scene := range sim.AllWeathers() {
+		m, err := builder()
+		if err != nil {
+			b.Fatal(err)
+		}
+		models[scene] = m
+	}
+	factory := serve.Replicas(builder, models)
+
+	const intersections, clipsPer = 4, 12
+	cfg := serve.Config{
+		Workers:    2,
+		MaxBatch:   8,
+		QueueDepth: 256,
+		SLO:        time.Minute,
+		// Fits exactly one 75 MiB SlowFast manifest: the three scene
+		// models cannot co-reside, so rotation forces churn.
+		WorkerMemory: (75 + 1) << 20,
+	}
+	var st serve.Stats
+	for i := 0; i < b.N; i++ {
+		s, err := serve.New(cfg, factory)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for p := 0; p < intersections; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(200 + p)))
+				for j := 0; j < clipsPer; j++ {
+					clip := tensor.RandnTensor(rng, 1, 1, 16, 10, 16)
+					req := serve.Request{Scene: sim.AllWeathers()[(p+j)%3], Clip: clip}
+					if j%4 == 0 {
+						req.Priority = serve.Critical
+					}
+					if _, err := s.Submit(context.Background(), req); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}(p)
+		}
+		wg.Wait()
+		st = s.Stats()
+		s.Close()
+		if st.Completed != intersections*clipsPer || st.Failed != 0 {
+			b.Fatalf("memory pressure dropped clips: %+v", st)
+		}
+		if st.Evictions < 1 || st.Reloads < 1 {
+			b.Fatalf("budgeted workers produced no churn: evictions=%d reloads=%d", st.Evictions, st.Reloads)
+		}
+	}
+	b.ReportMetric(st.VirtualThroughput(), "virt-clip/s")
+	b.ReportMetric(float64(st.Evictions)/float64(intersections*clipsPer), "evictions/clip")
+	b.ReportMetric(float64(st.Reloads)/float64(intersections*clipsPer), "reloads/clip")
+	b.ReportMetric(float64(st.CriticalQueueP95.Microseconds()), "crit-p95-µs")
+	b.ReportMetric(float64(st.RoutineQueueP95.Microseconds()), "rout-p95-µs")
 }
 
 // makeBenchClips builds a small clip set for benchmarks.

@@ -9,6 +9,7 @@ package main
 // is reported alongside for orientation.
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -70,6 +71,38 @@ func printServeBench(w io.Writer) error {
 	if speedup4 <= 1 {
 		return fmt.Errorf("serving study: batched plane did not beat the baseline (x%.2f)", speedup4)
 	}
+
+	// Memory-pressure study: the same 4-intersection load on budgets
+	// that hold all three scene models vs a single one. The tight
+	// budget must still complete every clip — paying for it in LRU
+	// evictions and PipeSwitch reloads on the virtual timeline.
+	fmt.Fprintln(w, "== Memory-pressure study: per-worker budget vs model residency ==")
+	fmt.Fprintf(w, "%-14s %-10s %-12s %-12s %-10s %s\n",
+		"budget", "clips", "virt-clip/s", "virt-span", "switches", "evict/reload")
+	for _, row := range []struct {
+		name   string
+		budget int64
+	}{
+		{"all-resident", 0},           // device default: every model stays
+		{"one-model", (75 + 1) << 20}, // fits a single SlowFast manifest
+	} {
+		st, err := runServeLoad(serve.Config{
+			Workers: 2, MaxBatch: 8, QueueDepth: 256, SLO: time.Minute,
+			WorkerMemory: row.budget,
+		}, factory, 4)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-14s %-10d %-12.1f %-12v %-10d %d/%d\n",
+			row.name, st.Completed, st.VirtualThroughput(),
+			st.VirtualMakespan.Round(10*time.Microsecond),
+			st.Switches, st.Evictions, st.Reloads)
+		if row.budget > 0 && (st.Evictions == 0 || st.Reloads == 0) {
+			return fmt.Errorf("memory-pressure study: tight budget produced no churn (evictions=%d reloads=%d)",
+				st.Evictions, st.Reloads)
+		}
+	}
+	fmt.Fprintln(w)
 	return nil
 }
 
@@ -102,7 +135,7 @@ func runServeLoad(cfg serve.Config, factory serve.ModelFactory, intersections in
 			rng := rand.New(rand.NewSource(int64(100 + i)))
 			for j := 0; j < serveClipsPerIntersection; j++ {
 				clip := tensor.RandnTensor(rng, 1, 1, 16, 10, 16)
-				if _, err := s.Submit(serve.Request{Scene: scenes[(i+j)%len(scenes)], Clip: clip}); err != nil {
+				if _, err := s.Submit(context.Background(), serve.Request{Scene: scenes[(i+j)%len(scenes)], Clip: clip}); err != nil {
 					errs <- fmt.Errorf("intersection %d clip %d: %w", i, j, err)
 					return
 				}

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -50,6 +51,7 @@ func run(args []string, w io.Writer) error {
 		intersections = fs.Int("intersections", 1, "simulated intersections sharing this RSU")
 		gpus          = fs.Int("gpus", 2, "simulated GPUs in the serving plane")
 		maxBatch      = fs.Int("max-batch", 8, "dynamic batcher's maximum clips per forward pass")
+		workerMem     = fs.Int("worker-mem", 0, "per-GPU memory budget in MiB (0 = device default; small budgets force LRU model eviction)")
 		demo          = fs.Bool("demo", false, "attach an in-process vehicle client and print advisories")
 		verbose       = fs.Bool("v", false, "log training progress")
 	)
@@ -78,23 +80,32 @@ func run(args []string, w io.Writer) error {
 	// replicas cloned from the trained weights, dynamic batching, and
 	// warm per-scene routing across the simulated GPUs.
 	plane, err := serve.New(serve.Config{
-		Workers:  *gpus,
-		MaxBatch: *maxBatch,
+		Workers:      *gpus,
+		MaxBatch:     *maxBatch,
+		WorkerMemory: int64(*workerMem) << 20,
 	}, serve.Replicas(tm.Builder, tm.Models))
 	if err != nil {
 		return err
 	}
 	defer plane.Close()
 
-	// Backpressure is fail-safe: a clip the plane sheds (queue full or
-	// deadline blown) is reported as danger, never as a silent pass.
+	// Backpressure is fail-safe: a clip the plane sheds (queue full,
+	// deadline blown, or context expired) is reported as danger, never
+	// as a silent pass. Danger-streak clips ride the Critical class, so
+	// under pressure the plane sheds advisory traffic first.
 	var sheds atomic.Int64
-	classify := func(scene sim.Weather, clip *tensor.Tensor) (int, error) {
-		v, err := plane.Submit(serve.Request{Scene: scene, Clip: clip})
+	classify := func(ctx context.Context, scene sim.Weather, clip *tensor.Tensor, critical bool) (int, error) {
+		req := serve.Request{Scene: scene, Clip: clip}
+		if critical {
+			req.Priority = serve.Critical
+		}
+		v, err := plane.Submit(ctx, req)
 		switch {
 		case err == nil:
 			return v.Label, nil
-		case errors.Is(err, serve.ErrQueueFull), errors.Is(err, serve.ErrDeadlineExceeded):
+		case errors.Is(err, serve.ErrQueueFull),
+			errors.Is(err, serve.ErrDeadlineExceeded),
+			errors.Is(err, context.DeadlineExceeded):
 			sheds.Add(1)
 			return dataset.ClassDanger, nil
 		default:
@@ -189,6 +200,8 @@ func run(args []string, w io.Writer) error {
 		served.Load(), *intersections, sheds.Load())
 	fmt.Fprintf(w, "serving plane: %d clips in %d batches (mean %.2f, warm %d, switches %d), p50 %v p99 %v\n",
 		st.Completed, st.Batches, st.MeanBatch(), st.WarmBatches, st.Switches, st.P50, st.P99)
+	fmt.Fprintf(w, "residency: %d evictions, %d reloads; admission: %d shed, %d cancelled, %d aged; queue p95 critical %v routine %v\n",
+		st.Evictions, st.Reloads, st.Shed, st.Cancelled, st.Aged, st.CriticalQueueP95, st.RoutineQueueP95)
 
 	if *demo {
 		// Give the demo client a moment to drain, then shut down.

@@ -106,6 +106,17 @@ func (d *Device) Reset() {
 // Allocated returns the bytes currently allocated on the device.
 func (d *Device) Allocated() int64 { return d.allocated }
 
+// Capacity returns the device's memory budget in bytes.
+func (d *Device) Capacity() int64 { return d.cfg.MemoryBytes }
+
+// Fits reports whether an allocation of the given size would succeed
+// right now. Residency managers use it to decide how much to evict
+// before loading a model, instead of discovering the shortfall as an
+// Alloc error mid-switch.
+func (d *Device) Fits(bytes int64) bool {
+	return bytes >= 0 && d.allocated+bytes <= d.cfg.MemoryBytes
+}
+
 // Now returns the instant at which both engines are free — the
 // earliest time a new request submitted to an idle device can start.
 // Warm-server switch latencies are measured relative to it.

@@ -51,6 +51,33 @@ func TestAllocFreeAccounting(t *testing.T) {
 	}
 }
 
+func TestCapacityAndFits(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MemoryBytes = 100
+	d, err := NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Capacity() != 100 {
+		t.Fatalf("capacity = %d, want 100", d.Capacity())
+	}
+	if !d.Fits(100) {
+		t.Fatal("full-capacity allocation must fit on an empty device")
+	}
+	if d.Fits(-1) {
+		t.Fatal("negative allocation must not fit")
+	}
+	if err := d.Alloc(60); err != nil {
+		t.Fatal(err)
+	}
+	if d.Fits(41) {
+		t.Fatal("41 bytes must not fit with 60 of 100 allocated")
+	}
+	if !d.Fits(40) {
+		t.Fatal("40 bytes must fit with 60 of 100 allocated")
+	}
+}
+
 func TestTransferTiming(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.TransferBandwidth = 1e9 // 1 GB/s for round numbers

@@ -9,9 +9,16 @@ import (
 )
 
 // Manager is the runtime face of the MS module: it keeps a registry
-// of per-scene models, tracks which one is resident on the device,
-// and switches with the configured method when the scene changes,
-// recording switch latencies against an SLO.
+// of per-scene models, tracks which ones are resident on the device,
+// and loads with the configured method when an absent scene is
+// activated, recording switch latencies against an SLO.
+//
+// Residency is multi-model: the device's memory budget, not the model
+// count, bounds how many scenes stay loaded. Activating a resident
+// scene is free; activating an absent one evicts least-recently-used
+// residents until the new model fits, then pays one pipelined load.
+// With a budget that fits only one model this degenerates to the
+// classic single-resident switch.
 type Manager struct {
 	mu sync.Mutex
 
@@ -22,6 +29,16 @@ type Manager struct {
 	registry map[string]Model
 	active   string
 	history  []Report
+
+	// residents maps scene → bytes held on the device; lastUse orders
+	// them for LRU eviction (tick is a logical clock).
+	residents map[string]int64
+	lastUse   map[string]int64
+	tick      int64
+	// everLoaded distinguishes a reload (scene was resident once and
+	// got evicted) from a first load.
+	everLoaded         map[string]bool
+	evictions, reloads int
 }
 
 // ManagerOption configures a Manager.
@@ -51,10 +68,13 @@ const DefaultSLO = 10 * time.Millisecond
 // NewManager creates a model-switching manager on the given device.
 func NewManager(dev *gpusim.Device, opts ...ManagerOption) *Manager {
 	m := &Manager{
-		dev:      dev,
-		switcher: Pipelined{Grouping: GroupOptimal},
-		slo:      DefaultSLO,
-		registry: make(map[string]Model),
+		dev:        dev,
+		switcher:   Pipelined{Grouping: GroupOptimal},
+		slo:        DefaultSLO,
+		registry:   make(map[string]Model),
+		residents:  make(map[string]int64),
+		lastUse:    make(map[string]int64),
+		everLoaded: make(map[string]bool),
 	}
 	for _, o := range opts {
 		o.apply(m)
@@ -92,16 +112,49 @@ func (m *Manager) ModelFor(scene string) (Model, bool) {
 	return model, ok
 }
 
-// Active returns the scene key of the resident model ("" when none).
+// Active returns the scene key of the model bound for compute (""
+// when none).
 func (m *Manager) Active() string {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.active
 }
 
-// Activate switches the device to the model registered for scene. It
-// is a no-op (with a zero-latency report) when the scene is already
-// active.
+// Resident reports whether the scene's model is currently loaded on
+// the device.
+func (m *Manager) Resident(scene string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.residents[scene]
+	return ok
+}
+
+// ResidentScenes returns the scenes whose models are currently loaded,
+// in unspecified order.
+func (m *Manager) ResidentScenes() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.residents))
+	for scene := range m.residents {
+		out = append(out, scene)
+	}
+	return out
+}
+
+// ResidencyCounters returns the cumulative eviction and reload counts:
+// evictions frees forced by memory pressure, reloads activations that
+// had to re-load a previously evicted model.
+func (m *Manager) ResidencyCounters() (evictions, reloads int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.evictions, m.reloads
+}
+
+// Activate binds the model registered for scene: a no-op when it is
+// already active, a free re-bind (Method "resident") when it is loaded
+// but not active, and otherwise a switch through the configured
+// method, evicting least-recently-used residents first when the
+// device's memory budget demands it.
 func (m *Manager) Activate(scene string) (Report, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -109,21 +162,77 @@ func (m *Manager) Activate(scene string) (Report, error) {
 	if !ok {
 		return Report{}, fmt.Errorf("pipeswitch: scene %q not registered", scene)
 	}
-	if m.active == scene {
-		return Report{Model: model.Name, Method: "noop", Groups: 0}, nil
+	m.tick++
+	if _, resident := m.residents[scene]; resident {
+		m.lastUse[scene] = m.tick
+		if m.active == scene {
+			return Report{Model: model.Name, Method: "noop", Groups: 0}, nil
+		}
+		// The weights are already on the device; binding them for
+		// compute transfers nothing.
+		m.active = scene
+		return Report{Model: model.Name, Method: "resident", Groups: 0}, nil
 	}
-	var prev *Model
-	if m.active != "" {
-		p := m.registry[m.active]
-		prev = &p
+
+	evicted, err := m.evictFor(model)
+	if err != nil {
+		return Report{}, err
 	}
-	rep, err := m.switcher.Switch(m.dev, prev, model)
+	rep, err := m.switcher.Switch(m.dev, nil, model)
 	if err != nil {
 		return Report{}, fmt.Errorf("pipeswitch: activate %q: %w", scene, err)
 	}
+	rep.Evicted = evicted
+	if m.everLoaded[scene] {
+		rep.Reload = true
+		m.reloads++
+	}
+	m.everLoaded[scene] = true
+
+	// A cold switcher (stop-and-start) resets the device, killing
+	// every co-resident model with the old process; reconcile our
+	// bookkeeping with the device's actual allocation.
+	want := model.TotalBytes()
+	for _, b := range m.residents {
+		want += b
+	}
+	if m.dev.Allocated() != want {
+		m.residents = make(map[string]int64)
+	}
+	m.residents[scene] = model.TotalBytes()
+	m.lastUse[scene] = m.tick
 	m.active = scene
 	m.history = append(m.history, rep)
 	return rep, nil
+}
+
+// evictFor frees least-recently-used residents until next fits in the
+// device budget, returning how many models were evicted. Callers hold
+// m.mu.
+func (m *Manager) evictFor(next Model) (int, error) {
+	evicted := 0
+	for !m.dev.Fits(next.TotalBytes()) {
+		victim, oldest := "", int64(0)
+		for scene := range m.residents {
+			if victim == "" || m.lastUse[scene] < oldest {
+				victim, oldest = scene, m.lastUse[scene]
+			}
+		}
+		if victim == "" {
+			return evicted, fmt.Errorf("pipeswitch: model %q (%d bytes) exceeds device budget %d",
+				next.Name, next.TotalBytes(), m.dev.Capacity())
+		}
+		if err := m.dev.Free(m.residents[victim]); err != nil {
+			return evicted, fmt.Errorf("pipeswitch: evict %q: %w", victim, err)
+		}
+		delete(m.residents, victim)
+		if m.active == victim {
+			m.active = ""
+		}
+		m.evictions++
+		evicted++
+	}
+	return evicted, nil
 }
 
 // History returns a copy of all switch reports so far.

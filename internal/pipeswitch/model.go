@@ -172,6 +172,12 @@ type Report struct {
 	Transfer, Compute time.Duration
 	// Groups is the number of transfer/execute groups used.
 	Groups int
+	// Evicted is how many resident models the Manager had to evict to
+	// make room for this load (zero for direct Switcher use).
+	Evicted int
+	// Reload reports that this load brought back a model that had
+	// previously been resident and was evicted under memory pressure.
+	Reload bool
 }
 
 // String formats the report as a one-line summary.

@@ -300,6 +300,118 @@ func TestManagerLifecycle(t *testing.T) {
 	}
 }
 
+// TestManagerMultiResidency checks that a budget-rich device keeps
+// every activated model loaded: re-binding a resident model is free
+// and records no switch.
+func TestManagerMultiResidency(t *testing.T) {
+	mgr := NewManager(newDevice(t)) // 11 GiB: everything fits
+	if err := mgr.Register("day", SafeCrossSlowFast()); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Register("snow", ResNet152()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.Activate("day"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.Activate("snow"); err != nil {
+		t.Fatal(err)
+	}
+	if !mgr.Resident("day") || !mgr.Resident("snow") {
+		t.Fatalf("both models must stay resident, got %v", mgr.ResidentScenes())
+	}
+	rep, err := mgr.Activate("day")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Method != "resident" || rep.Total != 0 {
+		t.Fatalf("re-bind of a resident model must be free, got %+v", rep)
+	}
+	if len(mgr.History()) != 2 {
+		t.Fatalf("history = %d, want 2 (re-binds are not switches)", len(mgr.History()))
+	}
+	if ev, rl := mgr.ResidencyCounters(); ev != 0 || rl != 0 {
+		t.Fatalf("no pressure, yet evictions=%d reloads=%d", ev, rl)
+	}
+}
+
+// TestManagerLRUEvictionAndReload checks the memory-pressure path: a
+// budget that fits two of the three built-in models evicts the
+// least-recently-used resident to admit the third, and re-activating
+// the victim is counted as a reload.
+func TestManagerLRUEvictionAndReload(t *testing.T) {
+	cfg := gpusim.DefaultConfig()
+	cfg.MemoryBytes = 150 << 20 // slowfast (75M) + resnet152 (60M) fit; +inception (45M) does not
+	dev, err := gpusim.NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := NewManager(dev)
+	for scene, m := range map[string]Model{
+		"day": SafeCrossSlowFast(), "rain": ResNet152(), "snow": InceptionV3(),
+	} {
+		if err := mgr.Register(scene, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := mgr.Activate("day"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.Activate("rain"); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := mgr.Activate("snow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Evicted != 1 || rep.Reload {
+		t.Fatalf("third model must evict exactly the LRU resident, got %+v", rep)
+	}
+	if mgr.Resident("day") {
+		t.Fatal("day was least recently used and must have been evicted")
+	}
+	if !mgr.Resident("rain") || !mgr.Resident("snow") {
+		t.Fatalf("residents = %v, want rain+snow", mgr.ResidentScenes())
+	}
+
+	rep, err = mgr.Activate("day")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Reload {
+		t.Fatalf("bringing day back must count as a reload, got %+v", rep)
+	}
+	if rep.Total <= 0 {
+		t.Fatalf("a reload pays a real pipelined load, got %+v", rep)
+	}
+	ev, rl := mgr.ResidencyCounters()
+	if ev < 2 || rl != 1 {
+		t.Fatalf("evictions=%d (want ≥2) reloads=%d (want 1)", ev, rl)
+	}
+	if dev.Allocated() > dev.Capacity() {
+		t.Fatalf("allocation %d exceeds capacity %d", dev.Allocated(), dev.Capacity())
+	}
+}
+
+// TestManagerRejectsOversizedModel checks that a model larger than the
+// whole device budget fails loudly instead of evicting everything and
+// then OOMing inside the switcher.
+func TestManagerRejectsOversizedModel(t *testing.T) {
+	cfg := gpusim.DefaultConfig()
+	cfg.MemoryBytes = 10 << 20
+	dev, err := gpusim.NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := NewManager(dev)
+	if err := mgr.Register("day", SafeCrossSlowFast()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.Activate("day"); err == nil {
+		t.Fatal("expected budget-exceeded error")
+	}
+}
+
 func TestManagerStopAndStartViolatesSLO(t *testing.T) {
 	dev := newDevice(t)
 	mgr := NewManager(dev, WithSwitcher(StopAndStart{}))

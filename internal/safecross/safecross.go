@@ -18,6 +18,7 @@
 package safecross
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -68,12 +69,47 @@ type Config struct {
 	SafeStreak int
 }
 
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.VP.GridW == 0 {
+		c.VP = vision.DefaultVPConfig()
+	}
+	if c.ClipLen == 0 {
+		c.ClipLen = sim.SegmentFrames
+	}
+	if c.InitialScene == 0 {
+		c.InitialScene = sim.Day
+	}
+	if c.SafeStreak == 0 {
+		c.SafeStreak = 2
+	}
+	return c
+}
+
+// Validate rejects unusable configurations.
+func (c Config) Validate() error {
+	if c.ClipLen < 1 {
+		return fmt.Errorf("safecross: clip length %d, need at least 1", c.ClipLen)
+	}
+	if c.SafeStreak < 1 {
+		return fmt.Errorf("safecross: safe streak %d, need at least 1", c.SafeStreak)
+	}
+	if c.Debounce < 0 {
+		return fmt.Errorf("safecross: negative debounce %d", c.Debounce)
+	}
+	return nil
+}
+
 // ClassifyFunc routes a ready clip to an external inference service
 // (the serving plane in internal/serve) and returns the predicted
 // class label. When a Framework is built with one (NewServed), it
 // performs no local classification or model switching — the service
-// owns model residency, batching, and GPU scheduling.
-type ClassifyFunc func(scene sim.Weather, clip *tensor.Tensor) (int, error)
+// owns model residency, batching, and GPU scheduling. The context
+// bounds the request (deadline and cancellation travel with it), and
+// critical reports the framework's fail-safe hint: true while the
+// intersection has not yet re-established its safe streak, so the
+// service should treat the clip as priority traffic.
+type ClassifyFunc func(ctx context.Context, scene sim.Weather, clip *tensor.Tensor, critical bool) (int, error)
 
 // Framework is the SafeCross runtime.
 type Framework struct {
@@ -103,23 +139,9 @@ func New(cfg Config, models map[sim.Weather]video.Classifier, det *weather.Detec
 	if mgr == nil {
 		return nil, fmt.Errorf("safecross: nil model-switch manager")
 	}
-	if cfg.ClipLen == 0 {
-		cfg.ClipLen = sim.SegmentFrames
-	}
-	if cfg.ClipLen <= 0 {
-		return nil, fmt.Errorf("safecross: clip length %d must be positive", cfg.ClipLen)
-	}
-	if cfg.VP.GridW == 0 {
-		cfg.VP = vision.DefaultVPConfig()
-	}
-	if cfg.InitialScene == 0 {
-		cfg.InitialScene = sim.Day
-	}
-	if cfg.SafeStreak == 0 {
-		cfg.SafeStreak = 2
-	}
-	if cfg.SafeStreak < 0 {
-		return nil, fmt.Errorf("safecross: safe streak %d must be positive", cfg.SafeStreak)
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	if _, ok := models[cfg.InitialScene]; !ok {
 		return nil, fmt.Errorf("safecross: no classifier for initial scene %v", cfg.InitialScene)
@@ -178,23 +200,9 @@ func NewServed(cfg Config, classify ClassifyFunc, det *weather.Detector) (*Frame
 	if det == nil {
 		return nil, fmt.Errorf("safecross: nil weather detector")
 	}
-	if cfg.ClipLen == 0 {
-		cfg.ClipLen = sim.SegmentFrames
-	}
-	if cfg.ClipLen <= 0 {
-		return nil, fmt.Errorf("safecross: clip length %d must be positive", cfg.ClipLen)
-	}
-	if cfg.VP.GridW == 0 {
-		cfg.VP = vision.DefaultVPConfig()
-	}
-	if cfg.InitialScene == 0 {
-		cfg.InitialScene = sim.Day
-	}
-	if cfg.SafeStreak == 0 {
-		cfg.SafeStreak = 2
-	}
-	if cfg.SafeStreak < 0 {
-		return nil, fmt.Errorf("safecross: safe streak %d must be positive", cfg.SafeStreak)
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	return &Framework{
 		cfg:      cfg,
@@ -216,10 +224,22 @@ func (f *Framework) Scene() sim.Weather {
 // service owns switching.
 func (f *Framework) Manager() *pipeswitch.Manager { return f.mgr }
 
-// ProcessFrame ingests one camera frame: scene detection (possibly
-// switching models), VP pre-processing into the clip ring, and — once
-// the ring is full — classification into a warning decision.
+// ProcessFrame ingests one camera frame with a background context; see
+// ProcessFrameContext.
 func (f *Framework) ProcessFrame(frame *vision.Image) (*Decision, error) {
+	return f.ProcessFrameContext(context.Background(), frame)
+}
+
+// ProcessFrameContext ingests one camera frame: scene detection
+// (possibly switching models), VP pre-processing into the clip ring,
+// and — once the ring is full — classification into a warning
+// decision. The context travels to the classify path: served
+// frameworks pass it (with its deadline and cancellation) to their
+// ClassifyFunc, together with the fail-safe criticality hint — a clip
+// is critical while the intersection has not re-established its safe
+// streak, i.e. whenever the current advisory is (or is about to be)
+// "don't turn".
+func (f *Framework) ProcessFrameContext(ctx context.Context, frame *vision.Image) (*Decision, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 
@@ -258,7 +278,11 @@ func (f *Framework) ProcessFrame(frame *vision.Image) (*Decision, error) {
 	}
 	var label int
 	if f.classify != nil {
-		if label, err = f.classify(scene, clip); err != nil {
+		// The fail-safe hint: until the safe streak is re-established,
+		// the intersection is advising "don't turn" and the next verdict
+		// decides whether it may release — priority traffic.
+		critical := f.safeStreak < f.cfg.SafeStreak
+		if label, err = f.classify(ctx, scene, clip, critical); err != nil {
 			return nil, fmt.Errorf("safecross: classify: %w", err)
 		}
 	} else {

@@ -1,6 +1,7 @@
 package safecross
 
 import (
+	"context"
 	"testing"
 
 	"safecross/internal/dataset"
@@ -315,11 +316,16 @@ func TestNewServedRoutesClassificationExternally(t *testing.T) {
 		t.Fatal(err)
 	}
 	calls := 0
-	classify := func(scene sim.Weather, clip *tensor.Tensor) (int, error) {
+	var hints []bool
+	classify := func(ctx context.Context, scene sim.Weather, clip *tensor.Tensor, critical bool) (int, error) {
 		calls++
+		if ctx == nil {
+			t.Fatal("classify received nil context")
+		}
 		if clip == nil || clip.Rank() != 4 {
 			t.Fatalf("served clip shape %v", clip)
 		}
+		hints = append(hints, critical)
 		return dataset.ClassSafe, nil
 	}
 	f, err := NewServed(Config{ClipLen: 4, SafeStreak: 1}, classify, det)
@@ -347,6 +353,15 @@ func TestNewServedRoutesClassificationExternally(t *testing.T) {
 	if !last.Ready || !last.Safe {
 		t.Fatalf("decision = %+v, want ready safe verdict from service", last)
 	}
+	// Fail-safe priority hint: the first clip arrives before any safe
+	// streak exists (critical); once the streak is established, later
+	// clips ride the routine class.
+	if !hints[0] {
+		t.Fatal("first clip (no safe streak yet) must carry the critical hint")
+	}
+	if hints[len(hints)-1] {
+		t.Fatal("clip after an established safe streak must not be critical")
+	}
 }
 
 func TestNewServedValidation(t *testing.T) {
@@ -354,7 +369,7 @@ func TestNewServedValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ok := func(sim.Weather, *tensor.Tensor) (int, error) { return 0, nil }
+	ok := func(context.Context, sim.Weather, *tensor.Tensor, bool) (int, error) { return 0, nil }
 	if _, err := NewServed(Config{}, nil, det); err == nil {
 		t.Fatal("expected nil-classify error")
 	}

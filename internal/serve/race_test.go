@@ -1,11 +1,13 @@
 package serve
 
 // Concurrency coverage for the serving plane (run under
-// `go test -race`): many producers across every scene, with admission
-// pressure and aggressive deadlines, must account for every single
-// request — a verdict or an explicit rejection error, never silence.
+// `go test -race`): many producers across every scene and both
+// priority classes, with admission pressure, hair-trigger context
+// deadlines, and mid-queue cancellations, must account for every
+// single request — a verdict or an explicit error, never silence.
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -16,41 +18,58 @@ import (
 )
 
 func TestConcurrentSubmitNoSilentDrops(t *testing.T) {
-	const producers, perProducer = 9, 20
+	const producers, perProducer = 12, 20
 
 	s, err := New(Config{
 		Workers:      3,
 		MaxBatch:     4,
 		BatchLatency: time.Millisecond,
-		QueueDepth:   8, // small on purpose: force ErrQueueFull under load
+		QueueDepth:   8, // small on purpose: force ErrQueueFull and shedding under load
 		SLO:          10 * time.Second,
+		AgingBound:   5 * time.Millisecond, // small so aging promotion is exercised
 	}, stubFactory(500*time.Microsecond))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer s.Close()
 
-	var verdicts, queueFull, expired, other atomic.Int64
+	var verdicts, queueFull, deadline, cancelled, other atomic.Int64
 	var wg sync.WaitGroup
 	for i := 0; i < producers; i++ {
 		scene := sim.AllWeathers()[i%3]
-		tight := i%4 == 3 // every fourth producer uses a hair-trigger deadline
+		tight := i%4 == 3    // every fourth producer uses a hair-trigger ctx deadline
+		critical := i%3 == 2 // every third producer submits Critical traffic
+		chaotic := i%6 == 1  // cancels its own requests mid-queue half the time
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for j := 0; j < perProducer; j++ {
-				req := Request{Scene: scene, Clip: testClip()}
+				ctx := context.Background()
+				cancel := context.CancelFunc(func() {})
 				if tight {
-					req.Deadline = 100 * time.Microsecond
+					ctx, cancel = context.WithTimeout(ctx, 100*time.Microsecond)
+				} else if chaotic && j%2 == 0 {
+					ctx, cancel = context.WithCancel(ctx)
+					go func() {
+						time.Sleep(time.Duration(j%3) * 100 * time.Microsecond)
+						cancel()
+					}()
 				}
-				_, err := s.Submit(req)
+				req := Request{Scene: scene, Clip: testClip()}
+				if critical {
+					req.Priority = Critical
+				}
+				_, err := s.Submit(ctx, req)
+				cancel()
 				switch {
 				case err == nil:
 					verdicts.Add(1)
 				case errors.Is(err, ErrQueueFull):
 					queueFull.Add(1)
-				case errors.Is(err, ErrDeadlineExceeded):
-					expired.Add(1)
+				case errors.Is(err, ErrDeadlineExceeded), errors.Is(err, context.DeadlineExceeded):
+					deadline.Add(1)
+				case errors.Is(err, context.Canceled):
+					cancelled.Add(1)
 				default:
 					other.Add(1)
 					t.Errorf("unexpected error: %v", err)
@@ -61,20 +80,81 @@ func TestConcurrentSubmitNoSilentDrops(t *testing.T) {
 	wg.Wait()
 
 	total := int64(producers * perProducer)
-	if got := verdicts.Load() + queueFull.Load() + expired.Load() + other.Load(); got != total {
+	if got := verdicts.Load() + queueFull.Load() + deadline.Load() + cancelled.Load() + other.Load(); got != total {
 		t.Fatalf("accounted for %d of %d requests", got, total)
 	}
 	st := s.Stats()
+	// Caller-visible ErrQueueFull covers both outright rejections and
+	// admitted Routine requests shed for a Critical admission.
 	if int64(st.Submitted+st.Rejected) != total {
 		t.Fatalf("submitted %d + rejected %d != %d", st.Submitted, st.Rejected, total)
 	}
-	if st.Completed+st.Expired+st.Failed != st.Submitted {
+	if int64(st.Rejected+st.Shed) != queueFull.Load() {
+		t.Fatalf("rejected %d + shed %d != caller queue-full count %d", st.Rejected, st.Shed, queueFull.Load())
+	}
+	if st.Completed+st.Expired+st.Failed+st.Cancelled+st.Shed != st.Submitted {
 		t.Fatalf("admitted-request leak: %+v", st)
 	}
-	if int64(st.Completed) != verdicts.Load() || int64(st.Expired) != expired.Load() {
-		t.Fatalf("stats disagree with callers: %+v vs verdicts=%d expired=%d", st, verdicts.Load(), expired.Load())
+	if int64(st.Completed) != verdicts.Load() {
+		t.Fatalf("stats disagree with callers: %+v vs verdicts=%d", st, verdicts.Load())
+	}
+	// Deadline outcomes split between scheduler sheds (Expired) and ctx
+	// watchers that won the race (Cancelled, alongside explicit
+	// cancellations): jointly they must match the callers' view.
+	if int64(st.Expired+st.Cancelled) != deadline.Load()+cancelled.Load() {
+		t.Fatalf("deadline/cancel accounting: %+v vs deadline=%d cancelled=%d",
+			st, deadline.Load(), cancelled.Load())
 	}
 	if st.Batches == 0 || st.BatchedClips != st.Completed {
 		t.Fatalf("batch accounting: %+v", st)
+	}
+	if st.CriticalCompleted+st.RoutineCompleted != st.Completed {
+		t.Fatalf("class accounting: %+v", st)
+	}
+}
+
+// TestConcurrentMemoryPressure hammers a fleet whose per-worker budget
+// holds a single model with all three scenes at once: every request
+// must still end in a verdict, and the churn must show up as evictions
+// and reloads.
+func TestConcurrentMemoryPressure(t *testing.T) {
+	const producers, perProducer = 6, 10
+
+	s, err := New(Config{
+		Workers:      2,
+		MaxBatch:     4,
+		BatchLatency: time.Millisecond,
+		QueueDepth:   64,
+		SLO:          10 * time.Second,
+		WorkerMemory: slowFastModelBytes + (1 << 20),
+	}, stubFactory(200*time.Microsecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for i := 0; i < producers; i++ {
+		scene := sim.AllWeathers()[i%3]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perProducer; j++ {
+				if _, err := s.Submit(ctx, Request{Scene: scene, Clip: testClip()}); err != nil {
+					t.Errorf("submit %v: %v", scene, err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	st := s.Stats()
+	if st.Completed != producers*perProducer || st.Failed != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Evictions < 1 || st.Reloads < 1 {
+		t.Fatalf("three scenes over capacity-1 workers must churn: evictions=%d reloads=%d",
+			st.Evictions, st.Reloads)
 	}
 }

@@ -6,27 +6,41 @@
 //
 // The pipeline is:
 //
-//	Submit → bounded admission queue → per-scene dynamic batcher →
-//	scheduler → worker pool over N simulated GPUs → verdict
+//	Submit(ctx) → bounded admission queue → per-scene, per-class
+//	dynamic batcher → scheduler → worker pool over N simulated GPUs →
+//	verdict
 //
 // Backpressure is explicit at every stage: a full admission queue
-// rejects with ErrQueueFull rather than blocking, and a request whose
-// deadline lapses while queued is shed with ErrDeadlineExceeded
-// before it wastes GPU time. Every accepted request therefore ends in
+// rejects with ErrQueueFull rather than blocking (shedding a queued
+// Routine request first when the newcomer is Critical), a request
+// whose deadline lapses while queued is shed with ErrDeadlineExceeded
+// before it wastes GPU time, and a request whose context is cancelled
+// while queued returns ctx.Err() immediately and is dropped from its
+// bucket before dispatch. Every accepted request therefore ends in
 // exactly one of a verdict or an error — nothing is dropped silently.
 //
-// Dynamic batching coalesces queued clips for the same scene into one
-// batched forward pass, flushing a batch when it reaches MaxBatch or
-// when its oldest member has waited BatchLatency. The scheduler
-// routes a sealed batch to a worker whose resident model already
-// matches the batch's scene when one is idle, and only triggers a
-// PipeSwitch model swap when no warm worker exists.
+// Requests carry a priority class. Critical requests (an intersection
+// in a danger streak, where the fail-safe bias says the verdict is
+// urgent) batch separately and dispatch ahead of Routine ones; an
+// aging rule promotes any Routine batch that has waited past
+// Config.AgingBound so saturation cannot starve it.
+//
+// Dynamic batching coalesces queued clips for the same scene and
+// class into one batched forward pass, flushing a batch when it
+// reaches MaxBatch or when its oldest member has waited BatchLatency.
+// The scheduler routes a sealed batch to a worker where the scene's
+// model is already resident when one is idle, and only triggers a
+// PipeSwitch load when no warm worker exists.
 //
 // Each worker owns a private replica of every scene model (forward
 // passes carry mutable state, so replicas are mandatory for
-// parallelism) and its own simulated GPU; switch and compute share
-// one virtual timeline per worker, so Stats reports both wall-clock
-// and deterministic virtual-time serving metrics.
+// parallelism) and its own simulated GPU with a finite memory budget
+// (Config.WorkerMemory): models stay resident until memory pressure
+// evicts the least recently used, and an evicted scene re-loads on
+// demand through the PipeSwitch path. Switch and compute share one
+// virtual timeline per worker, so Stats reports both wall-clock and
+// deterministic virtual-time serving metrics, including evictions and
+// reloads.
 package serve
 
 import (
@@ -39,19 +53,43 @@ import (
 	"safecross/internal/video"
 )
 
-// Sentinel errors returned by Submit. Both are explicit backpressure:
+// Sentinel errors returned by Submit. All are explicit backpressure:
 // the caller learns immediately that the request was not served.
 var (
 	// ErrQueueFull reports that the admission queue was full at
-	// submission time.
+	// submission time, or — for an admitted Routine request — that its
+	// slot was shed to admit a Critical request.
 	ErrQueueFull = errors.New("serve: admission queue full")
 	// ErrDeadlineExceeded reports that the request's deadline lapsed
 	// while it was still queued, so it was shed before inference.
+	// Requests whose deadline came from their context usually return
+	// context.DeadlineExceeded from ctx instead.
 	ErrDeadlineExceeded = errors.New("serve: deadline exceeded before inference")
 	// ErrClosed reports that the server was shut down before the
 	// request could be served.
 	ErrClosed = errors.New("serve: server closed")
 )
+
+// Priority is a request's admission class.
+type Priority int
+
+const (
+	// Routine is the default class: normal advisory traffic.
+	Routine Priority = iota
+	// Critical marks safety-critical clips — e.g. an intersection
+	// whose framework is in a danger streak. Critical batches flush
+	// first, and under a full queue a Critical submission sheds a
+	// queued Routine request rather than being rejected.
+	Critical
+)
+
+// String names the class.
+func (p Priority) String() string {
+	if p == Critical {
+		return "critical"
+	}
+	return "routine"
+}
 
 // Config sizes the serving plane.
 type Config struct {
@@ -66,10 +104,20 @@ type Config struct {
 	BatchLatency time.Duration
 	// QueueDepth bounds the admission queue (default 64).
 	QueueDepth int
-	// SLO is the default per-request deadline when a Request carries
-	// none (default 250ms). It is also the latency bound SLO
-	// accounting is measured against.
+	// SLO is the default per-request deadline when the submission
+	// context carries none (default 250ms). It is also the latency
+	// bound SLO accounting is measured against.
 	SLO time.Duration
+	// WorkerMemory is each worker's simulated-GPU memory budget in
+	// bytes; models beyond it are evicted least-recently-used and
+	// re-loaded on demand. Zero keeps the device default (11 GiB,
+	// which in practice means no eviction).
+	WorkerMemory int64
+	// AgingBound caps Routine starvation: a Routine batch that has
+	// waited this long dispatches at Critical priority, and a Routine
+	// request that has aged past it cannot be shed for a Critical
+	// admission (default SLO/2).
+	AgingBound time.Duration
 }
 
 // withDefaults fills zero fields.
@@ -89,6 +137,9 @@ func (c Config) withDefaults() Config {
 	if c.SLO == 0 {
 		c.SLO = 250 * time.Millisecond
 	}
+	if c.AgingBound == 0 {
+		c.AgingBound = c.SLO / 2
+	}
 	return c
 }
 
@@ -103,28 +154,31 @@ func (c Config) Validate() error {
 	if c.QueueDepth < 1 {
 		return fmt.Errorf("serve: queue depth %d, need at least 1", c.QueueDepth)
 	}
-	if c.BatchLatency < 0 || c.SLO < 0 {
+	if c.BatchLatency < 0 || c.SLO < 0 || c.AgingBound < 0 {
 		return fmt.Errorf("serve: negative latency bound")
+	}
+	if c.WorkerMemory < 0 {
+		return fmt.Errorf("serve: negative worker memory %d", c.WorkerMemory)
 	}
 	return nil
 }
 
 // Request is one classification submission: a pre-processed clip, the
-// scene whose model must judge it, and an optional deadline.
+// scene whose model must judge it, and its admission class. Deadlines
+// travel on the Submit context, not the request.
 type Request struct {
 	// Scene selects the per-scene model.
 	Scene sim.Weather
 	// Clip is the [1,T,H,W] occupancy-grid clip tensor.
 	Clip *tensor.Tensor
-	// Deadline is the SLO budget from submission to verdict; zero
-	// means the server's Config.SLO.
-	Deadline time.Duration
+	// Priority is the admission class (default Routine).
+	Priority Priority
 }
 
 // Timing is the per-request SLO accounting: where the latency went.
 type Timing struct {
 	// Queue is the wait in the admission queue before the scheduler
-	// placed the request into a scene batch.
+	// placed the request into a scene bucket.
 	Queue time.Duration
 	// BatchWait is the wait inside the batch until a worker took it.
 	BatchWait time.Duration
@@ -133,8 +187,8 @@ type Timing struct {
 	Compute time.Duration
 	// Total is submission to verdict delivery.
 	Total time.Duration
-	// Switch is the virtual-time cost of the PipeSwitch model swap
-	// this batch triggered (zero on a warm worker).
+	// Switch is the virtual-time cost of the PipeSwitch model load
+	// this batch triggered (zero when the model was resident).
 	Switch time.Duration
 	// VirtualCompute is the simulated-GPU duration of the batched
 	// inference (kernel launches amortised over the batch).
@@ -143,6 +197,9 @@ type Timing struct {
 	Worker int
 	// Batch is the size of the batch the request was served in.
 	Batch int
+	// Evicted is how many resident models the worker evicted to load
+	// this batch's model.
+	Evicted int
 	// SLOMet reports Total ≤ the request's deadline.
 	SLOMet bool
 }

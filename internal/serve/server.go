@@ -1,18 +1,39 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"safecross/internal/sim"
 )
 
+// pending request states. Exactly one party wins the CAS away from
+// statePending, delivers the outcome (or returns ctx.Err()), and
+// settles the admission slot; everyone else drops the request
+// silently.
+const (
+	statePending   int32 = iota // queued, owned by the scheduler
+	stateClaimed                // claimed for dispatch or rejection
+	stateCancelled              // submitter's context fired while queued
+	stateShed                   // pushed out by a Critical admission
+)
+
 // pending is one in-flight request with its bookkeeping instants.
 type pending struct {
 	req      Request
+	prio     Priority
 	deadline time.Duration
+
+	// state arbitrates ownership between the scheduler, the
+	// submitter's context watcher, and Critical shedders.
+	state atomic.Int32
+	// aged marks a Routine request promoted to Critical dispatch by
+	// the aging rule (written by the scheduler before dispatch).
+	aged bool
 
 	submitted  time.Time // Submit accepted it
 	bucketed   time.Time // scheduler placed it in a scene bucket
@@ -21,26 +42,46 @@ type pending struct {
 	done chan outcome // capacity 1; exactly one outcome is ever sent
 }
 
+// critical reports the request's effective class at dispatch time.
+func (p *pending) critical() bool { return p.prio == Critical || p.aged }
+
 // outcome is a verdict or an explicit rejection.
 type outcome struct {
 	v   Verdict
 	err error
 }
 
-// batch is a sealed group of same-scene requests bound for one
-// batched forward pass.
+// batch is a sealed group of same-scene, same-class requests bound
+// for one batched forward pass.
 type batch struct {
 	scene sim.Weather
 	reqs  []*pending
-	warm  bool // assigned worker already held the scene's model
+	// critical is the batch's admission class; promoted marks a
+	// Routine batch raised to Critical dispatch by the aging rule.
+	critical bool
+	promoted bool
+	warm     bool // assigned worker already held the scene's model
 }
 
+// urgent reports whether the batch dispatches in the Critical tier.
+func (b *batch) urgent() bool { return b.critical || b.promoted }
+
 // idleNote is a worker's report that it is free, with its resident
-// model so the scheduler can route warm.
+// model set so the scheduler can route warm under memory pressure.
 type idleNote struct {
 	worker   int
-	scene    sim.Weather
-	hasModel bool
+	resident []sim.Weather
+}
+
+// holds reports whether the worker had the scene's model resident
+// when it went idle.
+func (n idleNote) holds(scene sim.Weather) bool {
+	for _, s := range n.resident {
+		if s == scene {
+			return true
+		}
+	}
+	return false
 }
 
 // Server is the inference-serving plane.
@@ -49,24 +90,34 @@ type Server struct {
 	scenes  map[sim.Weather]bool
 	workers []*worker
 
-	submitCh chan *pending
-	idleCh   chan idleNote
-	stopCh   chan struct{}
-	wg       sync.WaitGroup
+	// wake nudges the scheduler after intake grows; capacity 1, sends
+	// never block.
+	wake   chan struct{}
+	idleCh chan idleNote
+	stopCh chan struct{}
+	wg     sync.WaitGroup
 
 	mu     sync.Mutex
 	closed bool
 	stats  statsAccum
-	// inflight counts requests admitted but not yet handed to a
-	// worker or rejected; QueueDepth bounds it, so admission
-	// backpressure covers the scene buckets and the ready queue, not
-	// just the channel.
+	// intake is the admission queue handed to the scheduler; appends
+	// never block, so Submit can run entirely under mu.
+	intake []*pending
+	// inflight counts requests admitted but not yet claimed (for
+	// dispatch, cancellation, or shedding); QueueDepth bounds it, so
+	// admission backpressure covers the scene buckets and the ready
+	// queue, not just the intake slice.
 	inflight int
+	// routine indexes admitted Routine requests still owned by the
+	// scheduler — the shed candidates for a Critical admission under a
+	// full queue.
+	routine map[*pending]struct{}
 }
 
 // New builds and starts a serving plane: cfg.Workers simulated GPUs,
-// each with a private model replica set from the factory and a
-// per-scene PipeSwitch manager, plus the batching scheduler.
+// each with a private model replica set from the factory, a finite
+// memory budget, and a per-scene PipeSwitch manager, plus the
+// batching scheduler.
 func New(cfg Config, factory ModelFactory) (*Server, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
@@ -76,16 +127,17 @@ func New(cfg Config, factory ModelFactory) (*Server, error) {
 		return nil, fmt.Errorf("serve: nil model factory")
 	}
 	s := &Server{
-		cfg:      cfg,
-		scenes:   make(map[sim.Weather]bool),
-		submitCh: make(chan *pending, cfg.QueueDepth),
+		cfg:    cfg,
+		scenes: make(map[sim.Weather]bool),
+		wake:   make(chan struct{}, 1),
 		// Buffered past the worst case (one stale note plus one
 		// post-shutdown note per worker) so workers never block on it.
-		idleCh: make(chan idleNote, 2*cfg.Workers),
-		stopCh: make(chan struct{}),
+		idleCh:  make(chan idleNote, 2*cfg.Workers),
+		stopCh:  make(chan struct{}),
+		routine: make(map[*pending]struct{}),
 	}
 	for i := 0; i < cfg.Workers; i++ {
-		w, err := newWorker(i, factory)
+		w, err := newWorker(i, factory, cfg.WorkerMemory)
 		if err != nil {
 			return nil, err
 		}
@@ -103,43 +155,121 @@ func New(cfg Config, factory ModelFactory) (*Server, error) {
 	return s, nil
 }
 
-// Submit queues one request and blocks until its verdict or explicit
-// rejection. It never blocks on admission: a full queue returns
-// ErrQueueFull immediately.
-func (s *Server) Submit(req Request) (Verdict, error) {
+// Submit queues one request and blocks until its verdict, an explicit
+// rejection, or ctx ends. The deadline is ctx's when it has one, else
+// Config.SLO; cancelling ctx while the request is queued returns
+// ctx.Err() immediately and drops the request from its bucket before
+// dispatch. Submission never blocks on admission: a full queue
+// returns ErrQueueFull immediately — unless the request is Critical
+// and a queued un-aged Routine request can be shed to make room.
+func (s *Server) Submit(ctx context.Context, req Request) (Verdict, error) {
 	if req.Clip == nil {
 		return Verdict{}, fmt.Errorf("serve: nil clip")
 	}
 	if !s.scenes[req.Scene] {
 		return Verdict{}, fmt.Errorf("serve: no model for scene %v", req.Scene)
 	}
+	if err := ctx.Err(); err != nil {
+		return Verdict{}, err
+	}
 	p := &pending{
 		req:       req,
-		deadline:  req.Deadline,
+		prio:      req.Priority,
+		deadline:  s.cfg.SLO,
 		submitted: time.Now(),
 		done:      make(chan outcome, 1),
 	}
-	if p.deadline <= 0 {
-		p.deadline = s.cfg.SLO
+	if dl, ok := ctx.Deadline(); ok {
+		p.deadline = time.Until(dl)
 	}
+
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return Verdict{}, ErrClosed
 	}
+	var victim *pending
 	if s.inflight >= s.cfg.QueueDepth {
-		s.stats.Rejected++
-		s.mu.Unlock()
-		return Verdict{}, ErrQueueFull
+		if req.Priority == Critical {
+			victim = s.shedRoutineLocked()
+		}
+		if victim == nil {
+			s.stats.Rejected++
+			s.mu.Unlock()
+			return Verdict{}, ErrQueueFull
+		}
+		// The victim's slot transfers to p: inflight is unchanged.
+		s.stats.Shed++
+	} else {
+		s.inflight++
 	}
-	// The channel holds a subset of the inflight requests and shares
-	// its capacity, so this send cannot block.
-	s.submitCh <- p
-	s.inflight++
 	s.stats.Submitted++
+	s.intake = append(s.intake, p)
+	if p.prio == Routine {
+		s.routine[p] = struct{}{}
+	}
 	s.mu.Unlock()
-	out := <-p.done
-	return out.v, out.err
+	if victim != nil {
+		victim.done <- outcome{err: fmt.Errorf("%w (routine slot shed for critical admission)", ErrQueueFull)}
+	}
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+	return s.await(ctx, p)
+}
+
+// await blocks until the request's outcome or its context fires while
+// it is still queued.
+func (s *Server) await(ctx context.Context, p *pending) (Verdict, error) {
+	select {
+	case out := <-p.done:
+		s.forget(p)
+		return out.v, out.err
+	case <-ctx.Done():
+		if p.state.CompareAndSwap(statePending, stateCancelled) {
+			s.mu.Lock()
+			s.inflight--
+			s.stats.Cancelled++
+			delete(s.routine, p)
+			s.mu.Unlock()
+			return Verdict{}, ctx.Err()
+		}
+		// Lost the race: the request was claimed for dispatch (a
+		// verdict or rejection is coming) or shed.
+		out := <-p.done
+		s.forget(p)
+		return out.v, out.err
+	}
+}
+
+// forget drops the request from the shed-candidate index after its
+// outcome is settled.
+func (s *Server) forget(p *pending) {
+	if p.prio != Routine {
+		return
+	}
+	s.mu.Lock()
+	delete(s.routine, p)
+	s.mu.Unlock()
+}
+
+// shedRoutineLocked claims one queued Routine request as the victim
+// of a Critical admission. Requests that have aged past AgingBound
+// are protected — shedding them would reintroduce the starvation the
+// aging rule bounds. Callers hold s.mu.
+func (s *Server) shedRoutineLocked() *pending {
+	now := time.Now()
+	for v := range s.routine {
+		if now.Sub(v.submitted) >= s.cfg.AgingBound {
+			continue
+		}
+		if v.state.CompareAndSwap(statePending, stateShed) {
+			delete(s.routine, v)
+			return v
+		}
+	}
+	return nil
 }
 
 // release returns admission-queue slots once requests leave the
@@ -149,6 +279,15 @@ func (s *Server) release(n int) {
 	s.mu.Lock()
 	s.inflight -= n
 	s.mu.Unlock()
+}
+
+// drainIntake takes the admission queue from Submit.
+func (s *Server) drainIntake() []*pending {
+	s.mu.Lock()
+	batch := s.intake
+	s.intake = nil
+	s.mu.Unlock()
+	return batch
 }
 
 // Close stops admission, fails all queued requests with ErrClosed,
@@ -179,7 +318,15 @@ func (s *Server) reject(p *pending, err error) {
 	p.done <- outcome{err: err}
 }
 
-// bucket accumulates same-scene requests until sealed into a batch.
+// bucketKey separates batching lanes: Critical clips never wait
+// behind Routine batch formation for the same scene.
+type bucketKey struct {
+	scene    sim.Weather
+	critical bool
+}
+
+// bucket accumulates same-scene, same-class requests until sealed
+// into a batch.
 type bucket struct {
 	reqs  []*pending
 	first time.Time
@@ -192,7 +339,7 @@ type bucket struct {
 func (s *Server) schedule() {
 	defer s.wg.Done()
 
-	buckets := make(map[sim.Weather]*bucket)
+	buckets := make(map[bucketKey]*bucket)
 	var ready []*batch
 	idle := make([]idleNote, 0, len(s.workers))
 	for i := range s.workers {
@@ -205,10 +352,10 @@ func (s *Server) schedule() {
 	}
 	timerSet := false
 
-	seal := func(scene sim.Weather) {
-		b := buckets[scene]
-		delete(buckets, scene)
-		ready = append(ready, &batch{scene: scene, reqs: b.reqs})
+	seal := func(key bucketKey) {
+		b := buckets[key]
+		delete(buckets, key)
+		ready = append(ready, &batch{scene: key.scene, critical: key.critical, reqs: b.reqs})
 	}
 
 	// resetTimer re-arms the flush timer for the oldest open bucket.
@@ -235,47 +382,94 @@ func (s *Server) schedule() {
 		}
 	}
 
-	// dispatch pairs ready batches with idle workers, preferring a
-	// worker whose resident model matches (warm routing), shedding
-	// requests whose deadline lapsed while they waited.
-	dispatch := func() {
-		for len(ready) > 0 && len(idle) > 0 {
-			bi, wi := -1, -1
-			for i, b := range ready {
-				for j, n := range idle {
-					if n.hasModel && n.scene == b.scene {
-						bi, wi = i, j
-						break
-					}
-				}
-				if bi >= 0 {
+	// promote applies the aging rule to the ready queue: a Routine
+	// batch whose oldest member has waited past AgingBound dispatches
+	// in the Critical tier from now on.
+	promote := func(now time.Time) {
+		for _, b := range ready {
+			if b.urgent() {
+				continue
+			}
+			for _, p := range b.reqs {
+				if now.Sub(p.submitted) >= s.cfg.AgingBound {
+					b.promoted = true
 					break
 				}
 			}
-			if bi < 0 {
-				// No warm pairing: oldest batch onto a model-less
-				// worker when one exists (keeps warm workers warm),
-				// else onto any idle worker, paying a switch.
-				bi, wi = 0, 0
+			if b.promoted {
+				s.mu.Lock()
+				for _, p := range b.reqs {
+					p.aged = true
+					s.stats.Aged++
+				}
+				s.mu.Unlock()
+			}
+		}
+	}
+
+	// pick selects the next (batch, worker) pairing: Critical-tier
+	// batches strictly before Routine ones; within a tier, a warm
+	// pairing if any worker holds the batch's scene, else the oldest
+	// batch onto the worker with the fewest resident models (keeps
+	// warm workers warm and evicts least).
+	pick := func() (bi, wi int) {
+		for _, wantUrgent := range []bool{true, false} {
+			first := -1
+			for i, b := range ready {
+				if b.urgent() != wantUrgent {
+					continue
+				}
+				if first < 0 {
+					first = i
+				}
 				for j, n := range idle {
-					if !n.hasModel {
-						wi = j
-						break
+					if n.holds(b.scene) {
+						return i, j
 					}
 				}
+			}
+			if first >= 0 {
+				coldest := 0
+				for j, n := range idle {
+					if len(n.resident) < len(idle[coldest].resident) {
+						coldest = j
+					}
+				}
+				return first, coldest
+			}
+		}
+		return -1, -1
+	}
+
+	// dispatch pairs ready batches with idle workers, shedding
+	// requests whose deadline lapsed and dropping requests that were
+	// cancelled or shed while they waited.
+	dispatch := func() {
+		for len(ready) > 0 && len(idle) > 0 {
+			now := time.Now()
+			promote(now)
+			bi, wi := pick()
+			if bi < 0 {
+				return
 			}
 			b := ready[bi]
 			ready = append(ready[:bi], ready[bi+1:]...)
 			note := idle[wi]
 			idle = append(idle[:wi], idle[wi+1:]...)
-			b.warm = note.hasModel && note.scene == b.scene
+			b.warm = note.holds(b.scene)
 
-			now := time.Now()
 			kept := b.reqs[:0]
 			for _, p := range b.reqs {
 				if now.Sub(p.submitted) > p.deadline {
-					s.release(1)
-					s.reject(p, ErrDeadlineExceeded)
+					if p.state.CompareAndSwap(statePending, stateClaimed) {
+						s.release(1)
+						s.reject(p, ErrDeadlineExceeded)
+					}
+					continue
+				}
+				if !p.state.CompareAndSwap(statePending, stateClaimed) {
+					// Cancelled or shed while queued: the claimant
+					// already settled the outcome and the slot.
 					continue
 				}
 				p.dispatched = now
@@ -291,29 +485,49 @@ func (s *Server) schedule() {
 		}
 	}
 
-	for {
-		select {
-		case p := <-s.submitCh:
-			now := time.Now()
+	// admit buckets freshly submitted requests, sealing full batches.
+	admit := func() {
+		now := time.Now()
+		for _, p := range s.drainIntake() {
+			if p.state.Load() != statePending {
+				continue // cancelled or shed before bucketing
+			}
 			p.bucketed = now
-			b := buckets[p.req.Scene]
+			key := bucketKey{scene: p.req.Scene, critical: p.prio == Critical}
+			b := buckets[key]
 			if b == nil {
 				b = &bucket{first: now}
-				buckets[p.req.Scene] = b
+				buckets[key] = b
 			}
 			b.reqs = append(b.reqs, p)
 			if len(b.reqs) >= s.cfg.MaxBatch {
-				seal(p.req.Scene)
+				seal(key)
 			}
+		}
+	}
+
+	// fail claims and rejects a queued request at shutdown; requests
+	// already cancelled or shed are dropped silently.
+	fail := func(p *pending) {
+		if p.state.CompareAndSwap(statePending, stateClaimed) {
+			s.release(1)
+			s.reject(p, ErrClosed)
+		}
+	}
+
+	for {
+		select {
+		case <-s.wake:
+			admit()
 			dispatch()
 			resetTimer()
 
 		case <-timer.C:
 			timerSet = false
 			now := time.Now()
-			for scene, b := range buckets {
+			for key, b := range buckets {
 				if !now.Before(b.first.Add(s.cfg.BatchLatency)) {
-					seal(scene)
+					seal(key)
 				}
 			}
 			dispatch()
@@ -326,25 +540,17 @@ func (s *Server) schedule() {
 		case <-s.stopCh:
 			// Fail everything not yet handed to a worker; in-flight
 			// batches still deliver their verdicts.
-			for drained := false; !drained; {
-				select {
-				case p := <-s.submitCh:
-					s.release(1)
-					s.reject(p, ErrClosed)
-				default:
-					drained = true
-				}
+			for _, p := range s.drainIntake() {
+				fail(p)
 			}
 			for _, b := range buckets {
 				for _, p := range b.reqs {
-					s.release(1)
-					s.reject(p, ErrClosed)
+					fail(p)
 				}
 			}
 			for _, b := range ready {
 				for _, p := range b.reqs {
-					s.release(1)
-					s.reject(p, ErrClosed)
+					fail(p)
 				}
 			}
 			for _, w := range s.workers {

@@ -14,6 +14,13 @@ type Stats struct {
 	// Rejected counts submissions refused for a full queue
 	// (ErrQueueFull backpressure).
 	Rejected int
+	// Shed counts admitted Routine requests pushed back out (with
+	// ErrQueueFull) so a Critical request could take their slot.
+	Shed int
+	// Cancelled counts admitted requests whose context was cancelled
+	// (or hit its deadline) while they were still queued; they were
+	// dropped from their bucket before dispatch.
+	Cancelled int
 	// Expired counts queued requests shed because their deadline
 	// lapsed before inference (ErrDeadlineExceeded).
 	Expired int
@@ -25,14 +32,21 @@ type Stats struct {
 	// SLOViolations counts completed requests whose total latency
 	// exceeded their deadline.
 	SLOViolations int
+	// Aged counts Routine requests promoted to Critical dispatch by
+	// the aging rule.
+	Aged int
 
 	// Batches is the number of batched forward passes; BatchedClips
 	// the clips they carried; MaxBatch the largest batch observed.
 	Batches, BatchedClips, MaxBatch int
 	// WarmBatches counts batches routed to a worker already holding
 	// the scene's model; Switches counts batches that triggered a
-	// PipeSwitch model swap.
+	// PipeSwitch model load.
 	WarmBatches, Switches int
+	// Evictions counts models evicted from worker memory under
+	// pressure; Reloads counts loads that brought back a previously
+	// evicted model.
+	Evictions, Reloads int
 
 	// QueueWait, BatchWait, and ComputeWall are cumulative wall-clock
 	// components over completed requests.
@@ -43,9 +57,18 @@ type Stats struct {
 	// P50 and P99 are total-latency percentiles over recently
 	// completed requests.
 	P50, P99 time.Duration
+	// CriticalQueueP95 and RoutineQueueP95 are submit-to-dispatch wait
+	// percentiles over recently completed requests, split by effective
+	// class (aged Routine requests count as Critical). They are the
+	// priority plane's acceptance metric: under saturation, Critical
+	// must sit below Routine.
+	CriticalQueueP95, RoutineQueueP95 time.Duration
+	// CriticalCompleted and RoutineCompleted split Completed by
+	// effective class.
+	CriticalCompleted, RoutineCompleted int
 
 	// SwitchVirtual is the cumulative virtual-time cost of all model
-	// swaps performed by workers.
+	// loads performed by workers.
 	SwitchVirtual time.Duration
 	// VirtualBusy sums every worker's simulated-GPU timeline;
 	// VirtualMakespan is the busiest worker's timeline — the
@@ -76,18 +99,44 @@ func (st Stats) VirtualThroughput() float64 {
 // completed-request latencies.
 const latencySample = 8192
 
+// ring is a fixed-size sample of recent durations.
+type ring struct {
+	buf [latencySample]time.Duration
+	n   int // total ever recorded
+}
+
+func (r *ring) add(d time.Duration) {
+	r.buf[r.n%latencySample] = d
+	r.n++
+}
+
+// sample copies the recorded durations (at most latencySample).
+func (r *ring) sample() []time.Duration {
+	n := r.n
+	if n > latencySample {
+		n = latencySample
+	}
+	out := make([]time.Duration, n)
+	copy(out, r.buf[:n])
+	return out
+}
+
+// percentile returns the pth percentile of a sorted sample (0 when
+// empty).
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return sorted[(len(sorted)*p)/100]
+}
+
 // statsAccum is the mutable accumulator behind Stats, guarded by
 // Server.mu.
 type statsAccum struct {
 	Stats
-	ring  [latencySample]time.Duration
-	ringN int // total ever recorded
-}
-
-// record adds one completed request's total latency.
-func (a *statsAccum) record(total time.Duration) {
-	a.ring[a.ringN%latencySample] = total
-	a.ringN++
+	total    ring // total latency, completed requests
+	critWait ring // submit→dispatch wait, Critical-class completions
+	routWait ring // submit→dispatch wait, Routine-class completions
 }
 
 // recordBatch folds one served batch into the counters.
@@ -103,9 +152,16 @@ func (s *Server) recordBatch(b *batch, rep pipeswitch.Report, computeWall time.D
 	if b.warm {
 		st.WarmBatches++
 	}
-	if rep.Method != "noop" && rep.Method != "" {
+	switch rep.Method {
+	case "", "noop", "resident":
+		// The model was already on the device: no load happened.
+	default:
 		st.Switches++
 		st.SwitchVirtual += rep.Total
+	}
+	st.Evictions += rep.Evicted
+	if rep.Reload {
+		st.Reloads++
 	}
 	for _, p := range b.reqs {
 		total := now.Sub(p.submitted)
@@ -117,28 +173,40 @@ func (s *Server) recordBatch(b *batch, rep pipeswitch.Report, computeWall time.D
 		if total > p.deadline {
 			st.SLOViolations++
 		}
-		st.record(total)
+		s.stats.total.add(total)
+		wait := p.dispatched.Sub(p.submitted)
+		if p.critical() {
+			st.CriticalCompleted++
+			s.stats.critWait.add(wait)
+		} else {
+			st.RoutineCompleted++
+			s.stats.routWait.add(wait)
+		}
 	}
 }
 
 // Stats returns a snapshot, including percentiles over the recent
-// latency sample and the per-worker virtual timelines.
+// latency samples and the per-worker virtual timelines.
 func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	out := s.stats.Stats
-	n := s.stats.ringN
-	if n > latencySample {
-		n = latencySample
-	}
-	sample := make([]time.Duration, n)
-	copy(sample, s.stats.ring[:n])
+	total := s.stats.total.sample()
+	crit := s.stats.critWait.sample()
+	rout := s.stats.routWait.sample()
 	s.mu.Unlock()
 
-	if len(sample) > 0 {
+	less := func(sample []time.Duration) {
 		sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
-		out.P50 = sample[len(sample)/2]
-		out.P99 = sample[(len(sample)*99)/100]
 	}
+	if len(total) > 0 {
+		less(total)
+		out.P50 = percentile(total, 50)
+		out.P99 = percentile(total, 99)
+	}
+	less(crit)
+	less(rout)
+	out.CriticalQueueP95 = percentile(crit, 95)
+	out.RoutineQueueP95 = percentile(rout, 95)
 	for _, w := range s.workers {
 		v := time.Duration(w.virtualNow.Load())
 		out.VirtualBusy += v

@@ -14,8 +14,9 @@ import (
 )
 
 // worker is one GPU-attached serving process: a private replica of
-// every scene model, a simulated device, and a PipeSwitch manager so
-// model swaps and batched inference share one virtual timeline.
+// every scene model, a simulated device with a finite memory budget,
+// and a PipeSwitch manager that owns model residency — loads, LRU
+// evictions, and reloads all land on the worker's virtual timeline.
 type worker struct {
 	id     int
 	ch     chan *batch
@@ -28,9 +29,12 @@ type worker struct {
 }
 
 // newWorker builds a worker: model replicas from the factory, a fresh
-// simulated GPU, and the per-scene switch manifests registered under
-// sim.Weather.String() keys (mirroring safecross.NewDefault).
-func newWorker(id int, factory ModelFactory) (*worker, error) {
+// simulated GPU whose memory budget is capped at memoryBytes (zero
+// keeps the device default), and the per-scene switch manifests
+// registered under sim.Weather.String() keys (mirroring
+// safecross.NewDefault). Registration is metadata only — nothing is
+// loaded until the first batch for a scene arrives.
+func newWorker(id int, factory ModelFactory, memoryBytes int64) (*worker, error) {
 	models, err := factory()
 	if err != nil {
 		return nil, fmt.Errorf("serve: worker %d models: %w", id, err)
@@ -38,7 +42,11 @@ func newWorker(id int, factory ModelFactory) (*worker, error) {
 	if len(models) == 0 {
 		return nil, fmt.Errorf("serve: worker %d has no models", id)
 	}
-	dev, err := gpusim.NewDevice(gpusim.DefaultConfig())
+	devCfg := gpusim.DefaultConfig()
+	if memoryBytes > 0 {
+		devCfg.MemoryBytes = memoryBytes
+	}
+	dev, err := gpusim.NewDevice(devCfg)
 	if err != nil {
 		return nil, fmt.Errorf("serve: worker %d: %w", id, err)
 	}
@@ -58,19 +66,32 @@ func newWorker(id int, factory ModelFactory) (*worker, error) {
 	}, nil
 }
 
+// residentScenes lists the scenes whose models currently sit in this
+// worker's device memory, for the scheduler's warm-routing mirror.
+func (w *worker) residentScenes() []sim.Weather {
+	out := make([]sim.Weather, 0, len(w.models))
+	for scene := range w.models {
+		if w.mgr.Resident(scene.String()) {
+			out = append(out, scene)
+		}
+	}
+	return out
+}
+
 // run serves batches until the scheduler closes the channel.
 func (w *worker) run(s *Server) {
 	defer s.wg.Done()
 	for b := range w.ch {
 		w.serveBatch(s, b)
-		s.idleCh <- idleNote{worker: w.id, scene: b.scene, hasModel: true}
+		s.idleCh <- idleNote{worker: w.id, resident: w.residentScenes()}
 	}
 }
 
-// serveBatch activates the batch's scene model (a PipeSwitch swap
-// when the worker is cold for it), runs one batched forward pass, and
-// delivers a verdict to every request. Any failure is delivered as an
-// explicit error — a taken batch never vanishes.
+// serveBatch activates the batch's scene model (a PipeSwitch load —
+// possibly evicting LRU residents — when the worker does not hold
+// it), runs one batched forward pass, and delivers a verdict to every
+// request. Any failure is delivered as an explicit error — a taken
+// batch never vanishes.
 func (w *worker) serveBatch(s *Server, b *batch) {
 	rep, err := w.mgr.Activate(b.scene.String())
 	if err != nil {
@@ -113,6 +134,7 @@ func (w *worker) serveBatch(s *Server, b *batch) {
 			VirtualCompute: virtCompute,
 			Worker:         w.id,
 			Batch:          len(b.reqs),
+			Evicted:        rep.Evicted,
 		}
 		t.SLOMet = t.Total <= p.deadline
 		label := labels[i]
