@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet staticcheck test race bench bench-smoke verify
+.PHONY: build vet staticcheck test race bench bench-smoke bench-json verify
 
 build:
 	$(GO) build ./...
@@ -27,12 +27,20 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
 
-# bench-smoke runs each serving benchmark exactly once: enough to catch
-# a broken benchmark or a serving-plane regression (the memory-pressure
-# benchmark asserts zero drops and real eviction/reload churn) without
+# bench-smoke runs the serving and inference benchmarks exactly once:
+# enough to catch a broken benchmark or a serving-plane regression (the
+# memory-pressure benchmark asserts zero drops and real eviction/reload
+# churn; the Fig8 benchmark drives the batched workspace path) without
 # paying for a full measurement run.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkServe' -benchtime=1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkServe|BenchmarkFig8_SlowFastInference' -benchtime=1x .
+
+# bench-json measures the inference hot paths (batched Fig8 inference
+# and the serving plane) with allocation tracking and records them in
+# BENCH_infer.json; the file's previous contents roll into a
+# "previous" field, so each refresh carries its own before/after.
+bench-json:
+	$(GO) test -run '^$$' -bench 'BenchmarkFig8_SlowFastInference|BenchmarkServe' -benchmem . | $(GO) run ./cmd/benchjson -out BENCH_infer.json
 
 # verify is the extended gate: everything must compile, lint clean, and
 # pass the full suite under the race detector (the serving and RSU

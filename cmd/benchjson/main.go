@@ -1,0 +1,130 @@
+// Command benchjson converts `go test -bench` text output (read from
+// stdin) into a machine-readable JSON record, so benchmark runs can be
+// diffed across commits. When the output file already exists, its
+// current benchmark set is rolled into a "previous" field, keeping a
+// one-step before/after trajectory alongside every refresh:
+//
+//	go test -run '^$' -bench . -benchmem . | go run ./cmd/benchjson -out BENCH_infer.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line. The standard ns/op,
+// B/op and allocs/op measurements get their own fields; every other
+// "value unit" pair (custom b.ReportMetric metrics such as
+// virt-clip/s) lands in Metrics.
+type Benchmark struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op,omitempty"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the file layout: the latest run plus the run it replaced.
+type Report struct {
+	Go         string      `json:"go"`
+	Host       string      `json:"host,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+	Previous   []Benchmark `json:"previous,omitempty"`
+}
+
+// parseLine parses one benchmark output line, e.g.
+//
+//	BenchmarkFoo/bar-8   	 100	 12345 ns/op	 64 B/op	 2 allocs/op	 1.5 widgets
+//
+// Returns ok=false for non-benchmark lines (goos:, PASS, etc.).
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Iterations: iters}
+	// The rest is "value unit" pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BytesPerOp = v
+		case "allocs/op":
+			b.AllocsPerOp = v
+		default:
+			if b.Metrics == nil {
+				b.Metrics = make(map[string]float64)
+			}
+			b.Metrics[unit] = v
+		}
+	}
+	return b, true
+}
+
+func run(out string) error {
+	var benches []Benchmark
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass the human-readable output through
+		if b, ok := parseLine(line); ok {
+			benches = append(benches, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("benchjson: read stdin: %w", err)
+	}
+	if len(benches) == 0 {
+		return fmt.Errorf("benchjson: no benchmark lines on stdin")
+	}
+
+	rep := Report{
+		Go:         runtime.Version(),
+		Host:       runtime.GOOS + "/" + runtime.GOARCH,
+		Benchmarks: benches,
+	}
+	// Roll the existing run into "previous" so the file always carries
+	// its own before/after comparison.
+	if raw, err := os.ReadFile(out); err == nil {
+		var old Report
+		if err := json.Unmarshal(raw, &old); err == nil {
+			rep.Previous = old.Benchmarks
+		}
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchjson: marshal: %w", err)
+	}
+	if err := os.WriteFile(out, append(enc, '\n'), 0o644); err != nil {
+		return fmt.Errorf("benchjson: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(benches), out)
+	return nil
+}
+
+func main() {
+	out := flag.String("out", "BENCH_infer.json", "output JSON file")
+	flag.Parse()
+	if err := run(*out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

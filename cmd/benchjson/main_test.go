@@ -1,0 +1,34 @@
+package main
+
+import "testing"
+
+func TestParseLineStandardAndCustomMetrics(t *testing.T) {
+	b, ok := parseLine("BenchmarkServe_MultiIntersection/batched-4gpu \t 16\t69781386 ns/op\t 1.333 mean-batch\t 557.1 virt-clip/s\t37135728 B/op\t 13855 allocs/op")
+	if !ok {
+		t.Fatal("line did not parse")
+	}
+	if b.Name != "BenchmarkServe_MultiIntersection/batched-4gpu" || b.Iterations != 16 {
+		t.Fatalf("name/iters = %q/%d", b.Name, b.Iterations)
+	}
+	if b.NsPerOp != 69781386 || b.BytesPerOp != 37135728 || b.AllocsPerOp != 13855 {
+		t.Fatalf("standard metrics = %v/%v/%v", b.NsPerOp, b.BytesPerOp, b.AllocsPerOp)
+	}
+	if b.Metrics["mean-batch"] != 1.333 || b.Metrics["virt-clip/s"] != 557.1 {
+		t.Fatalf("custom metrics = %v", b.Metrics)
+	}
+}
+
+func TestParseLineRejectsNonBenchmarkLines(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"pkg: safecross",
+		"PASS",
+		"ok  \tsafecross\t9.060s",
+		"",
+		"Benchmark without iteration count",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Fatalf("line %q parsed as a benchmark", line)
+		}
+	}
+}

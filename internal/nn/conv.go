@@ -16,11 +16,19 @@ type Conv2D struct {
 	kh, kw, sh, sw int
 	ph, pw         int
 
+	// train gates the backward caches: only a training-mode Forward
+	// retains its im2col matrix. Eval-mode forwards (and replicas
+	// parked on serving workers) hold no per-call state.
+	train        bool
 	cacheCols    *tensor.Tensor
 	cacheInShape [3]int
 }
 
-var _ Layer = (*Conv2D)(nil)
+var (
+	_ Layer          = (*Conv2D)(nil)
+	_ TrainAware     = (*Conv2D)(nil)
+	_ WorkspaceLayer = (*Conv2D)(nil)
+)
 
 // Conv2DConfig describes a Conv2D layer; zero strides default to 1.
 type Conv2DConfig struct {
@@ -48,6 +56,17 @@ func NewConv2D(name string, cfg Conv2DConfig, rng *rand.Rand) *Conv2D {
 		kh:   cfg.KH, kw: cfg.KW,
 		sh: cfg.SH, sw: cfg.SW,
 		ph: cfg.PH, pw: cfg.PW,
+		train: true,
+	}
+}
+
+// SetTrain toggles backward-cache retention. Leaving train mode drops
+// the cached im2col matrix immediately, so an eval-only replica never
+// pins its last input's scratch.
+func (c *Conv2D) SetTrain(train bool) {
+	c.train = train
+	if !train {
+		c.cacheCols = nil
 	}
 }
 
@@ -60,8 +79,10 @@ func (c *Conv2D) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 	if err != nil {
 		return nil, fmt.Errorf("conv2d %s: %w", c.W.Name, err)
 	}
-	c.cacheCols = cols
-	c.cacheInShape = [3]int{x.Shape[0], x.Shape[1], x.Shape[2]}
+	if c.train {
+		c.cacheCols = cols
+		c.cacheInShape = [3]int{x.Shape[0], x.Shape[1], x.Shape[2]}
+	}
 	prod, err := tensor.MatMul(c.W.Value, cols)
 	if err != nil {
 		return nil, fmt.Errorf("conv2d %s: %w", c.W.Name, err)
@@ -84,7 +105,7 @@ func (c *Conv2D) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 // gradient.
 func (c *Conv2D) Backward(dout *tensor.Tensor) (*tensor.Tensor, error) {
 	if c.cacheCols == nil {
-		return nil, fmt.Errorf("conv2d %s: Backward before Forward", c.W.Name)
+		return nil, fmt.Errorf("conv2d %s: Backward without a train-mode Forward", c.W.Name)
 	}
 	n := c.cacheCols.Shape[1]
 	if dout.Len() != c.outC*n {
@@ -121,6 +142,58 @@ func (c *Conv2D) Backward(dout *tensor.Tensor) (*tensor.Tensor, error) {
 	return dx, nil
 }
 
+// ForwardWS is the eval-mode forward: the column matrix and output
+// come from ws, no backward cache is written, and a channel-major
+// batched input [C,M,H,W] convolves all M samples with one im2col and
+// one matmul, yielding [OutC,M,OH,OW].
+func (c *Conv2D) ForwardWS(x *tensor.Tensor, ws *Workspace) (*tensor.Tensor, error) {
+	m := 1
+	var h, w int
+	switch {
+	case x.Rank() == 3 && x.Shape[0] == c.inC:
+		h, w = x.Shape[1], x.Shape[2]
+	case x.Rank() == 4 && x.Shape[0] == c.inC:
+		m, h, w = x.Shape[1], x.Shape[2], x.Shape[3]
+	default:
+		return nil, fmt.Errorf("conv2d %s: input shape %v, want [%d,(M,)H,W]", c.W.Name, x.Shape, c.inC)
+	}
+	oh := tensor.ConvOutSize(h, c.kh, c.sh, c.ph)
+	ow := tensor.ConvOutSize(w, c.kw, c.sw, c.pw)
+	if oh <= 0 || ow <= 0 {
+		return nil, fmt.Errorf("conv2d %s: kernel %dx%d too large for input %v", c.W.Name, c.kh, c.kw, x.Shape)
+	}
+	n := m * oh * ow
+	cols := ws.Get(c.inC*c.kh*c.kw, n)
+	if err := tensor.Im2ColBatchInto(cols, x, m, c.kh, c.kw, c.sh, c.sw, c.ph, c.pw); err != nil {
+		return nil, fmt.Errorf("conv2d %s: %w", c.W.Name, err)
+	}
+	out := ws.Get(c.outC, n)
+	if err := tensor.MatMulInto(out, c.W.Value, cols); err != nil {
+		return nil, fmt.Errorf("conv2d %s: %w", c.W.Name, err)
+	}
+	addBiasRows(out.Data, c.B.Value.Data, c.outC, n)
+	if x.Rank() == 3 {
+		out.Shape = append(out.Shape[:0], c.outC, oh, ow)
+	} else {
+		out.Shape = append(out.Shape[:0], c.outC, m, oh, ow)
+	}
+	return out, nil
+}
+
+// addBiasRows adds bias[o] to each of the rows rows of n contiguous
+// output positions, fanning rows out over the kernel pool.
+func addBiasRows(data, bias []float64, rows, n int) {
+	tensor.ParallelFor(rows, n, func(lo, hi int) {
+		for o := lo; o < hi; o++ {
+			b := bias[o]
+			row := data[o*n : (o+1)*n]
+			for i := range row {
+				row[i] += b
+			}
+		}
+	})
+}
+
 // Params returns the weight and bias parameters.
 func (c *Conv2D) Params() []*Param { return []*Param{c.W, c.B} }
 
@@ -135,11 +208,17 @@ type Conv3D struct {
 	st, sh, sw int
 	pt, ph, pw int
 
+	// train gates the backward caches exactly as in Conv2D.
+	train        bool
 	cacheCols    *tensor.Tensor
 	cacheInShape [4]int
 }
 
-var _ Layer = (*Conv3D)(nil)
+var (
+	_ Layer          = (*Conv3D)(nil)
+	_ TrainAware     = (*Conv3D)(nil)
+	_ WorkspaceLayer = (*Conv3D)(nil)
+)
 
 // Conv3DConfig describes a Conv3D layer; zero strides default to 1.
 type Conv3DConfig struct {
@@ -170,6 +249,16 @@ func NewConv3D(name string, cfg Conv3DConfig, rng *rand.Rand) *Conv3D {
 		kt:   cfg.KT, kh: cfg.KH, kw: cfg.KW,
 		st: cfg.ST, sh: cfg.SH, sw: cfg.SW,
 		pt: cfg.PT, ph: cfg.PH, pw: cfg.PW,
+		train: true,
+	}
+}
+
+// SetTrain toggles backward-cache retention; leaving train mode drops
+// the cached im2col matrix immediately.
+func (c *Conv3D) SetTrain(train bool) {
+	c.train = train
+	if !train {
+		c.cacheCols = nil
 	}
 }
 
@@ -182,8 +271,10 @@ func (c *Conv3D) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 	if err != nil {
 		return nil, fmt.Errorf("conv3d %s: %w", c.W.Name, err)
 	}
-	c.cacheCols = cols
-	c.cacheInShape = [4]int{x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]}
+	if c.train {
+		c.cacheCols = cols
+		c.cacheInShape = [4]int{x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]}
+	}
 	prod, err := tensor.MatMul(c.W.Value, cols)
 	if err != nil {
 		return nil, fmt.Errorf("conv3d %s: %w", c.W.Name, err)
@@ -207,7 +298,7 @@ func (c *Conv3D) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 // gradient.
 func (c *Conv3D) Backward(dout *tensor.Tensor) (*tensor.Tensor, error) {
 	if c.cacheCols == nil {
-		return nil, fmt.Errorf("conv3d %s: Backward before Forward", c.W.Name)
+		return nil, fmt.Errorf("conv3d %s: Backward without a train-mode Forward", c.W.Name)
 	}
 	n := c.cacheCols.Shape[1]
 	if dout.Len() != c.outC*n {
@@ -240,6 +331,45 @@ func (c *Conv3D) Backward(dout *tensor.Tensor) (*tensor.Tensor, error) {
 		return nil, fmt.Errorf("conv3d %s: %w", c.W.Name, err)
 	}
 	return dx, nil
+}
+
+// ForwardWS is the eval-mode forward: scratch comes from ws, no
+// backward cache is written, and a channel-major batched input
+// [C,N,T,H,W] convolves all N volumes with one im2col and one matmul,
+// yielding [OutC,N,OT,OH,OW].
+func (c *Conv3D) ForwardWS(x *tensor.Tensor, ws *Workspace) (*tensor.Tensor, error) {
+	bn := 1
+	var t, h, w int
+	switch {
+	case x.Rank() == 4 && x.Shape[0] == c.inC:
+		t, h, w = x.Shape[1], x.Shape[2], x.Shape[3]
+	case x.Rank() == 5 && x.Shape[0] == c.inC:
+		bn, t, h, w = x.Shape[1], x.Shape[2], x.Shape[3], x.Shape[4]
+	default:
+		return nil, fmt.Errorf("conv3d %s: input shape %v, want [%d,(N,)T,H,W]", c.W.Name, x.Shape, c.inC)
+	}
+	ot := tensor.ConvOutSize(t, c.kt, c.st, c.pt)
+	oh := tensor.ConvOutSize(h, c.kh, c.sh, c.ph)
+	ow := tensor.ConvOutSize(w, c.kw, c.sw, c.pw)
+	if ot <= 0 || oh <= 0 || ow <= 0 {
+		return nil, fmt.Errorf("conv3d %s: kernel %dx%dx%d too large for input %v", c.W.Name, c.kt, c.kh, c.kw, x.Shape)
+	}
+	n := bn * ot * oh * ow
+	cols := ws.Get(c.inC*c.kt*c.kh*c.kw, n)
+	if err := tensor.Im2Col3DBatchInto(cols, x, bn, c.kt, c.kh, c.kw, c.st, c.sh, c.sw, c.pt, c.ph, c.pw); err != nil {
+		return nil, fmt.Errorf("conv3d %s: %w", c.W.Name, err)
+	}
+	out := ws.Get(c.outC, n)
+	if err := tensor.MatMulInto(out, c.W.Value, cols); err != nil {
+		return nil, fmt.Errorf("conv3d %s: %w", c.W.Name, err)
+	}
+	addBiasRows(out.Data, c.B.Value.Data, c.outC, n)
+	if x.Rank() == 4 {
+		out.Shape = append(out.Shape[:0], c.outC, ot, oh, ow)
+	} else {
+		out.Shape = append(out.Shape[:0], c.outC, bn, ot, oh, ow)
+	}
+	return out, nil
 }
 
 // Params returns the weight and bias parameters.
@@ -318,6 +448,62 @@ func (m *MaxPool2D) Backward(dout *tensor.Tensor) (*tensor.Tensor, error) {
 	return dx, nil
 }
 
+// ForwardWS is the eval-mode forward: the output comes from ws and no
+// argmax cache is written. A channel-major batched input [C,M,H,W]
+// pools every sample plane, yielding [C,M,OH,OW].
+func (m *MaxPool2D) ForwardWS(x *tensor.Tensor, ws *Workspace) (*tensor.Tensor, error) {
+	bn := 1
+	var c, h, w int
+	switch x.Rank() {
+	case 3:
+		c, h, w = x.Shape[0], x.Shape[1], x.Shape[2]
+	case 4:
+		c, bn, h, w = x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	default:
+		return nil, fmt.Errorf("maxpool2d: input shape %v, want [C,(M,)H,W]", x.Shape)
+	}
+	oh := tensor.ConvOutSize(h, m.K, m.S, 0)
+	ow := tensor.ConvOutSize(w, m.K, m.S, 0)
+	if oh <= 0 || ow <= 0 {
+		return nil, fmt.Errorf("maxpool2d: kernel %d too large for input %v", m.K, x.Shape)
+	}
+	var out *tensor.Tensor
+	if x.Rank() == 3 {
+		out = ws.Get(c, oh, ow)
+	} else {
+		out = ws.Get(c, bn, oh, ow)
+	}
+	planes := c * bn
+	tensor.ParallelFor(planes, oh*ow*m.K*m.K, func(lo, hi int) {
+		for pi := lo; pi < hi; pi++ {
+			plane := x.Data[pi*h*w:]
+			dst := out.Data[pi*oh*ow:]
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					best := plane[(oy*m.S)*w+ox*m.S]
+					for ky := 0; ky < m.K; ky++ {
+						iy := oy*m.S + ky
+						if iy >= h {
+							break
+						}
+						for kx := 0; kx < m.K; kx++ {
+							ix := ox*m.S + kx
+							if ix >= w {
+								break
+							}
+							if v := plane[iy*w+ix]; v > best {
+								best = v
+							}
+						}
+					}
+					dst[oy*ow+ox] = best
+				}
+			}
+		}
+	})
+	return out, nil
+}
+
 // Params returns nil; pooling has no parameters.
 func (m *MaxPool2D) Params() []*Param { return nil }
 
@@ -369,6 +555,37 @@ func (g *GlobalAvgPool3D) Backward(dout *tensor.Tensor) (*tensor.Tensor, error) 
 		}
 	}
 	return dx, nil
+}
+
+// ForwardWS is the eval-mode forward. A channel-major batched input
+// [C,N,T,H,W] reduces to a [N,C] feature matrix (one feature row per
+// sample, ready for a batched Linear); a single [C,T,H,W] volume
+// yields [1,C]. Each feature sums its volume in ascending order, so
+// values are bit-identical to Forward.
+func (g *GlobalAvgPool3D) ForwardWS(x *tensor.Tensor, ws *Workspace) (*tensor.Tensor, error) {
+	bn := 1
+	var c, vol int
+	switch x.Rank() {
+	case 4:
+		c, vol = x.Shape[0], x.Shape[1]*x.Shape[2]*x.Shape[3]
+	case 5:
+		c, bn, vol = x.Shape[0], x.Shape[1], x.Shape[2]*x.Shape[3]*x.Shape[4]
+	default:
+		return nil, fmt.Errorf("gap3d: input shape %v, want [C,(N,)T,H,W]", x.Shape)
+	}
+	out := ws.Get(bn, c)
+	fvol := float64(vol)
+	tensor.ParallelFor(c*bn, vol, func(lo, hi int) {
+		for pi := lo; pi < hi; pi++ {
+			ci, ni := pi/bn, pi%bn
+			s := 0.0
+			for _, v := range x.Data[pi*vol : (pi+1)*vol] {
+				s += v
+			}
+			out.Data[ni*c+ci] = s / fvol
+		}
+	})
+	return out, nil
 }
 
 // Params returns nil; pooling has no parameters.
@@ -443,6 +660,54 @@ func (p *TemporalAvgPool) Backward(dout *tensor.Tensor) (*tensor.Tensor, error) 
 		}
 	}
 	return dx, nil
+}
+
+// ForwardWS is the eval-mode forward. A channel-major batched input
+// [C,N,T,H,W] pools every sample's time axis, yielding [C,N,T/K,H,W].
+func (p *TemporalAvgPool) ForwardWS(x *tensor.Tensor, ws *Workspace) (*tensor.Tensor, error) {
+	bn := 1
+	var c, t, h, w int
+	switch x.Rank() {
+	case 4:
+		c, t, h, w = x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	case 5:
+		c, bn, t, h, w = x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3], x.Shape[4]
+	default:
+		return nil, fmt.Errorf("tpool: input shape %v, want [C,(N,)T,H,W]", x.Shape)
+	}
+	if p.K <= 0 || t%p.K != 0 {
+		return nil, fmt.Errorf("tpool: T=%d not divisible by window %d", t, p.K)
+	}
+	ot := t / p.K
+	var out *tensor.Tensor
+	if x.Rank() == 4 {
+		out = ws.Get(c, ot, h, w)
+	} else {
+		out = ws.Get(c, bn, ot, h, w)
+	}
+	spat := h * w
+	inv := 1 / float64(p.K)
+	tensor.ParallelFor(c*bn, ot*spat*p.K, func(lo, hi int) {
+		for pi := lo; pi < hi; pi++ {
+			src := x.Data[pi*t*spat:]
+			for oz := 0; oz < ot; oz++ {
+				dst := out.Data[pi*ot*spat+oz*spat : pi*ot*spat+(oz+1)*spat]
+				for i := range dst {
+					dst[i] = 0
+				}
+				for k := 0; k < p.K; k++ {
+					win := src[(oz*p.K+k)*spat:]
+					for i := range dst {
+						dst[i] += win[i]
+					}
+				}
+				for i := range dst {
+					dst[i] *= inv
+				}
+			}
+		}
+	})
+	return out, nil
 }
 
 // Params returns nil; pooling has no parameters.

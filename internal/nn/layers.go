@@ -72,6 +72,43 @@ func (l *Linear) Backward(dout *tensor.Tensor) (*tensor.Tensor, error) {
 	return dx, nil
 }
 
+// ForwardWS is the eval-mode forward: the output comes from ws and no
+// input cache is retained. A rank-2 [N,In] input is treated as a batch
+// of N feature rows, yielding [N,Out]; each row seeds its accumulator
+// with the bias and sums features in ascending order, exactly like
+// Forward, so logits are bit-identical to the per-sample path.
+func (l *Linear) ForwardWS(x *tensor.Tensor, ws *Workspace) (*tensor.Tensor, error) {
+	m := 1
+	switch {
+	case x.Rank() == 2 && x.Shape[1] == l.in:
+		m = x.Shape[0]
+	case x.Rank() != 2 && x.Len() == l.in:
+	default:
+		return nil, fmt.Errorf("linear %s: input shape %v, want [(N,)%d]", l.W.Name, x.Shape, l.in)
+	}
+	var out *tensor.Tensor
+	if x.Rank() == 2 {
+		out = ws.Get(m, l.out)
+	} else {
+		out = ws.Get(l.out)
+	}
+	tensor.ParallelFor(m, 2*l.in*l.out, func(lo, hi int) {
+		for mi := lo; mi < hi; mi++ {
+			xrow := x.Data[mi*l.in : (mi+1)*l.in]
+			orow := out.Data[mi*l.out : (mi+1)*l.out]
+			for o := 0; o < l.out; o++ {
+				wrow := l.W.Value.Data[o*l.in : (o+1)*l.in]
+				s := l.B.Value.Data[o]
+				for i, xv := range xrow {
+					s += wrow[i] * xv
+				}
+				orow[o] = s
+			}
+		}
+	})
+	return out, nil
+}
+
 // Params returns the weight and bias parameters.
 func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }
 
@@ -114,6 +151,23 @@ func (r *ReLU) Backward(dout *tensor.Tensor) (*tensor.Tensor, error) {
 		}
 	}
 	return dx, nil
+}
+
+// ForwardWS is the eval-mode forward: the output comes from ws and no
+// backward mask is written. Shape-agnostic, so batched channel-major
+// inputs pass through unchanged in layout.
+func (r *ReLU) ForwardWS(x *tensor.Tensor, ws *Workspace) (*tensor.Tensor, error) {
+	out := ws.Get(x.Shape...)
+	tensor.ParallelFor(len(x.Data), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if v := x.Data[i]; v > 0 {
+				out.Data[i] = v
+			} else {
+				out.Data[i] = 0
+			}
+		}
+	})
+	return out, nil
 }
 
 // Params returns nil; ReLU has no parameters.
@@ -188,6 +242,32 @@ func (f *Flatten) Backward(dout *tensor.Tensor) (*tensor.Tensor, error) {
 	return dout.Reshape(f.cacheShape...)
 }
 
+// ForwardWS is the eval-mode forward. A rank-4 channel-major batched
+// input [C,M,H,W] gathers into an [M, C*H*W] feature matrix whose
+// per-sample feature order matches the single-sample flatten (channel
+// index outermost). Any other rank is a single sample and flattens to
+// rank 1, like Forward.
+func (f *Flatten) ForwardWS(x *tensor.Tensor, ws *Workspace) (*tensor.Tensor, error) {
+	if x.Rank() != 4 {
+		out := ws.Get(x.Len())
+		copy(out.Data, x.Data)
+		return out, nil
+	}
+	c, m := x.Shape[0], x.Shape[1]
+	vol := x.Shape[2] * x.Shape[3]
+	feat := c * vol
+	out := ws.Get(m, feat)
+	tensor.ParallelFor(m, feat, func(lo, hi int) {
+		for mi := lo; mi < hi; mi++ {
+			dst := out.Data[mi*feat:]
+			for ci := 0; ci < c; ci++ {
+				copy(dst[ci*vol:(ci+1)*vol], x.Data[(ci*m+mi)*vol:])
+			}
+		}
+	})
+	return out, nil
+}
+
 // Params returns nil; Flatten has no parameters.
 func (f *Flatten) Params() []*Param { return nil }
 
@@ -254,6 +334,12 @@ func (d *Dropout) Backward(dout *tensor.Tensor) (*tensor.Tensor, error) {
 		dx.Data[i] = dout.Data[i] * m
 	}
 	return dx, nil
+}
+
+// ForwardWS is the eval-mode forward: dropout is the identity at
+// inference, regardless of the training flag.
+func (d *Dropout) ForwardWS(x *tensor.Tensor, ws *Workspace) (*tensor.Tensor, error) {
+	return x, nil
 }
 
 // Params returns nil; Dropout has no parameters.

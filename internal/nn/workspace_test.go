@@ -1,0 +1,143 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"safecross/internal/tensor"
+)
+
+func TestWorkspaceReusesBuffersByCount(t *testing.T) {
+	ws := NewWorkspace()
+	a := ws.Get(3, 4)
+	b := ws.Get(2, 6) // same element count, distinct buffer while a is live
+	if &a.Data[0] == &b.Data[0] {
+		t.Fatal("two live Gets shared one buffer")
+	}
+	ws.Reset()
+	c := ws.Get(12)
+	if &c.Data[0] != &a.Data[0] && &c.Data[0] != &b.Data[0] {
+		t.Fatal("Get after Reset did not recycle a pooled buffer")
+	}
+	if c.Rank() != 1 || c.Shape[0] != 12 {
+		t.Fatalf("recycled buffer shape %v, want [12]", c.Shape)
+	}
+	if ws.Misses != 2 {
+		t.Fatalf("misses = %d, want 2 (third Get must hit the pool)", ws.Misses)
+	}
+}
+
+func TestWorkspaceMissesStopGrowingAtSteadyState(t *testing.T) {
+	ws := NewWorkspace()
+	round := func() {
+		ws.Get(4, 7)
+		ws.Get(28)
+		ws.Get(3, 3)
+		ws.Reset()
+	}
+	round()
+	warm := ws.Misses
+	for i := 0; i < 5; i++ {
+		round()
+	}
+	if ws.Misses != warm {
+		t.Fatalf("misses grew at steady state: %d -> %d", warm, ws.Misses)
+	}
+}
+
+// TestConvDropsColumnCacheInEvalMode is the regression test for the
+// memory-pinning bug: eval-mode conv forwards used to retain their
+// im2col column matrix (the largest allocation of the pass) after
+// every call, pinning heap past the serving plane's WorkerMemory
+// budget. Eval mode must not retain it; train mode still must, for
+// Backward.
+func TestConvDropsColumnCacheInEvalMode(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c2 := NewConv2D("t.c2", Conv2DConfig{InC: 1, OutC: 2, KH: 3, KW: 3, SH: 1, SW: 1, PH: 1, PW: 1}, rng)
+	c3 := NewConv3D("t.c3", Conv3DConfig{InC: 1, OutC: 2, KT: 3, KH: 3, KW: 3, ST: 1, SH: 1, SW: 1, PT: 1, PH: 1, PW: 1}, rng)
+	x2 := tensor.RandnTensor(rng, 1, 1, 6, 6)
+	x3 := tensor.RandnTensor(rng, 1, 1, 4, 6, 6)
+
+	// Train mode (the default) keeps the cache for Backward.
+	if _, err := c2.Forward(x2); err != nil {
+		t.Fatal(err)
+	}
+	if c2.cacheCols == nil {
+		t.Fatal("train-mode Conv2D forward must retain cacheCols for Backward")
+	}
+	if _, err := c3.Forward(x3); err != nil {
+		t.Fatal(err)
+	}
+	if c3.cacheCols == nil {
+		t.Fatal("train-mode Conv3D forward must retain cacheCols for Backward")
+	}
+
+	// Switching to eval drops the pinned cache immediately…
+	c2.SetTrain(false)
+	c3.SetTrain(false)
+	if c2.cacheCols != nil || c3.cacheCols != nil {
+		t.Fatal("SetTrain(false) must release the retained column cache")
+	}
+	// …and eval-mode forwards never re-pin it.
+	if _, err := c2.Forward(x2); err != nil {
+		t.Fatal(err)
+	}
+	if c2.cacheCols != nil {
+		t.Fatal("eval-mode Conv2D forward retained cacheCols")
+	}
+	if _, err := c3.Forward(x3); err != nil {
+		t.Fatal(err)
+	}
+	if c3.cacheCols != nil {
+		t.Fatal("eval-mode Conv3D forward retained cacheCols")
+	}
+
+	// Backward after an eval forward is a usage error, not a crash.
+	if _, err := c2.Backward(tensor.New(2, 6, 6)); err == nil {
+		t.Fatal("Conv2D Backward after eval forward must fail")
+	}
+
+	// Back in train mode the cache returns and Backward works again.
+	c2.SetTrain(true)
+	if _, err := c2.Forward(x2); err != nil {
+		t.Fatal(err)
+	}
+	if c2.cacheCols == nil {
+		t.Fatal("returning to train mode must restore caching")
+	}
+	if _, err := c2.Backward(tensor.New(2, 6, 6)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSequentialForwardWSMatchesForward checks that the workspace path
+// of a mixed single-sample chain produces bit-identical outputs to the
+// allocating eval path.
+func TestSequentialForwardWSMatchesForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	net := NewSequential(
+		NewConv2D("s.c1", Conv2DConfig{InC: 1, OutC: 4, KH: 3, KW: 3, SH: 2, SW: 2, PH: 1, PW: 1}, rng),
+		NewReLU(),
+		NewFlatten(),
+		NewLinear("s.fc", 4*3*3, 3, rng),
+	)
+	net.SetTrain(false)
+	x := tensor.RandnTensor(rng, 1, 1, 6, 6)
+	want, err := net.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := NewWorkspace()
+	got, err := net.ForwardWS(x, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Data) != len(want.Data) {
+		t.Fatalf("ForwardWS output len %d, want %d", len(got.Data), len(want.Data))
+	}
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("element %d: ForwardWS %v != Forward %v", i, got.Data[i], want.Data[i])
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"safecross/internal/dataset"
 	"safecross/internal/gpusim"
+	"safecross/internal/nn"
 	"safecross/internal/pipeswitch"
 	"safecross/internal/sim"
 	"safecross/internal/tensor"
@@ -22,6 +23,12 @@ type worker struct {
 	ch     chan *batch
 	mgr    *pipeswitch.Manager
 	models map[sim.Weather]video.Classifier
+
+	// ws is this worker's inference workspace. The worker goroutine is
+	// its sole owner; reusing it across batches means a warm worker's
+	// forward passes allocate nothing, keeping the heap inside the
+	// WorkerMemory budget regardless of how long the server runs.
+	ws *nn.Workspace
 
 	// virtualNow mirrors the device clock (nanoseconds) after each
 	// batch so Stats can read it without racing the worker.
@@ -63,6 +70,7 @@ func newWorker(id int, factory ModelFactory, memoryBytes int64) (*worker, error)
 		ch:     make(chan *batch, 1),
 		mgr:    mgr,
 		models: models,
+		ws:     nn.NewWorkspace(),
 	}, nil
 }
 
@@ -103,7 +111,7 @@ func (w *worker) serveBatch(s *Server, b *batch) {
 		clips[i] = p.req.Clip
 	}
 	computeStart := time.Now()
-	labels, err := video.PredictBatch(w.models[b.scene], clips)
+	labels, err := video.PredictBatch(w.models[b.scene], clips, w.ws)
 	computeWall := time.Since(computeStart)
 	if err != nil {
 		w.failBatch(s, b, fmt.Errorf("serve: classify %v batch: %w", b.scene, err))

@@ -16,36 +16,74 @@ func Im2Col(x *Tensor, kh, kw, sh, sw, ph, pw int) (*Tensor, error) {
 	if x.Rank() != 3 {
 		return nil, fmt.Errorf("tensor: im2col needs [C,H,W] input, got %v", x.Shape)
 	}
-	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
-	oh := ConvOutSize(h, kh, sh, ph)
-	ow := ConvOutSize(w, kw, sw, pw)
+	c := x.Shape[0]
+	oh := ConvOutSize(x.Shape[1], kh, sh, ph)
+	ow := ConvOutSize(x.Shape[2], kw, sw, pw)
 	if oh <= 0 || ow <= 0 {
 		return nil, fmt.Errorf("tensor: im2col produces empty output for input %v kernel %dx%d", x.Shape, kh, kw)
 	}
 	cols := New(c*kh*kw, oh*ow)
-	for ci := 0; ci < c; ci++ {
-		plane := x.Data[ci*h*w : (ci+1)*h*w]
-		for ki := 0; ki < kh; ki++ {
-			for kj := 0; kj < kw; kj++ {
-				row := cols.Data[((ci*kh+ki)*kw+kj)*oh*ow:]
+	if err := Im2ColBatchInto(cols, x, 1, kh, kw, sh, sw, ph, pw); err != nil {
+		return nil, err
+	}
+	return cols, nil
+}
+
+// Im2ColBatchInto unrolls a channel-major batch of 2-D planes into
+// dst. x is logically [C,M,H,W] (rank 4; a rank-3 [C,H,W] tensor is
+// accepted for m=1), where consecutive samples of one channel are
+// contiguous — the layout every batched conv in this package produces.
+// dst must be [C*KH*KW, M*OH*OW]; it is zeroed first, so padding
+// positions are correct even when dst is a recycled scratch buffer.
+// Sample m's columns occupy dst columns [m*OH*OW, (m+1)*OH*OW).
+// Row blocks are filled in parallel on the bounded kernel pool.
+func Im2ColBatchInto(dst, x *Tensor, m, kh, kw, sh, sw, ph, pw int) error {
+	var c, h, w int
+	switch {
+	case x.Rank() == 4 && x.Shape[1] == m:
+		c, h, w = x.Shape[0], x.Shape[2], x.Shape[3]
+	case x.Rank() == 3 && m == 1:
+		c, h, w = x.Shape[0], x.Shape[1], x.Shape[2]
+	default:
+		return fmt.Errorf("tensor: im2col batch needs [C,%d,H,W] input, got %v", m, x.Shape)
+	}
+	oh := ConvOutSize(h, kh, sh, ph)
+	ow := ConvOutSize(w, kw, sw, pw)
+	if oh <= 0 || ow <= 0 {
+		return fmt.Errorf("tensor: im2col produces empty output for input %v kernel %dx%d", x.Shape, kh, kw)
+	}
+	rows, rowLen := c*kh*kw, m*oh*ow
+	if dst.Rank() != 2 || dst.Shape[0] != rows || dst.Shape[1] != rowLen {
+		return fmt.Errorf("tensor: im2col dst shape %v, want [%d,%d]", dst.Shape, rows, rowLen)
+	}
+	dst.Zero()
+	ParallelFor(rows, rowLen, func(lo, hi int) {
+		for rowIdx := lo; rowIdx < hi; rowIdx++ {
+			ci := rowIdx / (kh * kw)
+			ki := rowIdx / kw % kh
+			kj := rowIdx % kw
+			row := dst.Data[rowIdx*rowLen:]
+			for mi := 0; mi < m; mi++ {
+				plane := x.Data[(ci*m+mi)*h*w:]
+				out := row[mi*oh*ow:]
 				for oy := 0; oy < oh; oy++ {
 					iy := oy*sh - ph + ki
 					if iy < 0 || iy >= h {
 						continue
 					}
 					src := plane[iy*w:]
-					dst := row[oy*ow:]
+					dstRow := out[oy*ow:]
 					for ox := 0; ox < ow; ox++ {
 						ix := ox*sw - pw + kj
 						if ix >= 0 && ix < w {
-							dst[ox] = src[ix]
+							dstRow[ox] = src[ix]
 						}
 					}
 				}
 			}
 		}
-	}
-	return cols, nil
+	})
+	return nil
 }
 
 // Col2Im scatters a [C*KH*KW, OH*OW] column matrix back into a
@@ -90,48 +128,84 @@ func Im2Col3D(x *Tensor, kt, kh, kw, st, sh, sw, pt, ph, pw int) (*Tensor, error
 	if x.Rank() != 4 {
 		return nil, fmt.Errorf("tensor: im2col3d needs [C,T,H,W] input, got %v", x.Shape)
 	}
-	c, tn, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	c, tn := x.Shape[0], x.Shape[1]
 	ot := ConvOutSize(tn, kt, st, pt)
-	oh := ConvOutSize(h, kh, sh, ph)
-	ow := ConvOutSize(w, kw, sw, pw)
+	oh := ConvOutSize(x.Shape[2], kh, sh, ph)
+	ow := ConvOutSize(x.Shape[3], kw, sw, pw)
 	if ot <= 0 || oh <= 0 || ow <= 0 {
 		return nil, fmt.Errorf("tensor: im2col3d produces empty output for input %v kernel %dx%dx%d", x.Shape, kt, kh, kw)
 	}
 	cols := New(c*kt*kh*kw, ot*oh*ow)
+	if err := Im2Col3DBatchInto(cols, x, 1, kt, kh, kw, st, sh, sw, pt, ph, pw); err != nil {
+		return nil, err
+	}
+	return cols, nil
+}
+
+// Im2Col3DBatchInto unrolls a channel-major batch of volumes into dst.
+// x is logically [C,N,T,H,W] (rank 5; a rank-4 [C,T,H,W] tensor is
+// accepted for n=1). dst must be [C*KT*KH*KW, N*OT*OH*OW]; it is
+// zeroed first. Sample i's columns occupy dst columns
+// [i*OT*OH*OW, (i+1)*OT*OH*OW). Row blocks fill in parallel on the
+// bounded kernel pool.
+func Im2Col3DBatchInto(dst, x *Tensor, n, kt, kh, kw, st, sh, sw, pt, ph, pw int) error {
+	var c, tn, h, w int
+	switch {
+	case x.Rank() == 5 && x.Shape[1] == n:
+		c, tn, h, w = x.Shape[0], x.Shape[2], x.Shape[3], x.Shape[4]
+	case x.Rank() == 4 && n == 1:
+		c, tn, h, w = x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	default:
+		return fmt.Errorf("tensor: im2col3d batch needs [C,%d,T,H,W] input, got %v", n, x.Shape)
+	}
+	ot := ConvOutSize(tn, kt, st, pt)
+	oh := ConvOutSize(h, kh, sh, ph)
+	ow := ConvOutSize(w, kw, sw, pw)
+	if ot <= 0 || oh <= 0 || ow <= 0 {
+		return fmt.Errorf("tensor: im2col3d produces empty output for input %v kernel %dx%dx%d", x.Shape, kt, kh, kw)
+	}
+	rows, vol := c*kt*kh*kw, ot*oh*ow
+	rowLen := n * vol
+	if dst.Rank() != 2 || dst.Shape[0] != rows || dst.Shape[1] != rowLen {
+		return fmt.Errorf("tensor: im2col3d dst shape %v, want [%d,%d]", dst.Shape, rows, rowLen)
+	}
+	dst.Zero()
 	spat := h * w
-	for ci := 0; ci < c; ci++ {
-		vol := x.Data[ci*tn*spat : (ci+1)*tn*spat]
-		for kti := 0; kti < kt; kti++ {
-			for ki := 0; ki < kh; ki++ {
-				for kj := 0; kj < kw; kj++ {
-					rowIdx := ((ci*kt+kti)*kh+ki)*kw + kj
-					row := cols.Data[rowIdx*ot*oh*ow:]
-					for otz := 0; otz < ot; otz++ {
-						it := otz*st - pt + kti
-						if it < 0 || it >= tn {
+	ParallelFor(rows, rowLen, func(lo, hi int) {
+		for rowIdx := lo; rowIdx < hi; rowIdx++ {
+			ci := rowIdx / (kt * kh * kw)
+			kti := rowIdx / (kh * kw) % kt
+			ki := rowIdx / kw % kh
+			kj := rowIdx % kw
+			row := dst.Data[rowIdx*rowLen:]
+			for ni := 0; ni < n; ni++ {
+				volSrc := x.Data[(ci*n+ni)*tn*spat:]
+				out := row[ni*vol:]
+				for otz := 0; otz < ot; otz++ {
+					it := otz*st - pt + kti
+					if it < 0 || it >= tn {
+						continue
+					}
+					plane := volSrc[it*spat:]
+					for oy := 0; oy < oh; oy++ {
+						iy := oy*sh - ph + ki
+						if iy < 0 || iy >= h {
 							continue
 						}
-						plane := vol[it*spat:]
-						for oy := 0; oy < oh; oy++ {
-							iy := oy*sh - ph + ki
-							if iy < 0 || iy >= h {
-								continue
-							}
-							src := plane[iy*w:]
-							dst := row[(otz*oh+oy)*ow:]
-							for ox := 0; ox < ow; ox++ {
-								ix := ox*sw - pw + kj
-								if ix >= 0 && ix < w {
-									dst[ox] = src[ix]
-								}
+						src := plane[iy*w:]
+						dstRow := out[(otz*oh+oy)*ow:]
+						for ox := 0; ox < ow; ox++ {
+							ix := ox*sw - pw + kj
+							if ix >= 0 && ix < w {
+								dstRow[ox] = src[ix]
 							}
 						}
 					}
 				}
 			}
 		}
-	}
-	return cols, nil
+	})
+	return nil
 }
 
 // Col2Im3D scatters a column matrix produced by Im2Col3D back into a

@@ -168,29 +168,50 @@ func MatMul(a, b *Tensor) (*Tensor, error) {
 	if a.Rank() != 2 || b.Rank() != 2 {
 		return nil, fmt.Errorf("tensor: matmul needs rank-2 inputs, got %v and %v", a.Shape, b.Shape)
 	}
+	out := New(a.Shape[0], b.Shape[1])
+	if err := MatMulInto(out, a, b); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MatMulInto computes a·b into out, which must be a rank-2 m×n tensor
+// (its contents are overwritten). Output rows are computed in parallel
+// on the bounded kernel pool; each row's accumulation order is the
+// sequential ikj order, so results are bit-identical to MatMul
+// regardless of how the rows are scheduled.
+func MatMulInto(out, a, b *Tensor) error {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		return fmt.Errorf("tensor: matmul needs rank-2 inputs, got %v and %v", a.Shape, b.Shape)
+	}
 	m, k := a.Shape[0], a.Shape[1]
 	k2, n := b.Shape[0], b.Shape[1]
 	if k != k2 {
-		return nil, fmt.Errorf("tensor: matmul inner dims differ: %v vs %v", a.Shape, b.Shape)
+		return fmt.Errorf("tensor: matmul inner dims differ: %v vs %v", a.Shape, b.Shape)
 	}
-	out := New(m, n)
-	// ikj loop order keeps the innermost accesses sequential in both
-	// b and out, which matters on the hot training path.
-	for i := 0; i < m; i++ {
-		arow := a.Data[i*k : (i+1)*k]
-		orow := out.Data[i*n : (i+1)*n]
-		for p := 0; p < k; p++ {
-			av := arow[p]
-			if av == 0 {
-				continue
-			}
-			brow := b.Data[p*n : (p+1)*n]
-			for j, bv := range brow {
-				orow[j] += av * bv
+	if out.Rank() != 2 || out.Shape[0] != m || out.Shape[1] != n {
+		return fmt.Errorf("tensor: matmul out shape %v, want [%d,%d]", out.Shape, m, n)
+	}
+	out.Zero()
+	ParallelFor(m, 2*k*n, func(lo, hi int) {
+		// ikj loop order keeps the innermost accesses sequential in
+		// both b and out, which matters on the hot training path.
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			orow := out.Data[i*n : (i+1)*n]
+			for p := 0; p < k; p++ {
+				av := arow[p]
+				if av == 0 {
+					continue
+				}
+				brow := b.Data[p*n : (p+1)*n]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
 			}
 		}
-	}
-	return out, nil
+	})
+	return nil
 }
 
 // MatMulTransA computes aᵀ·b where a is k×m and b is k×n, yielding

@@ -1,9 +1,13 @@
 package video
 
 import (
+	"fmt"
 	"math/rand"
+	"strings"
+	"sync"
 	"testing"
 
+	"safecross/internal/nn"
 	"safecross/internal/tensor"
 )
 
@@ -23,7 +27,7 @@ func TestPredictBatchMatchesSequential(t *testing.T) {
 		t.Fatal(err)
 	}
 	clips := batchClips(4)
-	batched, err := PredictBatch(m, clips)
+	batched, err := PredictBatch(m, clips, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,12 +45,176 @@ func TestPredictBatchMatchesSequential(t *testing.T) {
 	}
 }
 
+// batchBuilders enumerates the three classifiers that implement the
+// native batched forward, on the shared small test geometry.
+func batchBuilders(seed int64) map[string]Builder {
+	return map[string]Builder{
+		"slowfast": SlowFastBuilder(smallCfg(seed)),
+		"c3d":      C3DBuilder(smallCfg(seed + 1)),
+		"tsn":      TSNBuilder(smallCfg(seed + 2)),
+	}
+}
+
+// TestForwardBatchBitIdentical checks the core batched-inference
+// contract for every classifier: ForwardBatch logits must equal the
+// per-clip eval-mode Forward logits bit for bit (==, not tolerance),
+// including on an odd batch size that can't tile evenly.
+func TestForwardBatchBitIdentical(t *testing.T) {
+	for name, builder := range batchBuilders(31) {
+		t.Run(name, func(t *testing.T) {
+			m, err := builder()
+			if err != nil {
+				t.Fatal(err)
+			}
+			bf, ok := m.(BatchForwarder)
+			if !ok {
+				t.Fatalf("%s does not implement BatchForwarder", name)
+			}
+			m.SetTrain(false)
+			clips := batchClips(5)
+			ws := nn.NewWorkspace()
+			batched, err := bf.ForwardBatch(clips, ws)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(batched) != len(clips) {
+				t.Fatalf("got %d logit tensors for %d clips", len(batched), len(clips))
+			}
+			for i, clip := range clips {
+				want, err := m.Forward(clip)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(batched[i].Data) != len(want.Data) {
+					t.Fatalf("clip %d: batched logits len %d, want %d", i, len(batched[i].Data), len(want.Data))
+				}
+				for k := range want.Data {
+					if batched[i].Data[k] != want.Data[k] {
+						t.Fatalf("clip %d logit %d: batched %v != sequential %v (not bit-identical)",
+							i, k, batched[i].Data[k], want.Data[k])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestForwardBatchReusesWorkspace proves the steady-state allocation
+// contract: after a warm-up batch, further batches of the same shape
+// take every scratch buffer from the pool (Misses stops growing).
+func TestForwardBatchReusesWorkspace(t *testing.T) {
+	for name, builder := range batchBuilders(37) {
+		t.Run(name, func(t *testing.T) {
+			m, err := builder()
+			if err != nil {
+				t.Fatal(err)
+			}
+			bf := m.(BatchForwarder)
+			m.SetTrain(false)
+			clips := batchClips(3)
+			ws := nn.NewWorkspace()
+			if _, err := bf.ForwardBatch(clips, ws); err != nil {
+				t.Fatal(err)
+			}
+			warm := ws.Misses
+			for i := 0; i < 3; i++ {
+				if _, err := bf.ForwardBatch(clips, ws); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if ws.Misses != warm {
+				t.Fatalf("workspace misses grew after warm-up: %d -> %d (gets %d)", warm, ws.Misses, ws.Gets)
+			}
+		})
+	}
+}
+
+// TestPredictBatchValidatesClipIndex checks the up-front batch
+// validation: a malformed clip is reported by its index before any
+// layer runs, not as a bare mid-batch layer error.
+func TestPredictBatchValidatesClipIndex(t *testing.T) {
+	m, err := SlowFastBuilder(smallCfg(29))()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clips := batchClips(4)
+
+	clips[2] = tensor.New(2, 16, 10, 16) // wrong channel count
+	_, err = PredictBatch(m, clips, nil)
+	if err == nil || !strings.Contains(err.Error(), "clip 2") {
+		t.Fatalf("bad-shape error = %v, want mention of clip 2", err)
+	}
+
+	clips[2] = tensor.New(1, 8, 10, 16) // mismatched against clip 0
+	_, err = PredictBatch(m, clips, nil)
+	if err == nil || !strings.Contains(err.Error(), "clip 2") {
+		t.Fatalf("mismatch error = %v, want mention of clip 2", err)
+	}
+
+	clips[2] = nil
+	_, err = PredictBatch(m, clips, nil)
+	if err == nil || !strings.Contains(err.Error(), "clip 2") {
+		t.Fatalf("nil-clip error = %v, want mention of clip 2", err)
+	}
+}
+
+// TestPredictBatchConcurrentWorkspaces mirrors the serving plane under
+// the race detector: several workers, each with a private model
+// replica and a private workspace, classify batches concurrently.
+// One workspace per goroutine is the ownership rule; this test is the
+// regression net proving the batched path has no hidden shared state.
+func TestPredictBatchConcurrentWorkspaces(t *testing.T) {
+	builder := SlowFastBuilder(smallCfg(43))
+	src, err := builder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clips := batchClips(4)
+	want, err := PredictBatch(src, clips, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		replica, err := CloneWeights(builder, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(m Classifier) {
+			defer wg.Done()
+			ws := nn.NewWorkspace()
+			for iter := 0; iter < 3; iter++ {
+				got, err := PredictBatch(m, clips, ws)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						errs <- fmt.Errorf("clip %d: concurrent label %d != %d", i, got[i], want[i])
+						return
+					}
+				}
+			}
+		}(replica)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
 func TestPredictBatchRejectsEmpty(t *testing.T) {
 	m, err := SlowFastBuilder(smallCfg(24))()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := PredictBatch(m, nil); err == nil {
+	if _, err := PredictBatch(m, nil, nil); err == nil {
 		t.Fatal("expected empty-batch error")
 	}
 }

@@ -21,7 +21,10 @@ type C3D struct {
 	net *nn.Sequential
 }
 
-var _ Classifier = (*C3D)(nil)
+var (
+	_ Classifier     = (*C3D)(nil)
+	_ BatchForwarder = (*C3D)(nil)
+)
 
 // NewC3D builds a C3D classifier for the given clip geometry (the T,
 // H, W, Classes, Seed fields of the shared config are used).
@@ -77,6 +80,29 @@ func (m *C3D) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 		return nil, fmt.Errorf("c3d: %w", err)
 	}
 	return out, nil
+}
+
+// ForwardBatch stacks n clips into a channel-major [1,N,T,H,W] tensor
+// and runs the whole network once: each conv is one im2col + matmul
+// for the batch, the global pool emits [N,C] and the head [N,Classes].
+// Scratch comes from ws; the returned logits are fresh per-clip
+// tensors, bit-identical to the eval-mode Forward on each clip.
+func (m *C3D) ForwardBatch(xs []*tensor.Tensor, ws *nn.Workspace) ([]*tensor.Tensor, error) {
+	n := len(xs)
+	if n == 0 {
+		return nil, fmt.Errorf("c3d: empty batch")
+	}
+	for i, x := range xs {
+		if x.Rank() != 4 || x.Shape[0] != 1 || x.Shape[1] != m.cfg.T {
+			return nil, fmt.Errorf("c3d: clip %d shape %v, want [1,%d,H,W]", i, x.Shape, m.cfg.T)
+		}
+	}
+	defer ws.Reset()
+	logits, err := m.net.ForwardWS(stackClips(ws, xs), ws)
+	if err != nil {
+		return nil, fmt.Errorf("c3d: %w", err)
+	}
+	return splitLogits(logits, n), nil
 }
 
 // Backward accumulates parameter gradients from the logits gradient.

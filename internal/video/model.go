@@ -58,6 +58,35 @@ func sampleTemporal(x *tensor.Tensor, stride, offset int) (*tensor.Tensor, error
 	return out, nil
 }
 
+// sampleTemporalBatch is sampleTemporal for a channel-major batch: it
+// extracts every stride-th frame from a [C,N,T,H,W] tensor into a
+// [C,N,T/stride,H,W] workspace buffer. Per sample it selects exactly
+// the frames sampleTemporal would, so the batched slow pathway sees
+// bit-identical inputs.
+func sampleTemporalBatch(ws *nn.Workspace, x *tensor.Tensor, stride, offset int) (*tensor.Tensor, error) {
+	if x.Rank() != 5 {
+		return nil, fmt.Errorf("video: batched temporal sample needs [C,N,T,H,W], got %v", x.Shape)
+	}
+	c, n, t, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3], x.Shape[4]
+	if stride <= 0 || offset < 0 || offset >= stride {
+		return nil, fmt.Errorf("video: bad temporal sampling stride=%d offset=%d", stride, offset)
+	}
+	if t%stride != 0 {
+		return nil, fmt.Errorf("video: T=%d not divisible by stride %d", t, stride)
+	}
+	ot := t / stride
+	out := ws.Get(c, n, ot, h, w)
+	spat := h * w
+	for p := 0; p < c*n; p++ {
+		src := x.Data[p*t*spat:]
+		dst := out.Data[p*ot*spat:]
+		for oz := 0; oz < ot; oz++ {
+			copy(dst[oz*spat:(oz+1)*spat], src[(oz*stride+offset)*spat:])
+		}
+	}
+	return out, nil
+}
+
 // scatterTemporal is the adjoint of sampleTemporal: it places the
 // gradient of the sampled frames back at their source time indices in
 // a zero [C,T,H,W] tensor.

@@ -59,7 +59,10 @@ type SlowFast struct {
 	cacheFastOut *tensor.Tensor
 }
 
-var _ Classifier = (*SlowFast)(nil)
+var (
+	_ Classifier     = (*SlowFast)(nil)
+	_ BatchForwarder = (*SlowFast)(nil)
+)
 
 // Channel widths of the two pathways. The β=1/4 fast/slow channel
 // ratio mirrors the paper's lightweight fast pathway.
@@ -212,6 +215,77 @@ func (m *SlowFast) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 	return logits, nil
 }
 
+// ForwardBatch runs n clips through one two-pathway pass: the clips
+// are stacked into a channel-major [1,N,T,H,W] tensor so each conv
+// stage is one im2col + one matmul for the whole batch. Scratch comes
+// from ws; the returned logits are fresh per-clip tensors,
+// bit-identical to the eval-mode Forward on each clip.
+func (m *SlowFast) ForwardBatch(xs []*tensor.Tensor, ws *nn.Workspace) ([]*tensor.Tensor, error) {
+	n := len(xs)
+	if n == 0 {
+		return nil, fmt.Errorf("slowfast: empty batch")
+	}
+	for i, x := range xs {
+		if x.Rank() != 4 || x.Shape[0] != 1 || x.Shape[1] != m.cfg.T {
+			return nil, fmt.Errorf("slowfast: clip %d shape %v, want [1,%d,H,W]", i, x.Shape, m.cfg.T)
+		}
+	}
+	defer ws.Reset()
+
+	x := stackClips(ws, xs)
+	fastOut, err := m.fast.ForwardWS(x, ws)
+	if err != nil {
+		return nil, fmt.Errorf("slowfast fast pathway: %w", err)
+	}
+
+	xsSlow, err := sampleTemporalBatch(ws, x, m.cfg.Alpha, 0)
+	if err != nil {
+		return nil, fmt.Errorf("slowfast: %w", err)
+	}
+	slowOut, err := m.slow.ForwardWS(xsSlow, ws)
+	if err != nil {
+		return nil, fmt.Errorf("slowfast slow pathway: %w", err)
+	}
+
+	fused := slowOut
+	if m.cfg.Lateral {
+		lat, err := m.lateral.ForwardWS(fastOut, ws)
+		if err != nil {
+			return nil, fmt.Errorf("slowfast lateral: %w", err)
+		}
+		fused, err = nn.ConcatChannelsWS(ws, slowOut, lat)
+		if err != nil {
+			return nil, fmt.Errorf("slowfast concat: %w", err)
+		}
+	}
+	fuseOut, err := m.fuse.ForwardWS(fused, ws)
+	if err != nil {
+		return nil, fmt.Errorf("slowfast fuse: %w", err)
+	}
+	fuseFeat, err := m.gapFuse.ForwardWS(fuseOut, ws)
+	if err != nil {
+		return nil, fmt.Errorf("slowfast gap(fuse): %w", err)
+	}
+	fastFeat, err := m.gapFast.ForwardWS(fastOut, ws)
+	if err != nil {
+		return nil, fmt.Errorf("slowfast gap(fast): %w", err)
+	}
+	// Per-sample feature concatenation [N, fuseCh+fastCh], fuse block
+	// first — the same order the single-clip head sees.
+	fuseCh, fastCh := fuseFeat.Shape[1], fastFeat.Shape[1]
+	feat := ws.Get(n, fuseCh+fastCh)
+	for i := 0; i < n; i++ {
+		row := feat.Data[i*(fuseCh+fastCh):]
+		copy(row[:fuseCh], fuseFeat.Data[i*fuseCh:])
+		copy(row[fuseCh:fuseCh+fastCh], fastFeat.Data[i*fastCh:])
+	}
+	logits, err := m.headFC.ForwardWS(feat, ws)
+	if err != nil {
+		return nil, fmt.Errorf("slowfast head: %w", err)
+	}
+	return splitLogits(logits, n), nil
+}
+
 // Backward propagates the logits gradient through head, both
 // pathways, and the lateral connection, accumulating parameter
 // gradients.
@@ -290,9 +364,14 @@ func (m *SlowFast) Params() []*nn.Param {
 	return ps
 }
 
-// SetTrain toggles training behaviour on all train-aware layers.
+// SetTrain toggles training behaviour on all train-aware layers,
+// including the lateral connection: in eval mode the convs drop their
+// im2col caches, so a serving replica stops pinning column matrices.
 func (m *SlowFast) SetTrain(train bool) {
 	m.fast.SetTrain(train)
 	m.slow.SetTrain(train)
+	if m.lateral != nil {
+		m.lateral.SetTrain(train)
+	}
 	m.fuse.SetTrain(train)
 }

@@ -23,7 +23,10 @@ type TSN struct {
 	cacheIdx []int
 }
 
-var _ Classifier = (*TSN)(nil)
+var (
+	_ Classifier     = (*TSN)(nil)
+	_ BatchForwarder = (*TSN)(nil)
+)
 
 // tsnSnippets is the paper's 1x1x3 sampling: three snippets per clip.
 const tsnSnippets = 3
@@ -98,6 +101,56 @@ func (m *TSN) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 	}
 	consensus.Scale(1 / float64(m.snippets))
 	return consensus, nil
+}
+
+// ForwardBatch gathers every snippet frame of every clip into one
+// channel-major [1, N·S, H, W] plane stack (clip i's snippet s at
+// plane i·S+s), runs the shared 2-D network once, and reduces the
+// [N·S, Classes] logit matrix to per-clip consensus logits: snippet
+// logits summed in sampling order, then scaled by 1/S — the exact
+// arithmetic of the per-clip Forward, so results are bit-identical.
+func (m *TSN) ForwardBatch(xs []*tensor.Tensor, ws *nn.Workspace) ([]*tensor.Tensor, error) {
+	n := len(xs)
+	if n == 0 {
+		return nil, fmt.Errorf("tsn: empty batch")
+	}
+	for i, x := range xs {
+		if x.Rank() != 4 || x.Shape[0] != 1 || x.Shape[1] != m.cfg.T {
+			return nil, fmt.Errorf("tsn: clip %d shape %v, want [1,%d,H,W]", i, x.Shape, m.cfg.T)
+		}
+	}
+	defer ws.Reset()
+	h, w := xs[0].Shape[2], xs[0].Shape[3]
+	idx := m.snippetIndices()
+	s := len(idx)
+	frames := ws.Get(1, n*s, h, w)
+	spat := h * w
+	for i, x := range xs {
+		for si, ti := range idx {
+			copy(frames.Data[(i*s+si)*spat:(i*s+si+1)*spat], x.Data[ti*spat:])
+		}
+	}
+	logits, err := m.net.ForwardWS(frames, ws)
+	if err != nil {
+		return nil, fmt.Errorf("tsn batched snippets: %w", err)
+	}
+	classes := logits.Shape[1]
+	inv := 1 / float64(m.snippets)
+	out := make([]*tensor.Tensor, n)
+	for i := range out {
+		c := tensor.New(classes)
+		for si := 0; si < s; si++ {
+			row := logits.Data[(i*s+si)*classes:]
+			for k := 0; k < classes; k++ {
+				c.Data[k] += row[k]
+			}
+		}
+		for k := range c.Data {
+			c.Data[k] *= inv
+		}
+		out[i] = c
+	}
+	return out, nil
 }
 
 // Backward replays each snippet forward (to restore the shared
