@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet staticcheck test race bench bench-smoke bench-json verify
+.PHONY: build vet staticcheck test race bench bench-smoke bench-json obs-smoke verify
 
 build:
 	$(GO) build ./...
@@ -42,8 +42,17 @@ bench-smoke:
 bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkFig8_SlowFastInference|BenchmarkServe' -benchmem . | $(GO) run ./cmd/benchjson -out BENCH_infer.json
 
+# obs-smoke boots the RSU command with its debug listener
+# (-debug-addr), scrapes /metrics and /traces while the feeds run, and
+# asserts the key telemetry series (queue-wait, batch-size,
+# switch-cost, RSU broadcast latency) and a fully tiled per-request
+# trace are exported.
+obs-smoke:
+	$(GO) test -run TestObsSmoke -count=1 ./cmd/safecross-rsu/
+
 # verify is the extended gate: everything must compile, lint clean, and
 # pass the full suite under the race detector (the serving and RSU
-# planes are concurrent by design), plus a single-iteration pass over
-# the serving benchmarks.
-verify: build vet staticcheck race bench-smoke
+# planes are concurrent by design; -race covers the sharded telemetry
+# counters too), plus a single-iteration pass over the serving
+# benchmarks and the observability smoke test.
+verify: build vet staticcheck race bench-smoke obs-smoke

@@ -406,6 +406,18 @@ func BenchmarkServe_MultiIntersection(b *testing.B) {
 			b.ReportMetric(st.VirtualThroughput(), "virt-clip/s")
 			b.ReportMetric(float64(st.P99.Microseconds()), "p99-µs")
 			b.ReportMetric(st.MeanBatch(), "mean-batch")
+			// Scrape the telemetry registry the serving plane recorded
+			// into: queue-wait and switch-cost land in BENCH_infer.json
+			// via cmd/benchjson, which folds every ReportMetric unit
+			// into the benchmark's Metrics map.
+			reg := s.Metrics()
+			if h := reg.FindHistogram("serve_queue_wait_seconds"); h != nil && h.Count() > 0 {
+				b.ReportMetric(float64(h.QuantileDuration(0.99).Microseconds()), "queue-wait-p99-µs")
+			}
+			if h := reg.FindHistogram("serve_switch_cost_seconds"); h != nil && h.Count() > 0 {
+				b.ReportMetric(float64(h.QuantileDuration(0.99).Microseconds()), "switch-cost-p99-µs")
+				b.ReportMetric(float64(h.Count())/float64(b.N), "switches/op")
+			}
 		})
 	}
 }

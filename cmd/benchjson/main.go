@@ -21,7 +21,9 @@ import (
 // Benchmark is one parsed benchmark result line. The standard ns/op,
 // B/op and allocs/op measurements get their own fields; every other
 // "value unit" pair (custom b.ReportMetric metrics such as
-// virt-clip/s) lands in Metrics.
+// virt-clip/s, or telemetry-registry scrapes like queue-wait-p99-µs
+// and switch-cost-p99-µs from BenchmarkServe_MultiIntersection) lands
+// in Metrics.
 type Benchmark struct {
 	Name        string             `json:"name"`
 	Iterations  int                `json:"iterations"`

@@ -31,9 +31,17 @@ import (
 	"safecross/internal/safecross"
 	"safecross/internal/serve"
 	"safecross/internal/sim"
+	"safecross/internal/telemetry"
 	"safecross/internal/tensor"
 	"safecross/internal/weather"
 )
+
+// traceSampleEvery is the per-intersection frame-trace sampling rate:
+// every Nth frame rides a full trace (queue → batch-wait → switch →
+// compute → deliver → broadcast) into the tracer's retention ring, so
+// /traces always holds recent end-to-end latency breakdowns without
+// per-frame overhead.
+const traceSampleEvery = 8
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -53,13 +61,34 @@ func run(args []string, w io.Writer) error {
 		maxBatch      = fs.Int("max-batch", 8, "dynamic batcher's maximum clips per forward pass")
 		workerMem     = fs.Int("worker-mem", 0, "per-GPU memory budget in MiB (0 = device default; small budgets force LRU model eviction)")
 		demo          = fs.Bool("demo", false, "attach an in-process vehicle client and print advisories")
-		verbose       = fs.Bool("v", false, "log training progress")
+		verbose       = fs.Bool("v", false, "log training progress and runtime events")
+		debugAddr     = fs.String("debug-addr", "", "optional debug HTTP listener (Prometheus /metrics, /metrics.json, /traces, expvar, pprof)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *intersections < 1 {
 		return fmt.Errorf("need at least one intersection")
+	}
+
+	// One registry and tracer for the whole process: the serving plane,
+	// the per-intersection frameworks, and the RSU broadcast path all
+	// record into them, and the debug listener exports them. The logger
+	// is quiet by default; -v opens it up.
+	reg := telemetry.NewRegistry()
+	tracer := telemetry.NewTracer(telemetry.DefaultTraceRetention)
+	logLevel := telemetry.LevelWarn
+	if *verbose {
+		logLevel = telemetry.LevelDebug
+	}
+	logger := telemetry.NewLogger(w, logLevel)
+	if *debugAddr != "" {
+		dbg, err := telemetry.ListenDebug(*debugAddr, reg, tracer)
+		if err != nil {
+			return err
+		}
+		defer dbg.Close()
+		fmt.Fprintf(w, "debug endpoints on http://%s/metrics\n", dbg.Addr())
 	}
 
 	cfg := experiments.Quick()
@@ -83,6 +112,7 @@ func run(args []string, w io.Writer) error {
 		Workers:      *gpus,
 		MaxBatch:     *maxBatch,
 		WorkerMemory: int64(*workerMem) << 20,
+		Metrics:      reg,
 	}, serve.Replicas(tm.Builder, tm.Models))
 	if err != nil {
 		return err
@@ -115,12 +145,12 @@ func run(args []string, w io.Writer) error {
 
 	frameworks := make([]*safecross.Framework, *intersections)
 	for i := range frameworks {
-		if frameworks[i], err = safecross.NewServed(safecross.Config{ClipLen: cfg.ClipLen}, classify, det); err != nil {
+		if frameworks[i], err = safecross.NewServed(safecross.Config{ClipLen: cfg.ClipLen, Metrics: reg}, classify, det); err != nil {
 			return err
 		}
 	}
 
-	srv, err := rsu.Listen(*addr)
+	srv, err := rsu.Listen(*addr, rsu.WithMetrics(reg), rsu.WithLogger(logger))
 	if err != nil {
 		return err
 	}
@@ -178,13 +208,29 @@ func run(args []string, w io.Writer) error {
 				for i := 0; i < *perScene && frame < *frames; i++ {
 					world.Step()
 					frame++
-					d, err := fw.ProcessFrame(world.Render())
+					// Sampled frames carry a trace through the whole
+					// pipeline: the serving plane records its stage spans
+					// into it, this loop adds the broadcast span, and
+					// Finish retires it into the dump ring.
+					ctx := context.Background()
+					var tr *telemetry.Trace
+					if frame%traceSampleEvery == 0 {
+						tr = tracer.Start(fmt.Sprintf("frame/intersection-%d/%d", idx, frame))
+						ctx = telemetry.WithTrace(ctx, tr)
+					}
+					d, err := fw.ProcessFrameContext(ctx, world.Render())
 					if err != nil {
+						tr.Finish()
 						errOnce.Do(func() { firstErr = fmt.Errorf("intersection %d: %w", idx, err) })
 						return
 					}
 					served.Add(1)
+					bStart := time.Now()
 					srv.Broadcast(rsu.IntersectionAdvisory(idx, frame, d))
+					tr.Span("broadcast", bStart, time.Now())
+					tr.Finish()
+					logger.Debugf("intersection %d frame %d scene=%v ready=%v safe=%v",
+						idx, frame, d.Scene, d.Ready, d.Safe)
 				}
 			}
 		}(idx, fw)

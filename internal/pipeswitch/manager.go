@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"safecross/internal/gpusim"
+	"safecross/internal/telemetry"
 )
 
 // Manager is the runtime face of the MS module: it keeps a registry
@@ -39,6 +40,39 @@ type Manager struct {
 	// got evicted) from a first load.
 	everLoaded         map[string]bool
 	evictions, reloads int
+
+	// metrics is the optional telemetry sink. All fields are nil-safe,
+	// so an unwired manager records nowhere at no cost beyond a branch.
+	metrics managerMetrics
+}
+
+// managerMetrics holds the manager's telemetry handles: per-method
+// load-latency histograms (virtual switch cost, labelled by switching
+// method) plus residency-churn counters shared across managers on the
+// same registry (the serving plane registers one manager per worker).
+type managerMetrics struct {
+	reg        *telemetry.Registry
+	loadByMeth map[string]*telemetry.Histogram
+	evictions  *telemetry.Counter
+	reloads    *telemetry.Counter
+	resident   *telemetry.Counter
+	noop       *telemetry.Counter
+}
+
+// observeLoad records one real load's virtual-time cost under its
+// method label, resolving the labelled histogram lazily (first load
+// per method). Callers hold m.mu, so the map needs no extra lock.
+func (mm *managerMetrics) observeLoad(method string, total time.Duration) {
+	if mm.reg == nil {
+		return
+	}
+	h, ok := mm.loadByMeth[method]
+	if !ok {
+		name := fmt.Sprintf("pipeswitch_load_seconds{method=%q}", method)
+		h = mm.reg.Histogram(name, "virtual-time cost of model loads by switching method", telemetry.UnitSeconds)
+		mm.loadByMeth[method] = h
+	}
+	h.ObserveDuration(total)
 }
 
 // ManagerOption configures a Manager.
@@ -61,6 +95,30 @@ func (o sloOption) apply(m *Manager) { m.slo = o.d }
 // WithSLO sets the switch-latency service-level objective; the paper
 // requires real-time switching below 10 ms.
 func WithSLO(d time.Duration) ManagerOption { return sloOption{d: d} }
+
+type metricsOption struct{ reg *telemetry.Registry }
+
+func (o metricsOption) apply(m *Manager) {
+	if o.reg == nil {
+		return
+	}
+	m.metrics = managerMetrics{
+		reg:        o.reg,
+		loadByMeth: make(map[string]*telemetry.Histogram),
+		evictions:  o.reg.Counter("pipeswitch_evictions_total", "models evicted from device memory under pressure"),
+		reloads:    o.reg.Counter("pipeswitch_reloads_total", "activations that re-loaded a previously evicted model"),
+		resident:   o.reg.Counter("pipeswitch_resident_binds_total", "activations satisfied by an already-resident model (free re-bind)"),
+		noop:       o.reg.Counter("pipeswitch_noop_activations_total", "activations of the already-active model"),
+	}
+}
+
+// WithMetrics wires the manager's switch timings and residency churn
+// into a telemetry registry: per-method load-latency histograms
+// (`pipeswitch_load_seconds{method="…"}`) plus eviction/reload/
+// resident-bind counters. Several managers may share one registry —
+// the serving plane registers one per GPU worker — and their series
+// aggregate.
+func WithMetrics(reg *telemetry.Registry) ManagerOption { return metricsOption{reg: reg} }
 
 // DefaultSLO is the paper's real-time bound for a model switch.
 const DefaultSLO = 10 * time.Millisecond
@@ -166,11 +224,13 @@ func (m *Manager) Activate(scene string) (Report, error) {
 	if _, resident := m.residents[scene]; resident {
 		m.lastUse[scene] = m.tick
 		if m.active == scene {
+			m.metrics.noop.Inc()
 			return Report{Model: model.Name, Method: "noop", Groups: 0}, nil
 		}
 		// The weights are already on the device; binding them for
 		// compute transfers nothing.
 		m.active = scene
+		m.metrics.resident.Inc()
 		return Report{Model: model.Name, Method: "resident", Groups: 0}, nil
 	}
 
@@ -186,8 +246,10 @@ func (m *Manager) Activate(scene string) (Report, error) {
 	if m.everLoaded[scene] {
 		rep.Reload = true
 		m.reloads++
+		m.metrics.reloads.Inc()
 	}
 	m.everLoaded[scene] = true
+	m.metrics.observeLoad(rep.Method, rep.Total)
 
 	// A cold switcher (stop-and-start) resets the device, killing
 	// every co-resident model with the old process; reconcile our
@@ -230,6 +292,7 @@ func (m *Manager) evictFor(next Model) (int, error) {
 			m.active = ""
 		}
 		m.evictions++
+		m.metrics.evictions.Inc()
 		evicted++
 	}
 	return evicted, nil

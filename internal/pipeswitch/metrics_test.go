@@ -1,0 +1,97 @@
+package pipeswitch
+
+import (
+	"strings"
+	"testing"
+
+	"safecross/internal/gpusim"
+	"safecross/internal/telemetry"
+)
+
+// TestManagerMetrics drives a budget-constrained manager through a
+// load / resident re-bind / noop / evict / reload cycle and checks
+// every transition lands in the registry under the right series.
+func TestManagerMetrics(t *testing.T) {
+	model := SafeCrossSlowFast()
+	cfg := gpusim.DefaultConfig()
+	cfg.MemoryBytes = model.TotalBytes() + (1 << 20) // fits exactly one model
+	dev, err := gpusim.NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	m := NewManager(dev, WithMetrics(reg))
+	for _, scene := range []string{"day", "rain"} {
+		mod := model
+		mod.Name = mod.Name + "-" + scene
+		if err := m.Register(scene, mod); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	activate := func(scene, wantMethod string) {
+		t.Helper()
+		rep, err := m.Activate(scene)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Method != wantMethod {
+			t.Fatalf("activate %s: method %q, want %q", scene, rep.Method, wantMethod)
+		}
+	}
+	activate("day", "pipeswitch")  // cold load
+	activate("day", "noop")        // already active
+	activate("rain", "pipeswitch") // budget evicts day
+	activate("day", "pipeswitch")  // reload of evicted day
+
+	h := reg.FindHistogram(`pipeswitch_load_seconds{method="pipeswitch"}`)
+	if h == nil || h.Count() != 3 {
+		t.Fatalf("load histogram count = %d, want 3", h.Count())
+	}
+	if h.QuantileDuration(1) <= 0 {
+		t.Fatal("load histogram recorded no latency")
+	}
+	snap := reg.Snapshot()
+	if snap["pipeswitch_evictions_total"].(int64) != 2 {
+		t.Fatalf("evictions = %v, want 2", snap["pipeswitch_evictions_total"])
+	}
+	if snap["pipeswitch_reloads_total"].(int64) != 1 {
+		t.Fatalf("reloads = %v, want 1", snap["pipeswitch_reloads_total"])
+	}
+	if snap["pipeswitch_noop_activations_total"].(int64) != 1 {
+		t.Fatalf("noops = %v, want 1", snap["pipeswitch_noop_activations_total"])
+	}
+	// Registry counters must agree with the manager's own façade.
+	ev, rl := m.ResidencyCounters()
+	if int64(ev) != snap["pipeswitch_evictions_total"].(int64) || int64(rl) != snap["pipeswitch_reloads_total"].(int64) {
+		t.Fatalf("registry (%v, %v) disagrees with ResidencyCounters (%d, %d)",
+			snap["pipeswitch_evictions_total"], snap["pipeswitch_reloads_total"], ev, rl)
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `pipeswitch_load_seconds_count{method="pipeswitch"} 3`) {
+		t.Fatalf("prometheus output missing labelled load series:\n%s", sb.String())
+	}
+}
+
+// TestManagerWithoutMetricsStillWorks is the nil-safety check: an
+// unwired manager records nowhere and never panics.
+func TestManagerWithoutMetricsStillWorks(t *testing.T) {
+	dev, err := gpusim.NewDevice(gpusim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(dev)
+	if err := m.Register("day", SafeCrossSlowFast()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Activate("day"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Activate("day"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,100 @@
+package rsu
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"safecross/internal/telemetry"
+)
+
+// TestServerMetrics subscribes one healthy and one stalled vehicle,
+// broadcasts past the stalled client's queue depth, and checks the
+// registry counts subscriptions, enqueues, the eviction, and a
+// broadcast-latency histogram matching the broadcast count.
+func TestServerMetrics(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	srv, err := Listen("127.0.0.1:0", WithMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	healthy, err := Dial(srv.Addr(), "veh-healthy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer healthy.Close()
+	go func() { // drain so the healthy client never stalls
+		for range healthy.Messages() {
+		}
+	}()
+	stalledSubscriber(t, srv.Addr())
+	waitFor(t, func() bool { return srv.Subscribers() == 2 })
+
+	// Bloated messages fill the stalled connection's TCP buffer so its
+	// handler blocks and its queue overflows, forcing the eviction
+	// (same recipe as TestBroadcastEvictsStalledSubscribers).
+	big := Message{Type: TypeAdvisory, Vehicle: strings.Repeat("x", 1<<16)}
+	n := 0
+	for i := 0; i < 2000 && srv.Subscribers() > 1; i++ {
+		srv.Broadcast(big)
+		n++
+		time.Sleep(time.Millisecond)
+	}
+	waitFor(t, func() bool { return srv.Subscribers() == 1 })
+
+	snap := reg.Snapshot()
+	if got := snap["rsu_subscribed_total"].(int64); got != 2 {
+		t.Fatalf("subscribed = %d, want 2", got)
+	}
+	if got := snap["rsu_broadcasts_total"].(int64); got != int64(n) {
+		t.Fatalf("broadcasts = %d, want %d", got, n)
+	}
+	if got := snap["rsu_slow_subscriber_evictions_total"].(int64); got < 1 {
+		t.Fatalf("evictions = %d, want >= 1", got)
+	}
+	// The façade must agree with the registry.
+	st := srv.Stats()
+	if int64(st.Dropped) != snap["rsu_slow_subscriber_evictions_total"].(int64) ||
+		int64(st.Enqueued) != snap["rsu_enqueued_total"].(int64) {
+		t.Fatalf("Stats façade %+v disagrees with registry snapshot", st)
+	}
+
+	h := reg.FindHistogram("rsu_broadcast_seconds")
+	if h == nil || h.Count() != int64(n) {
+		t.Fatalf("broadcast histogram count = %d, want %d", h.Count(), n)
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"rsu_broadcast_seconds_count", "rsu_subscribers 1"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+// TestServerWithoutRegistryKeepsStats checks the unwired server still
+// counts via its private registry: the Stats façade works without
+// WithMetrics.
+func TestServerWithoutRegistryKeepsStats(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := Dial(srv.Addr(), "veh-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	waitFor(t, func() bool { return srv.Subscribers() == 1 })
+	srv.Broadcast(Message{Type: TypeAdvisory, Frame: 2, Scene: "day", Safe: true})
+	st := srv.Stats()
+	if st.Subscribed != 1 || st.Broadcasts != 1 || st.Enqueued != 1 {
+		t.Fatalf("unwired Stats = %+v", st)
+	}
+}

@@ -6,6 +6,9 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
+
+	"safecross/internal/telemetry"
 )
 
 // Server is the RSU broadcast endpoint. It accepts vehicle
@@ -18,10 +21,61 @@ type Server struct {
 	mu      sync.Mutex
 	clients map[*clientConn]struct{}
 	closed  bool
-	stats   Stats
+
+	log     *telemetry.Logger
+	metrics serverMetrics
 
 	wg sync.WaitGroup
 }
+
+// serverMetrics are the server's telemetry handles. Counters replace
+// the old mutex-guarded Stats fields (the Stats struct survives as a
+// façade computed from them), and the broadcast histogram times each
+// fan-out — the tail of the warning path after a verdict. All handles
+// are nil-safe, so an unwired server records nowhere.
+type serverMetrics struct {
+	subscribed *telemetry.Counter
+	broadcasts *telemetry.Counter
+	enqueued   *telemetry.Counter
+	dropped    *telemetry.Counter
+	latency    *telemetry.Histogram
+}
+
+// ServerOption configures Listen.
+type ServerOption interface {
+	apply(*Server)
+}
+
+type serverMetricsOption struct{ reg *telemetry.Registry }
+
+func (o serverMetricsOption) apply(s *Server) {
+	if o.reg == nil {
+		return
+	}
+	s.metrics = serverMetrics{
+		subscribed: o.reg.Counter("rsu_subscribed_total", "successful vehicle subscriptions"),
+		broadcasts: o.reg.Counter("rsu_broadcasts_total", "broadcast calls"),
+		enqueued:   o.reg.Counter("rsu_enqueued_total", "messages placed on client queues"),
+		dropped:    o.reg.Counter("rsu_slow_subscriber_evictions_total", "slow subscribers disconnected for a full queue"),
+		latency:    o.reg.Histogram("rsu_broadcast_seconds", "broadcast fan-out latency (enqueue to all subscribers)", telemetry.UnitSeconds),
+	}
+	o.reg.GaugeFunc("rsu_subscribers", "currently connected vehicles", func() int64 {
+		return int64(s.Subscribers())
+	})
+}
+
+// WithMetrics wires the server's subscription, broadcast fan-out, and
+// slow-subscriber eviction telemetry into a registry.
+func WithMetrics(reg *telemetry.Registry) ServerOption { return serverMetricsOption{reg: reg} }
+
+type serverLoggerOption struct{ log *telemetry.Logger }
+
+func (o serverLoggerOption) apply(s *Server) { s.log = o.log }
+
+// WithLogger sets the server's leveled logger. The default (nil)
+// discards everything, so tests and embedders stay quiet unless they
+// opt in.
+func WithLogger(log *telemetry.Logger) ServerOption { return serverLoggerOption{log: log} }
 
 // Stats counts server activity since start.
 type Stats struct {
@@ -49,7 +103,7 @@ type clientConn struct {
 const clientQueueDepth = 64
 
 // Listen starts a server on addr (e.g. "127.0.0.1:0").
-func Listen(addr string) (*Server, error) {
+func Listen(addr string, opts ...ServerOption) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("rsu: listen: %w", err)
@@ -57,6 +111,14 @@ func Listen(addr string) (*Server, error) {
 	s := &Server{
 		ln:      ln,
 		clients: make(map[*clientConn]struct{}),
+	}
+	for _, o := range opts {
+		o.apply(s)
+	}
+	if s.metrics.subscribed == nil {
+		// Stats() is computed from the counters, so an unwired server
+		// still needs them — back them with a private registry.
+		serverMetricsOption{reg: telemetry.NewRegistry()}.apply(s)
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -110,8 +172,9 @@ func (s *Server) handle(conn net.Conn) {
 		return
 	}
 	s.clients[c] = struct{}{}
-	s.stats.Subscribed++
+	s.metrics.subscribed.Inc()
 	s.mu.Unlock()
+	s.log.Infof("rsu: vehicle %q subscribed from %s", c.vehicle, conn.RemoteAddr())
 
 	enc := json.NewEncoder(conn)
 	if err := enc.Encode(Message{Type: TypeWelcome, Vehicle: c.vehicle}); err != nil {
@@ -144,31 +207,41 @@ func (s *Server) drop(c *clientConn) {
 }
 
 // Broadcast enqueues a message to every subscriber, disconnecting any
-// whose queue is full.
+// whose queue is full. The fan-out latency — lock to last enqueue,
+// including evictions of stalled subscribers — lands in the
+// rsu_broadcast_seconds histogram.
 func (s *Server) Broadcast(msg Message) {
+	start := time.Now()
 	s.mu.Lock()
-	s.stats.Broadcasts++
+	s.metrics.broadcasts.Inc()
 	var overloaded []*clientConn
 	for c := range s.clients {
 		select {
 		case c.out <- msg:
-			s.stats.Enqueued++
+			s.metrics.enqueued.Inc()
 		default:
-			s.stats.Dropped++
+			s.metrics.dropped.Inc()
 			overloaded = append(overloaded, c)
 		}
 	}
 	s.mu.Unlock()
 	for _, c := range overloaded {
+		s.log.Warnf("rsu: evicting slow subscriber %q (queue full at %d)", c.vehicle, clientQueueDepth)
 		s.drop(c)
 	}
+	s.metrics.latency.ObserveDuration(time.Since(start))
 }
 
-// Stats returns a snapshot of server activity counters.
+// Stats returns a snapshot of server activity counters. It is a
+// façade over the telemetry counters, which are the single source of
+// truth whether or not the server was wired to an external registry.
 func (s *Server) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	return Stats{
+		Subscribed: int(s.metrics.subscribed.Value()),
+		Broadcasts: int(s.metrics.broadcasts.Value()),
+		Enqueued:   int(s.metrics.enqueued.Value()),
+		Dropped:    int(s.metrics.dropped.Value()),
+	}
 }
 
 // Close stops accepting, disconnects all subscribers, and waits for

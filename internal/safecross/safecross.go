@@ -21,10 +21,12 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"safecross/internal/gpusim"
 	"safecross/internal/pipeswitch"
 	"safecross/internal/sim"
+	"safecross/internal/telemetry"
 	"safecross/internal/tensor"
 	"safecross/internal/video"
 	"safecross/internal/vision"
@@ -67,6 +69,10 @@ type Config struct {
 	// immediately. This asymmetric hysteresis is the fail-safe bias a
 	// warning system must have.
 	SafeStreak int
+	// Metrics, when set, records per-frame stage timings
+	// (scene-detect, VP pre-processing, classification) and a frame
+	// counter into the registry. Nil disables recording at no cost.
+	Metrics *telemetry.Registry
 }
 
 // withDefaults fills zero fields.
@@ -124,6 +130,30 @@ type Framework struct {
 
 	ring       []*vision.Image
 	safeStreak int
+
+	metrics frameMetrics
+}
+
+// frameMetrics times the camera-local pipeline stages of
+// ProcessFrameContext. All handles are nil-safe, so a framework built
+// without Config.Metrics records nowhere.
+type frameMetrics struct {
+	frames      *telemetry.Counter
+	sceneDetect *telemetry.Histogram
+	vp          *telemetry.Histogram
+	classify    *telemetry.Histogram
+}
+
+func newFrameMetrics(reg *telemetry.Registry) frameMetrics {
+	if reg == nil {
+		return frameMetrics{}
+	}
+	return frameMetrics{
+		frames:      reg.Counter("safecross_frames_total", "camera frames processed"),
+		sceneDetect: reg.Histogram("safecross_scene_detect_seconds", "per-frame weather scene detection", telemetry.UnitSeconds),
+		vp:          reg.Histogram("safecross_vp_seconds", "per-frame VP pre-processing into the clip ring", telemetry.UnitSeconds),
+		classify:    reg.Histogram("safecross_classify_seconds", "per-clip classification (local forward or serving-plane round trip)", telemetry.UnitSeconds),
+	}
 }
 
 // New assembles a Framework from per-scene classifiers, a fitted
@@ -152,6 +182,7 @@ func New(cfg Config, models map[sim.Weather]video.Classifier, det *weather.Detec
 		monitor: weather.NewMonitor(det, cfg.InitialScene, cfg.Debounce),
 		models:  models,
 		mgr:     mgr,
+		metrics: newFrameMetrics(cfg.Metrics),
 	}
 	if _, err := mgr.Activate(cfg.InitialScene.String()); err != nil {
 		return nil, fmt.Errorf("safecross: activate initial scene: %w", err)
@@ -209,6 +240,7 @@ func NewServed(cfg Config, classify ClassifyFunc, det *weather.Detector) (*Frame
 		vp:       vision.NewPreprocessor(cfg.VP),
 		monitor:  weather.NewMonitor(det, cfg.InitialScene, cfg.Debounce),
 		classify: classify,
+		metrics:  newFrameMetrics(cfg.Metrics),
 	}, nil
 }
 
@@ -244,7 +276,10 @@ func (f *Framework) ProcessFrameContext(ctx context.Context, frame *vision.Image
 	defer f.mu.Unlock()
 
 	d := &Decision{}
+	f.metrics.frames.Inc()
+	detectStart := time.Now()
 	scene, changed := f.monitor.Observe(frame)
+	f.metrics.sceneDetect.ObserveDuration(time.Since(detectStart))
 	d.Scene = scene
 	d.SceneChanged = changed
 	if changed && f.classify == nil {
@@ -260,10 +295,12 @@ func (f *Framework) ProcessFrameContext(ctx context.Context, frame *vision.Image
 		d.Switch = &rep
 	}
 
+	vpStart := time.Now()
 	grid, err := f.vp.Process(frame)
 	if err != nil {
 		return nil, fmt.Errorf("safecross: %w", err)
 	}
+	f.metrics.vp.ObserveDuration(time.Since(vpStart))
 	f.ring = append(f.ring, grid)
 	if len(f.ring) > f.cfg.ClipLen {
 		f.ring = f.ring[1:]
@@ -277,6 +314,7 @@ func (f *Framework) ProcessFrameContext(ctx context.Context, frame *vision.Image
 		return nil, fmt.Errorf("safecross: %w", err)
 	}
 	var label int
+	classifyStart := time.Now()
 	if f.classify != nil {
 		// The fail-safe hint: until the safe streak is re-established,
 		// the intersection is advising "don't turn" and the next verdict
@@ -290,6 +328,7 @@ func (f *Framework) ProcessFrameContext(ctx context.Context, frame *vision.Image
 			return nil, fmt.Errorf("safecross: classify: %w", err)
 		}
 	}
+	f.metrics.classify.ObserveDuration(time.Since(classifyStart))
 	d.Ready = true
 	// Fail-safe hysteresis: danger verdicts take effect immediately;
 	// TURN is only advised after SafeStreak consecutive safe verdicts.

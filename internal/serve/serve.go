@@ -49,6 +49,7 @@ import (
 	"time"
 
 	"safecross/internal/sim"
+	"safecross/internal/telemetry"
 	"safecross/internal/tensor"
 	"safecross/internal/video"
 )
@@ -118,6 +119,18 @@ type Config struct {
 	// request that has aged past it cannot be shed for a Critical
 	// admission (default SLO/2).
 	AgingBound time.Duration
+	// Metrics is the telemetry registry all serving counters and
+	// latency histograms land in. Nil gives the server a private
+	// registry (Stats still works); pass a shared one to export the
+	// series through a debug listener alongside pipeswitch and RSU
+	// metrics.
+	Metrics *telemetry.Registry
+	// Tracer, when set, records per-request stage spans
+	// (queue→batch-wait→switch→compute→deliver) for every submission
+	// that does not already carry a trace on its context. Callers who
+	// want to extend a trace past the verdict (e.g. through the RSU
+	// broadcast) start their own with telemetry.WithTrace instead.
+	Tracer *telemetry.Tracer
 }
 
 // withDefaults fills zero fields.

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"safecross/internal/sim"
+	"safecross/internal/telemetry"
 )
 
 // pending request states. Exactly one party wins the CAS away from
@@ -38,6 +39,11 @@ type pending struct {
 	submitted  time.Time // Submit accepted it
 	bucketed   time.Time // scheduler placed it in a scene bucket
 	dispatched time.Time // scheduler handed its batch to a worker
+
+	// tr is the request's trace (nil when tracing is off). Whichever
+	// party settles the request records its terminal event; the worker
+	// additionally records the stage spans before delivery.
+	tr *telemetry.Trace
 
 	done chan outcome // capacity 1; exactly one outcome is ever sent
 }
@@ -90,6 +96,14 @@ type Server struct {
 	scenes  map[sim.Weather]bool
 	workers []*worker
 
+	// registry backs all activity counters and latency histograms —
+	// Config.Metrics when set, else a private registry — and metrics
+	// holds the resolved handles. tracer (optional) samples per-request
+	// stage spans.
+	registry *telemetry.Registry
+	metrics  serveMetrics
+	tracer   *telemetry.Tracer
+
 	// wake nudges the scheduler after intake grows; capacity 1, sends
 	// never block.
 	wake   chan struct{}
@@ -99,7 +113,6 @@ type Server struct {
 
 	mu     sync.Mutex
 	closed bool
-	stats  statsAccum
 	// intake is the admission queue handed to the scheduler; appends
 	// never block, so Submit can run entirely under mu.
 	intake []*pending
@@ -126,18 +139,32 @@ func New(cfg Config, factory ModelFactory) (*Server, error) {
 	if factory == nil {
 		return nil, fmt.Errorf("serve: nil model factory")
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		// Stats() is computed from the metrics, so an unwired server
+		// still needs them — back them with a private registry.
+		reg = telemetry.NewRegistry()
+	}
 	s := &Server{
-		cfg:    cfg,
-		scenes: make(map[sim.Weather]bool),
-		wake:   make(chan struct{}, 1),
+		cfg:      cfg,
+		scenes:   make(map[sim.Weather]bool),
+		registry: reg,
+		metrics:  newServeMetrics(reg),
+		tracer:   cfg.Tracer,
+		wake:     make(chan struct{}, 1),
 		// Buffered past the worst case (one stale note plus one
 		// post-shutdown note per worker) so workers never block on it.
 		idleCh:  make(chan idleNote, 2*cfg.Workers),
 		stopCh:  make(chan struct{}),
 		routine: make(map[*pending]struct{}),
 	}
+	reg.GaugeFunc("serve_inflight", "requests admitted but not yet dispatched or settled", func() int64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return int64(s.inflight)
+	})
 	for i := 0; i < cfg.Workers; i++ {
-		w, err := newWorker(i, factory, cfg.WorkerMemory)
+		w, err := newWorker(i, factory, cfg.WorkerMemory, reg)
 		if err != nil {
 			return nil, err
 		}
@@ -172,20 +199,34 @@ func (s *Server) Submit(ctx context.Context, req Request) (Verdict, error) {
 	if err := ctx.Err(); err != nil {
 		return Verdict{}, err
 	}
+	// The request's trace rides the context when the caller started
+	// one; otherwise the server's sampler (if any) starts it here and
+	// owns its retirement.
+	tr := telemetry.TraceFrom(ctx)
+	owned := false
+	if tr == nil && s.tracer != nil {
+		tr = s.tracer.Start("serve/" + req.Scene.String())
+		owned = true
+	}
 	p := &pending{
 		req:       req,
 		prio:      req.Priority,
 		deadline:  s.cfg.SLO,
 		submitted: time.Now(),
+		tr:        tr,
 		done:      make(chan outcome, 1),
 	}
 	if dl, ok := ctx.Deadline(); ok {
 		p.deadline = time.Until(dl)
 	}
+	if owned {
+		defer tr.Finish()
+	}
 
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		tr.Terminal("closed", time.Now())
 		return Verdict{}, ErrClosed
 	}
 	var victim *pending
@@ -194,22 +235,24 @@ func (s *Server) Submit(ctx context.Context, req Request) (Verdict, error) {
 			victim = s.shedRoutineLocked()
 		}
 		if victim == nil {
-			s.stats.Rejected++
 			s.mu.Unlock()
+			s.metrics.rejected.Inc()
+			tr.Terminal("rejected", time.Now())
 			return Verdict{}, ErrQueueFull
 		}
 		// The victim's slot transfers to p: inflight is unchanged.
-		s.stats.Shed++
+		s.metrics.shed.Inc()
 	} else {
 		s.inflight++
 	}
-	s.stats.Submitted++
+	s.metrics.submitted.Inc()
 	s.intake = append(s.intake, p)
 	if p.prio == Routine {
 		s.routine[p] = struct{}{}
 	}
 	s.mu.Unlock()
 	if victim != nil {
+		victim.tr.Terminal("shed", time.Now())
 		victim.done <- outcome{err: fmt.Errorf("%w (routine slot shed for critical admission)", ErrQueueFull)}
 	}
 	select {
@@ -230,9 +273,10 @@ func (s *Server) await(ctx context.Context, p *pending) (Verdict, error) {
 		if p.state.CompareAndSwap(statePending, stateCancelled) {
 			s.mu.Lock()
 			s.inflight--
-			s.stats.Cancelled++
 			delete(s.routine, p)
 			s.mu.Unlock()
+			s.metrics.cancelled.Inc()
+			p.tr.Terminal("cancelled", time.Now())
 			return Verdict{}, ctx.Err()
 		}
 		// Lost the race: the request was claimed for dispatch (a
@@ -306,15 +350,22 @@ func (s *Server) Close() error {
 	return nil
 }
 
-// reject delivers an explicit rejection and counts it.
+// reject delivers an explicit rejection and counts it. Metrics and the
+// trace terminal land before the outcome send, so a caller observing
+// Submit return always sees its request settled in Stats.
 func (s *Server) reject(p *pending, err error) {
-	s.mu.Lock()
-	if errors.Is(err, ErrDeadlineExceeded) {
-		s.stats.Expired++
-	} else {
-		s.stats.Failed++
+	status := "failed"
+	switch {
+	case errors.Is(err, ErrDeadlineExceeded):
+		s.metrics.expired.Inc()
+		status = "expired"
+	case errors.Is(err, ErrClosed):
+		s.metrics.failed.Inc()
+		status = "closed"
+	default:
+		s.metrics.failed.Inc()
 	}
-	s.mu.Unlock()
+	p.tr.Terminal(status, time.Now())
 	p.done <- outcome{err: err}
 }
 
@@ -397,12 +448,13 @@ func (s *Server) schedule() {
 				}
 			}
 			if b.promoted {
-				s.mu.Lock()
+				// Only the scheduler writes p.aged, and the worker reads
+				// it after the dispatch channel send orders the write:
+				// no lock needed.
 				for _, p := range b.reqs {
 					p.aged = true
-					s.stats.Aged++
+					s.metrics.aged.Inc()
 				}
-				s.mu.Unlock()
 			}
 		}
 	}

@@ -1,13 +1,16 @@
 package serve
 
 import (
-	"sort"
 	"time"
 
 	"safecross/internal/pipeswitch"
 )
 
-// Stats is a point-in-time snapshot of serving activity.
+// Stats is a point-in-time snapshot of serving activity. It is a
+// façade over the server's telemetry registry: every counter below is
+// read from a sharded atomic metric, and the percentiles come from
+// the shared log-linear latency histograms (bucket resolution ≤25%,
+// exact at the maximum), not a sorted sample ring.
 type Stats struct {
 	// Submitted counts requests accepted into the admission queue.
 	Submitted int
@@ -54,14 +57,15 @@ type Stats struct {
 	// TotalLatency is the cumulative submit-to-verdict latency over
 	// completed requests.
 	TotalLatency time.Duration
-	// P50 and P99 are total-latency percentiles over recently
-	// completed requests.
+	// P50 and P99 are total-latency percentiles over completed
+	// requests (histogram-resolved: within one bucket of exact, and
+	// exact at the observed maximum).
 	P50, P99 time.Duration
 	// CriticalQueueP95 and RoutineQueueP95 are submit-to-dispatch wait
-	// percentiles over recently completed requests, split by effective
-	// class (aged Routine requests count as Critical). They are the
-	// priority plane's acceptance metric: under saturation, Critical
-	// must sit below Routine.
+	// percentiles over completed requests, split by effective class
+	// (aged Routine requests count as Critical). They are the priority
+	// plane's acceptance metric: under saturation, Critical must sit
+	// below Routine.
 	CriticalQueueP95, RoutineQueueP95 time.Duration
 	// CriticalCompleted and RoutineCompleted split Completed by
 	// effective class.
@@ -95,118 +99,89 @@ func (st Stats) VirtualThroughput() float64 {
 	return float64(st.Completed) / st.VirtualMakespan.Seconds()
 }
 
-// latencySample bounds percentile memory: a ring of the most recent
-// completed-request latencies.
-const latencySample = 8192
-
-// ring is a fixed-size sample of recent durations.
-type ring struct {
-	buf [latencySample]time.Duration
-	n   int // total ever recorded
-}
-
-func (r *ring) add(d time.Duration) {
-	r.buf[r.n%latencySample] = d
-	r.n++
-}
-
-// sample copies the recorded durations (at most latencySample).
-func (r *ring) sample() []time.Duration {
-	n := r.n
-	if n > latencySample {
-		n = latencySample
-	}
-	out := make([]time.Duration, n)
-	copy(out, r.buf[:n])
-	return out
-}
-
-// percentile returns the pth percentile of a sorted sample (0 when
-// empty).
-func percentile(sorted []time.Duration, p int) time.Duration {
-	if len(sorted) == 0 {
-		return 0
-	}
-	return sorted[(len(sorted)*p)/100]
-}
-
-// statsAccum is the mutable accumulator behind Stats, guarded by
-// Server.mu.
-type statsAccum struct {
-	Stats
-	total    ring // total latency, completed requests
-	critWait ring // submit→dispatch wait, Critical-class completions
-	routWait ring // submit→dispatch wait, Routine-class completions
-}
-
-// recordBatch folds one served batch into the counters.
+// recordBatch folds one served batch into the registry. The worker
+// calls it BEFORE delivering any verdict, so a caller who observes
+// Submit return is guaranteed to see its request in Stats — metric
+// recording and outcome delivery are ordered, not racing.
 func (s *Server) recordBatch(b *batch, rep pipeswitch.Report, computeWall time.Duration, now time.Time) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st := &s.stats
-	st.Batches++
-	st.BatchedClips += len(b.reqs)
-	if len(b.reqs) > st.MaxBatch {
-		st.MaxBatch = len(b.reqs)
-	}
+	m := &s.metrics
+	m.batches.Inc()
+	m.batchedClips.Add(int64(len(b.reqs)))
+	m.batchSize.Observe(int64(len(b.reqs)))
+	m.maxBatch.SetMax(int64(len(b.reqs)))
 	if b.warm {
-		st.WarmBatches++
+		m.warmBatches.Inc()
 	}
 	switch rep.Method {
 	case "", "noop", "resident":
 		// The model was already on the device: no load happened.
 	default:
-		st.Switches++
-		st.SwitchVirtual += rep.Total
+		m.switches.Inc()
+		m.switchCost.ObserveDuration(rep.Total)
 	}
-	st.Evictions += rep.Evicted
+	m.evictions.Add(int64(rep.Evicted))
 	if rep.Reload {
-		st.Reloads++
+		m.reloads.Inc()
 	}
 	for _, p := range b.reqs {
 		total := now.Sub(p.submitted)
-		st.Completed++
-		st.QueueWait += p.bucketed.Sub(p.submitted)
-		st.BatchWait += p.dispatched.Sub(p.bucketed)
-		st.ComputeWall += computeWall
-		st.TotalLatency += total
+		m.completed.Inc()
+		m.queueWait.ObserveDuration(p.bucketed.Sub(p.submitted))
+		m.batchWait.ObserveDuration(p.dispatched.Sub(p.bucketed))
+		m.compute.ObserveDuration(computeWall)
+		m.totalLatency.ObserveDuration(total)
 		if total > p.deadline {
-			st.SLOViolations++
+			m.sloViolations.Inc()
 		}
-		s.stats.total.add(total)
 		wait := p.dispatched.Sub(p.submitted)
 		if p.critical() {
-			st.CriticalCompleted++
-			s.stats.critWait.add(wait)
+			m.critCompleted.Inc()
+			m.critWait.ObserveDuration(wait)
 		} else {
-			st.RoutineCompleted++
-			s.stats.routWait.add(wait)
+			m.routCompleted.Inc()
+			m.routWait.ObserveDuration(wait)
 		}
 	}
 }
 
-// Stats returns a snapshot, including percentiles over the recent
-// latency samples and the per-worker virtual timelines.
+// Stats returns a snapshot computed from the telemetry registry, plus
+// the per-worker virtual timelines.
 func (s *Server) Stats() Stats {
-	s.mu.Lock()
-	out := s.stats.Stats
-	total := s.stats.total.sample()
-	crit := s.stats.critWait.sample()
-	rout := s.stats.routWait.sample()
-	s.mu.Unlock()
+	m := &s.metrics
+	out := Stats{
+		Submitted:     int(m.submitted.Value()),
+		Rejected:      int(m.rejected.Value()),
+		Shed:          int(m.shed.Value()),
+		Cancelled:     int(m.cancelled.Value()),
+		Expired:       int(m.expired.Value()),
+		Failed:        int(m.failed.Value()),
+		Completed:     int(m.completed.Value()),
+		SLOViolations: int(m.sloViolations.Value()),
+		Aged:          int(m.aged.Value()),
 
-	less := func(sample []time.Duration) {
-		sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
+		Batches:      int(m.batches.Value()),
+		BatchedClips: int(m.batchedClips.Value()),
+		MaxBatch:     int(m.maxBatch.Value()),
+		WarmBatches:  int(m.warmBatches.Value()),
+		Switches:     int(m.switches.Value()),
+		Evictions:    int(m.evictions.Value()),
+		Reloads:      int(m.reloads.Value()),
+
+		QueueWait:    time.Duration(m.queueWait.Sum()),
+		BatchWait:    time.Duration(m.batchWait.Sum()),
+		ComputeWall:  time.Duration(m.compute.Sum()),
+		TotalLatency: time.Duration(m.totalLatency.Sum()),
+
+		P50:              m.totalLatency.QuantileDuration(0.50),
+		P99:              m.totalLatency.QuantileDuration(0.99),
+		CriticalQueueP95: m.critWait.QuantileDuration(0.95),
+		RoutineQueueP95:  m.routWait.QuantileDuration(0.95),
+
+		CriticalCompleted: int(m.critCompleted.Value()),
+		RoutineCompleted:  int(m.routCompleted.Value()),
+
+		SwitchVirtual: time.Duration(m.switchCost.Sum()),
 	}
-	if len(total) > 0 {
-		less(total)
-		out.P50 = percentile(total, 50)
-		out.P99 = percentile(total, 99)
-	}
-	less(crit)
-	less(rout)
-	out.CriticalQueueP95 = percentile(crit, 95)
-	out.RoutineQueueP95 = percentile(rout, 95)
 	for _, w := range s.workers {
 		v := time.Duration(w.virtualNow.Load())
 		out.VirtualBusy += v

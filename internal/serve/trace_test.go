@@ -1,0 +1,163 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"safecross/internal/sim"
+	"safecross/internal/telemetry"
+)
+
+// TestTraceSpansTileSubmitToVerdict submits one traced request and
+// checks the dumped trace covers its whole wall-clock life with
+// contiguous, non-overlapping stage spans and a single "completed"
+// terminal.
+func TestTraceSpansTileSubmitToVerdict(t *testing.T) {
+	tc := telemetry.NewTracer(8)
+	s, err := New(Config{Workers: 1, Tracer: tc}, stubFactory(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	before := time.Now()
+	if _, err := s.Submit(context.Background(), Request{Scene: sim.Day, Clip: testClip()}); err != nil {
+		t.Fatal(err)
+	}
+	after := time.Now()
+
+	traces := tc.Dump()
+	if len(traces) != 1 {
+		t.Fatalf("dumped %d traces, want 1", len(traces))
+	}
+	tr := traces[0]
+	if tr.Terminal != "completed" {
+		t.Fatalf("terminal = %q, want completed", tr.Terminal)
+	}
+	wantStages := []string{"queue", "batch-wait", "switch", "compute", "deliver"}
+	if len(tr.Spans) != len(wantStages) {
+		t.Fatalf("spans = %+v, want stages %v", tr.Spans, wantStages)
+	}
+	for i, sp := range tr.Spans {
+		if sp.Name != wantStages[i] {
+			t.Fatalf("span %d = %q, want %q", i, sp.Name, wantStages[i])
+		}
+		if sp.End.Before(sp.Start) {
+			t.Fatalf("span %q runs backwards: %+v", sp.Name, sp)
+		}
+		if i > 0 && !sp.Start.Equal(tr.Spans[i-1].End) {
+			t.Fatalf("span %q does not start where %q ends: gap or overlap", sp.Name, tr.Spans[i-1].Name)
+		}
+	}
+	first, last := tr.Spans[0], tr.Spans[len(tr.Spans)-1]
+	if first.Start.Before(before) || last.End.After(after) {
+		t.Fatalf("spans [%v, %v] escape the Submit window [%v, %v]",
+			first.Start, last.End, before, after)
+	}
+	if !last.End.Equal(tr.End) {
+		t.Fatalf("terminal instant %v != last span end %v", tr.End, last.End)
+	}
+}
+
+// TestTraceTerminalExactlyOncePerRequest floods a tiny queue with
+// cancelled, shed, and completed requests and checks every submission
+// retired exactly one trace with exactly one terminal event — the
+// trace-level mirror of the CAS settle-state invariant.
+func TestTraceTerminalExactlyOncePerRequest(t *testing.T) {
+	const n = 64
+	tc := telemetry.NewTracer(n)
+	s, err := New(Config{
+		Workers:      1,
+		MaxBatch:     4,
+		QueueDepth:   4,
+		BatchLatency: 5 * time.Millisecond,
+		Tracer:       tc,
+	}, stubFactory(2*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx := context.Background()
+			var cancel context.CancelFunc
+			prio := Routine
+			switch i % 4 {
+			case 0:
+				prio = Critical // sheds queued Routine under pressure
+			case 1:
+				ctx, cancel = context.WithTimeout(ctx, time.Duration(i%8)*time.Millisecond)
+				defer cancel()
+			}
+			_, _ = s.Submit(ctx, Request{Scene: sim.Day, Clip: testClip(), Priority: prio})
+		}(i)
+	}
+	wg.Wait()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := tc.Finished(); got != n {
+		t.Fatalf("finished traces = %d, want %d (one per submission)", got, n)
+	}
+	byStatus := map[string]int{}
+	for _, tr := range tc.Dump() {
+		if tr.Terminal == "" || tr.Terminal == "unfinished" {
+			t.Fatalf("trace %d retired without a terminal event: %+v", tr.ID, tr)
+		}
+		byStatus[tr.Terminal]++
+	}
+	total := 0
+	for status, c := range byStatus {
+		switch status {
+		case "completed", "cancelled", "shed", "rejected", "expired", "failed", "closed":
+		default:
+			t.Fatalf("unexpected terminal status %q", status)
+		}
+		total += c
+	}
+	if total != n {
+		t.Fatalf("terminal events = %d (%v), want %d", total, byStatus, n)
+	}
+
+	// The registry's settle counters must tell the same story.
+	st := s.Stats()
+	settled := st.Completed + st.Cancelled + st.Shed + st.Expired + st.Failed + st.Rejected
+	if settled != n {
+		t.Fatalf("stats settle %d requests (%+v), want %d", settled, st, n)
+	}
+}
+
+// TestTraceFromContextIsExtendedNotOwned submits with a caller-started
+// trace on the context and checks the server records spans and the
+// terminal into it but leaves retirement to the caller.
+func TestTraceFromContextIsExtendedNotOwned(t *testing.T) {
+	tc := telemetry.NewTracer(8)
+	s, err := New(Config{Workers: 1}, stubFactory(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	tr := tc.Start("caller")
+	ctx := telemetry.WithTrace(context.Background(), tr)
+	if _, err := s.Submit(ctx, Request{Scene: sim.Day, Clip: testClip()}); err != nil {
+		t.Fatal(err)
+	}
+	if got := tc.Finished(); got != 0 {
+		t.Fatalf("server retired the caller's trace (%d finished)", got)
+	}
+	if tr.TerminalStatus() != "completed" {
+		t.Fatalf("terminal = %q, want completed", tr.TerminalStatus())
+	}
+	tr.Finish()
+	dumped := tc.Dump()
+	if len(dumped) != 1 || len(dumped[0].Spans) != 5 {
+		t.Fatalf("caller-owned trace missing server spans: %+v", dumped)
+	}
+}

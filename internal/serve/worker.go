@@ -10,6 +10,7 @@ import (
 	"safecross/internal/nn"
 	"safecross/internal/pipeswitch"
 	"safecross/internal/sim"
+	"safecross/internal/telemetry"
 	"safecross/internal/tensor"
 	"safecross/internal/video"
 )
@@ -41,7 +42,7 @@ type worker struct {
 // registered under sim.Weather.String() keys (mirroring
 // safecross.NewDefault). Registration is metadata only — nothing is
 // loaded until the first batch for a scene arrives.
-func newWorker(id int, factory ModelFactory, memoryBytes int64) (*worker, error) {
+func newWorker(id int, factory ModelFactory, memoryBytes int64, reg *telemetry.Registry) (*worker, error) {
 	models, err := factory()
 	if err != nil {
 		return nil, fmt.Errorf("serve: worker %d models: %w", id, err)
@@ -57,7 +58,10 @@ func newWorker(id int, factory ModelFactory, memoryBytes int64) (*worker, error)
 	if err != nil {
 		return nil, fmt.Errorf("serve: worker %d: %w", id, err)
 	}
-	mgr := pipeswitch.NewManager(dev)
+	// All workers share the server's registry, so their per-method load
+	// histograms and residency-churn counters aggregate into one series
+	// set (pipeswitch_load_seconds{method="…"} etc.).
+	mgr := pipeswitch.NewManager(dev, pipeswitch.WithMetrics(reg))
 	for scene := range models {
 		m := pipeswitch.SafeCrossSlowFast()
 		m.Name = m.Name + "-" + scene.String()
@@ -106,13 +110,13 @@ func (w *worker) serveBatch(s *Server, b *batch) {
 		w.failBatch(s, b, fmt.Errorf("serve: switch to %v: %w", b.scene, err))
 		return
 	}
+	switchEnd := time.Now()
 	clips := make([]*tensor.Tensor, len(b.reqs))
 	for i, p := range b.reqs {
 		clips[i] = p.req.Clip
 	}
-	computeStart := time.Now()
 	labels, err := video.PredictBatch(w.models[b.scene], clips, w.ws)
-	computeWall := time.Since(computeStart)
+	computeWall := time.Since(switchEnd)
 	if err != nil {
 		w.failBatch(s, b, fmt.Errorf("serve: classify %v batch: %w", b.scene, err))
 		return
@@ -130,8 +134,12 @@ func (w *worker) serveBatch(s *Server, b *batch) {
 	start, done := dev.InferAt(dev.Now(), manifest.TotalFLOPs(), len(manifest.Layers), len(clips))
 	virtCompute := done - start
 	w.virtualNow.Store(int64(dev.Now()))
+	computeEnd := time.Now()
 
+	// Record metrics BEFORE delivering any verdict: a caller observing
+	// Submit return is then guaranteed to see its request in Stats.
 	now := time.Now()
+	s.recordBatch(b, rep, computeWall, now)
 	for i, p := range b.reqs {
 		t := Timing{
 			Queue:          p.bucketed.Sub(p.submitted),
@@ -145,6 +153,18 @@ func (w *worker) serveBatch(s *Server, b *batch) {
 			Evicted:        rep.Evicted,
 		}
 		t.SLOMet = t.Total <= p.deadline
+		// Stage spans tile the request's full wall-clock life,
+		// submit→verdict, on shared boundary instants: each span starts
+		// where the previous one ends, so a dumped trace accounts for
+		// every nanosecond exactly once.
+		if p.tr != nil {
+			p.tr.Span("queue", p.submitted, p.bucketed)
+			p.tr.Span("batch-wait", p.bucketed, p.dispatched)
+			p.tr.Span("switch", p.dispatched, switchEnd)
+			p.tr.Span("compute", switchEnd, computeEnd)
+			p.tr.Span("deliver", computeEnd, now)
+			p.tr.Terminal("completed", now)
+		}
 		label := labels[i]
 		p.done <- outcome{v: Verdict{
 			Label:  label,
@@ -152,7 +172,6 @@ func (w *worker) serveBatch(s *Server, b *batch) {
 			Timing: t,
 		}}
 	}
-	s.recordBatch(b, rep, computeWall, now)
 }
 
 // failBatch rejects every request in a batch with the same error.

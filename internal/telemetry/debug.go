@@ -1,0 +1,76 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// DebugServer is the optional observability HTTP listener:
+//
+//	/metrics       Prometheus text exposition of the registry
+//	/metrics.json  JSON snapshot of the registry
+//	/traces        JSON dump of the tracer's retained traces
+//	/debug/vars    expvar (memstats, cmdline)
+//	/debug/pprof/  pprof index, plus profile/heap/trace endpoints
+//
+// It binds its own mux — nothing leaks onto http.DefaultServeMux — so
+// embedding processes keep full control of their public surface while
+// `curl :PORT/metrics` and `go tool pprof http://:PORT/debug/pprof/…`
+// work against the debug port.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ListenDebug starts a debug listener on addr (e.g. "127.0.0.1:0").
+// reg and tracer may be nil; their endpoints then serve empty
+// documents.
+func ListenDebug(addr string, reg *Registry, tracer *Tracer) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: debug listen: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if reg != nil {
+			_ = reg.WritePrometheus(w)
+		}
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		snap := map[string]any{}
+		if reg != nil {
+			snap = reg.Snapshot()
+		}
+		_ = json.NewEncoder(w).Encode(snap)
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(tracer.Dump())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	d := &DebugServer{
+		ln:  ln,
+		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+	}
+	go func() { _ = d.srv.Serve(ln) }()
+	return d, nil
+}
+
+// Addr returns the listener's address (host:port).
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close shuts the listener down immediately.
+func (d *DebugServer) Close() error { return d.srv.Close() }

@@ -1,0 +1,90 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Level orders log severities.
+type Level int32
+
+// Log levels, least to most severe. A logger emits records at or
+// above its configured minimum.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+	// LevelOff silences a logger entirely.
+	LevelOff
+)
+
+// String names the level for record prefixes.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "DEBUG"
+	case LevelInfo:
+		return "INFO"
+	case LevelWarn:
+		return "WARN"
+	case LevelError:
+		return "ERROR"
+	default:
+		return "OFF"
+	}
+}
+
+// Logger is a small leveled logger. The zero value and a nil *Logger
+// discard everything, so library code logs unconditionally and stays
+// quiet until a caller wires a destination — tests never see stderr
+// spam unless they ask for it.
+type Logger struct {
+	mu  sync.Mutex
+	w   io.Writer
+	min Level
+}
+
+// NewLogger builds a logger writing records at or above min to w.
+// A nil writer discards everything.
+func NewLogger(w io.Writer, min Level) *Logger {
+	return &Logger{w: w, min: min}
+}
+
+// Enabled reports whether records at level l would be emitted.
+func (lg *Logger) Enabled(l Level) bool {
+	if lg == nil || lg.w == nil {
+		return false
+	}
+	lg.mu.Lock()
+	defer lg.mu.Unlock()
+	return l >= lg.min
+}
+
+// log emits one timestamped record.
+func (lg *Logger) log(l Level, format string, args ...any) {
+	if lg == nil || lg.w == nil {
+		return
+	}
+	lg.mu.Lock()
+	defer lg.mu.Unlock()
+	if l < lg.min {
+		return
+	}
+	fmt.Fprintf(lg.w, "%s %-5s %s\n",
+		time.Now().Format("15:04:05.000"), l, fmt.Sprintf(format, args...))
+}
+
+// Debugf logs at LevelDebug.
+func (lg *Logger) Debugf(format string, args ...any) { lg.log(LevelDebug, format, args...) }
+
+// Infof logs at LevelInfo.
+func (lg *Logger) Infof(format string, args ...any) { lg.log(LevelInfo, format, args...) }
+
+// Warnf logs at LevelWarn.
+func (lg *Logger) Warnf(format string, args ...any) { lg.log(LevelWarn, format, args...) }
+
+// Errorf logs at LevelError.
+func (lg *Logger) Errorf(format string, args ...any) { lg.log(LevelError, format, args...) }

@@ -1,0 +1,219 @@
+package telemetry
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer collects per-request traces with bounded in-memory
+// retention: the most recent Capacity finished traces are kept in a
+// ring, older ones are dropped. A nil *Tracer never samples, so
+// instrumented code pays one branch when tracing is off.
+type Tracer struct {
+	nextID atomic.Uint64
+
+	mu       sync.Mutex
+	capacity int
+	ring     []*TraceSnapshot // most recent finished traces, oldest first
+	total    uint64           // finished traces ever retired
+}
+
+// DefaultTraceRetention bounds the finished-trace ring when
+// NewTracer is given a non-positive capacity.
+const DefaultTraceRetention = 256
+
+// NewTracer builds a tracer retaining up to capacity finished traces.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceRetention
+	}
+	return &Tracer{capacity: capacity}
+}
+
+// Start opens a new trace. On a nil tracer it returns nil, which
+// every Trace method accepts as a no-op.
+func (t *Tracer) Start(name string) *Trace {
+	if t == nil {
+		return nil
+	}
+	return &Trace{
+		tracer: t,
+		id:     t.nextID.Add(1),
+		name:   name,
+		start:  time.Now(),
+	}
+}
+
+// retire moves a finished trace into the retention ring.
+func (t *Tracer) retire(snap *TraceSnapshot) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.total++
+	if len(t.ring) == t.capacity {
+		copy(t.ring, t.ring[1:])
+		t.ring[len(t.ring)-1] = snap
+		return
+	}
+	t.ring = append(t.ring, snap)
+}
+
+// Dump returns the retained finished traces, oldest first.
+func (t *Tracer) Dump() []TraceSnapshot {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TraceSnapshot, len(t.ring))
+	for i, s := range t.ring {
+		out[i] = *s
+	}
+	return out
+}
+
+// Finished returns how many traces have been retired in total
+// (including ones the ring has since dropped).
+func (t *Tracer) Finished() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Span is one completed stage of a trace.
+type Span struct {
+	Name  string    `json:"name"`
+	Start time.Time `json:"start"`
+	End   time.Time `json:"end"`
+}
+
+// TraceSnapshot is the immutable dump form of a finished trace.
+type TraceSnapshot struct {
+	ID       uint64    `json:"id"`
+	Name     string    `json:"name"`
+	Start    time.Time `json:"start"`
+	End      time.Time `json:"end"`
+	Terminal string    `json:"terminal"`
+	Spans    []Span    `json:"spans"`
+}
+
+// Trace is one in-flight request's span collection. Methods are safe
+// for concurrent use — a request's spans are recorded by whichever
+// goroutine owns the request at each stage (submitter, scheduler,
+// worker) — and all methods are no-ops on a nil receiver.
+//
+// A trace ends with exactly one terminal event: Terminal uses an
+// atomic claim, so when several parties race to settle a request
+// (dispatch vs cancellation vs shedding), only the winner's status
+// sticks — mirroring the CAS settle states of the serving plane.
+type Trace struct {
+	tracer *Tracer
+	id     uint64
+	name   string
+	start  time.Time
+
+	terminalSet atomic.Bool
+	finished    atomic.Bool
+
+	mu       sync.Mutex
+	spans    []Span
+	terminal string
+	end      time.Time
+}
+
+// ID returns the trace's tracer-unique id (0 for a nil trace).
+func (tr *Trace) ID() uint64 {
+	if tr == nil {
+		return 0
+	}
+	return tr.id
+}
+
+// Start returns when the trace was opened.
+func (tr *Trace) Start() time.Time {
+	if tr == nil {
+		return time.Time{}
+	}
+	return tr.start
+}
+
+// Span records one completed stage [start, end).
+func (tr *Trace) Span(name string, start, end time.Time) {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	tr.spans = append(tr.spans, Span{Name: name, Start: start, End: end})
+	tr.mu.Unlock()
+}
+
+// Terminal records the trace's terminal status exactly once,
+// reporting whether this call won the claim. Later calls — the losers
+// of a settle race — change nothing.
+func (tr *Trace) Terminal(status string, at time.Time) bool {
+	if tr == nil {
+		return false
+	}
+	if !tr.terminalSet.CompareAndSwap(false, true) {
+		return false
+	}
+	tr.mu.Lock()
+	tr.terminal = status
+	tr.end = at
+	tr.mu.Unlock()
+	return true
+}
+
+// TerminalStatus returns the terminal status recorded so far ("" when
+// none).
+func (tr *Trace) TerminalStatus() string {
+	if tr == nil {
+		return ""
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return tr.terminal
+}
+
+// Finish retires the trace into its tracer's retention ring. Safe to
+// call once per trace; later calls are no-ops. A trace finished
+// without a terminal status records "unfinished".
+func (tr *Trace) Finish() {
+	if tr == nil || !tr.finished.CompareAndSwap(false, true) {
+		return
+	}
+	tr.Terminal("unfinished", time.Now())
+	tr.mu.Lock()
+	snap := &TraceSnapshot{
+		ID:       tr.id,
+		Name:     tr.name,
+		Start:    tr.start,
+		End:      tr.end,
+		Terminal: tr.terminal,
+		Spans:    append([]Span(nil), tr.spans...),
+	}
+	tr.mu.Unlock()
+	tr.tracer.retire(snap)
+}
+
+// traceKey carries a *Trace on a context.
+type traceKey struct{}
+
+// WithTrace returns a context carrying the trace; requests submitted
+// with it are traced through every serving stage.
+func WithTrace(ctx context.Context, tr *Trace) context.Context {
+	if tr == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, tr)
+}
+
+// TraceFrom returns the trace carried by ctx, or nil.
+func TraceFrom(ctx context.Context) *Trace {
+	tr, _ := ctx.Value(traceKey{}).(*Trace)
+	return tr
+}

@@ -1,0 +1,167 @@
+package telemetry
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceSpanRecordingAndDump(t *testing.T) {
+	tc := NewTracer(4)
+	tr := tc.Start("req")
+	t0 := tr.Start()
+	t1 := t0.Add(time.Millisecond)
+	t2 := t1.Add(time.Millisecond)
+	tr.Span("queue", t0, t1)
+	tr.Span("compute", t1, t2)
+	if !tr.Terminal("completed", t2) {
+		t.Fatal("first terminal claim must win")
+	}
+	tr.Finish()
+
+	dump := tc.Dump()
+	if len(dump) != 1 {
+		t.Fatalf("dump = %d traces, want 1", len(dump))
+	}
+	got := dump[0]
+	if got.Terminal != "completed" || len(got.Spans) != 2 {
+		t.Fatalf("trace = %+v", got)
+	}
+	if got.Spans[0].End != got.Spans[1].Start {
+		t.Fatal("spans must tile")
+	}
+	if !got.End.Equal(t2) {
+		t.Fatalf("end = %v, want %v", got.End, t2)
+	}
+}
+
+// TestTerminalExactlyOnce races many claimants for one trace's
+// terminal status: exactly one must win, mirroring the serving
+// plane's CAS settle arbitration.
+func TestTerminalExactlyOnce(t *testing.T) {
+	tc := NewTracer(4)
+	tr := tc.Start("contended")
+	var wins sync.Map
+	var wg sync.WaitGroup
+	for _, status := range []string{"completed", "cancelled", "shed", "expired"} {
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func(status string) {
+				defer wg.Done()
+				if tr.Terminal(status, time.Now()) {
+					wins.Store(status, true)
+				}
+			}(status)
+		}
+	}
+	wg.Wait()
+	n := 0
+	wins.Range(func(_, _ any) bool { n++; return true })
+	if n != 1 {
+		t.Fatalf("%d statuses won the terminal claim, want exactly 1", n)
+	}
+	if tr.TerminalStatus() == "" {
+		t.Fatal("no terminal status recorded")
+	}
+}
+
+func TestTracerRetentionBound(t *testing.T) {
+	tc := NewTracer(3)
+	for i := 0; i < 10; i++ {
+		tr := tc.Start("r")
+		tr.Terminal("completed", time.Now())
+		tr.Finish()
+	}
+	dump := tc.Dump()
+	if len(dump) != 3 {
+		t.Fatalf("retained %d traces, want capacity 3", len(dump))
+	}
+	// Oldest dropped: the survivors are the three most recent ids.
+	if dump[0].ID != 8 || dump[2].ID != 10 {
+		t.Fatalf("ring ids = %d..%d, want 8..10", dump[0].ID, dump[2].ID)
+	}
+	if tc.Finished() != 10 {
+		t.Fatalf("finished = %d, want 10", tc.Finished())
+	}
+}
+
+func TestFinishWithoutTerminalMarksUnfinished(t *testing.T) {
+	tc := NewTracer(2)
+	tr := tc.Start("lost")
+	tr.Finish()
+	tr.Finish() // idempotent
+	dump := tc.Dump()
+	if len(dump) != 1 || dump[0].Terminal != "unfinished" {
+		t.Fatalf("dump = %+v", dump)
+	}
+}
+
+func TestNilTracerAndTrace(t *testing.T) {
+	var tc *Tracer
+	tr := tc.Start("x")
+	if tr != nil {
+		t.Fatal("nil tracer must return a nil trace")
+	}
+	tr.Span("s", time.Now(), time.Now())
+	if tr.Terminal("completed", time.Now()) {
+		t.Fatal("nil trace must not claim a terminal")
+	}
+	tr.Finish()
+	if tc.Dump() != nil || tc.Finished() != 0 {
+		t.Fatal("nil tracer must dump nothing")
+	}
+}
+
+func TestContextCarriage(t *testing.T) {
+	ctx := context.Background()
+	if TraceFrom(ctx) != nil {
+		t.Fatal("empty context must carry no trace")
+	}
+	if got := WithTrace(ctx, nil); got != ctx {
+		t.Fatal("attaching a nil trace must be a no-op")
+	}
+	tc := NewTracer(1)
+	tr := tc.Start("ctx")
+	if got := TraceFrom(WithTrace(ctx, tr)); got != tr {
+		t.Fatal("trace did not round-trip through the context")
+	}
+}
+
+func TestLoggerLevels(t *testing.T) {
+	var sb strings.Builder
+	lg := NewLogger(&sb, LevelInfo)
+	lg.Debugf("hidden %d", 1)
+	lg.Infof("shown %d", 2)
+	lg.Warnf("warned")
+	lg.Errorf("errored")
+	out := sb.String()
+	if strings.Contains(out, "hidden") {
+		t.Fatalf("debug leaked through an info logger:\n%s", out)
+	}
+	for _, want := range []string{"INFO", "shown 2", "WARN", "warned", "ERROR", "errored"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	if !lg.Enabled(LevelError) || lg.Enabled(LevelDebug) {
+		t.Fatal("Enabled thresholds wrong")
+	}
+}
+
+func TestLoggerNilIsSilent(t *testing.T) {
+	var lg *Logger
+	lg.Infof("into the void")
+	lg.Errorf("still nothing")
+	if lg.Enabled(LevelError) {
+		t.Fatal("nil logger must report disabled")
+	}
+	zero := &Logger{}
+	zero.Errorf("no writer")
+	off := NewLogger(&strings.Builder{}, LevelOff)
+	off.Errorf("silenced")
+	if off.Enabled(LevelError) {
+		t.Fatal("LevelOff must silence everything")
+	}
+}
