@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet staticcheck test race bench bench-smoke bench-json obs-smoke verify
+.PHONY: build vet staticcheck test race bench bench-smoke bench-json obs-smoke fleet-smoke verify
 
 build:
 	$(GO) build ./...
@@ -50,9 +50,17 @@ bench-json:
 obs-smoke:
 	$(GO) test -run TestObsSmoke -count=1 ./cmd/safecross-rsu/
 
+# fleet-smoke boots a three-node fleet (8 intersections, coordinator,
+# per-intersection retry vehicles), crashes one node mid-run, and
+# asserts every intersection keeps receiving advisories (zero
+# unserved) with exactly one failover — scraping fleet_failovers_total
+# and fleet_nodes_live off the debug listener while degraded.
+fleet-smoke:
+	$(GO) test -run TestFleetSmoke -count=1 ./cmd/safecross-fleet/
+
 # verify is the extended gate: everything must compile, lint clean, and
 # pass the full suite under the race detector (the serving and RSU
 # planes are concurrent by design; -race covers the sharded telemetry
 # counters too), plus a single-iteration pass over the serving
-# benchmarks and the observability smoke test.
-verify: build vet staticcheck race bench-smoke obs-smoke
+# benchmarks and the observability and fleet-failover smoke tests.
+verify: build vet staticcheck race bench-smoke obs-smoke fleet-smoke

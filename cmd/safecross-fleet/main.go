@@ -1,0 +1,393 @@
+// Command safecross-fleet runs a multi-node SafeCross deployment on
+// one machine: a fleet coordinator, N RSU nodes (each an rsu.Server
+// over its own serving plane), and one retry vehicle client per
+// intersection. Intersections are sharded over the nodes with
+// rendezvous hashing; heartbeat failure detection moves shards when a
+// node dies; vehicle clients follow redirects to wherever their
+// intersection is served.
+//
+// Usage:
+//
+//	safecross-fleet -nodes 3 -intersections 8 -run 3s -kill-after 1s
+//
+// With -kill-after the node owning intersection 1 is crashed
+// mid-run (agent, RSU listener, and serving plane all torn down, no
+// drain) — the fleet must fail over and every intersection must keep
+// receiving advisories. The summary reports per-intersection
+// delivery before and after the kill.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"safecross/internal/dataset"
+	"safecross/internal/experiments"
+	"safecross/internal/fleet"
+	"safecross/internal/rsu"
+	"safecross/internal/safecross"
+	"safecross/internal/serve"
+	"safecross/internal/sim"
+	"safecross/internal/telemetry"
+	"safecross/internal/tensor"
+	"safecross/internal/weather"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "safecross-fleet:", err)
+		os.Exit(1)
+	}
+}
+
+// node is one fleet member: its own serving plane, RSU listener, and
+// fleet agent. Crashing a node means tearing all three down at once.
+type node struct {
+	id    string
+	plane *serve.Server
+	srv   *rsu.Server
+	agent *fleet.Agent
+	sheds atomic.Int64
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("safecross-fleet", flag.ContinueOnError)
+	var (
+		nodes         = fs.Int("nodes", 3, "RSU nodes in the fleet")
+		intersections = fs.Int("intersections", 8, "intersections sharded across the fleet (ids 1..N)")
+		runFor        = fs.Duration("run", 3*time.Second, "serving time before shutdown")
+		killAfter     = fs.Duration("kill-after", 0, "crash the node owning intersection 1 this long into the run (0 = no fault injection)")
+		heartbeat     = fs.Duration("heartbeat", 250*time.Millisecond, "fleet heartbeat interval (suspect at 3×, dead at 6×); keep dead-time well above scheduling jitter on loaded hosts")
+		frameEvery    = fs.Duration("frame-every", 25*time.Millisecond, "camera frame cadence per intersection")
+		perScene      = fs.Int("scene-frames", 60, "frames per weather scene in each feed")
+		gpus          = fs.Int("gpus", 1, "simulated GPUs per node's serving plane")
+		maxBatch      = fs.Int("max-batch", 8, "dynamic batcher's maximum clips per forward pass")
+		traceSample   = fs.Int("trace-sample", 8, "per-intersection frame-trace sampling rate (every Nth frame; 0 disables)")
+		verbose       = fs.Bool("v", false, "log training progress, fleet membership, and runtime events")
+		debugAddr     = fs.String("debug-addr", "", "optional debug HTTP listener (Prometheus /metrics, /metrics.json, /traces, expvar, pprof)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *nodes < 1 {
+		return fmt.Errorf("need at least one node")
+	}
+	if *intersections < 1 {
+		return fmt.Errorf("need at least one intersection")
+	}
+	if *traceSample < 0 {
+		return fmt.Errorf("trace-sample must be ≥ 0, got %d", *traceSample)
+	}
+	if *killAfter > 0 && *nodes < 2 {
+		return fmt.Errorf("-kill-after needs at least two nodes to fail over between")
+	}
+	if *killAfter >= *runFor {
+		*killAfter = 0
+	}
+
+	// One registry, tracer, and logger for the whole fleet: node series
+	// carry node labels, so a single debug listener shows every member.
+	reg := telemetry.NewRegistry()
+	tracer := telemetry.NewTracer(telemetry.DefaultTraceRetention)
+	logLevel := telemetry.LevelWarn
+	if *verbose {
+		logLevel = telemetry.LevelDebug
+	}
+	logger := telemetry.NewLogger(w, logLevel)
+	if *debugAddr != "" {
+		dbg, err := telemetry.ListenDebug(*debugAddr, reg, tracer)
+		if err != nil {
+			return err
+		}
+		defer dbg.Close()
+		fmt.Fprintf(w, "debug endpoints on http://%s/metrics\n", dbg.Addr())
+	}
+
+	cfg := experiments.Quick()
+	if *verbose {
+		cfg.Log = w
+	}
+	fmt.Fprintln(w, "training scene models (quick profile)...")
+	tm, err := experiments.TrainSceneModels(cfg)
+	if err != nil {
+		return err
+	}
+	det, err := weather.FitFromSim(20, 12345)
+	if err != nil {
+		return err
+	}
+
+	keys := make([]int, *intersections)
+	for i := range keys {
+		keys[i] = i + 1 // 1-based: intersection 0 means "all" on the wire
+	}
+	timings := fleet.Timings{HeartbeatEvery: *heartbeat}
+	coord, err := fleet.NewCoordinator("127.0.0.1:0", fleet.Config{
+		Intersections: keys,
+		Timings:       timings,
+		Metrics:       reg,
+		Logger:        logger,
+	})
+	if err != nil {
+		return err
+	}
+	defer coord.Close()
+	fmt.Fprintf(w, "fleet coordinator on %s\n", coord.Addr())
+
+	scenes := sim.AllWeathers()
+	var frames atomic.Int64
+	members := make([]*node, *nodes)
+	byID := make(map[string]*node, *nodes)
+	for i := range members {
+		n := &node{id: fmt.Sprintf("node-%d", i)}
+		n.plane, err = serve.New(serve.Config{
+			Workers:  *gpus,
+			MaxBatch: *maxBatch,
+			Metrics:  reg,
+		}, serve.Replicas(tm.Builder, tm.Models))
+		if err != nil {
+			return err
+		}
+		n.srv, err = rsu.Listen("127.0.0.1:0", rsu.WithMetrics(reg), rsu.WithLogger(logger))
+		if err != nil {
+			return err
+		}
+		// Backpressure is fail-safe, as in the single-node RSU: shed
+		// clips report danger, never a silent pass.
+		classify := func(ctx context.Context, scene sim.Weather, clip *tensor.Tensor, critical bool) (int, error) {
+			req := serve.Request{Scene: scene, Clip: clip}
+			if critical {
+				req.Priority = serve.Critical
+			}
+			v, err := n.plane.Submit(ctx, req)
+			switch {
+			case err == nil:
+				return v.Label, nil
+			case errors.Is(err, serve.ErrQueueFull),
+				errors.Is(err, serve.ErrDeadlineExceeded),
+				errors.Is(err, context.DeadlineExceeded):
+				n.sheds.Add(1)
+				return dataset.ClassDanger, nil
+			default:
+				return 0, err
+			}
+		}
+		runner := func(ctx context.Context, intersection int) {
+			fw, err := safecross.NewServed(safecross.Config{ClipLen: cfg.ClipLen, Metrics: reg}, classify, det)
+			if err != nil {
+				logger.Warnf("%s: framework for intersection %d: %v", n.id, intersection, err)
+				return
+			}
+			serveIntersection(ctx, n, fw, intersection, scenes, *perScene, *frameEvery, *traceSample, tracer, logger, &frames)
+		}
+		n.agent, err = fleet.NewAgent(fleet.AgentConfig{
+			ID:          n.id,
+			Coordinator: coord.Addr(),
+			Advertise:   n.srv.Addr(),
+			Timings:     timings,
+			Metrics:     reg,
+			Logger:      logger,
+		}, n.srv, runner)
+		if err != nil {
+			return err
+		}
+		members[i] = n
+		byID[n.id] = n
+		fmt.Fprintf(w, "node %s serving on %s\n", n.id, n.srv.Addr())
+	}
+	// The injected crash closes its victim explicitly; every other
+	// member — including any the coordinator wrongly suspects — is
+	// closed here (all three closers are idempotent).
+	var victim *node
+	defer func() {
+		for _, n := range members {
+			if n == victim {
+				continue
+			}
+			n.agent.Close()
+			n.srv.Close()
+			n.plane.Close()
+		}
+	}()
+
+	// Wait for the first assignment wave: every intersection owned by
+	// some node before vehicles subscribe.
+	if err := waitCoverage(coord, keys, 10*time.Second); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "all %d intersections assigned across %d nodes\n", len(keys), *nodes)
+
+	// One retry vehicle per intersection, seeded with every node — any
+	// member can redirect it to the owner, and reconnect-with-backoff
+	// rides out failovers.
+	seeds := make([]string, len(members))
+	for i, n := range members {
+		seeds[i] = n.srv.Addr()
+	}
+	var killed atomic.Bool
+	total := make([]atomic.Int64, len(keys))
+	afterKill := make([]atomic.Int64, len(keys))
+	var watchers sync.WaitGroup
+	clients := make([]*rsu.Client, len(keys))
+	for i, k := range keys {
+		cli, err := rsu.DialRetry(rsu.RetryConfig{
+			Seeds:        seeds,
+			Vehicle:      fmt.Sprintf("veh-%d", k),
+			Intersection: k,
+			BackoffBase:  *heartbeat / 4,
+			Logger:       logger,
+		})
+		if err != nil {
+			return fmt.Errorf("vehicle for intersection %d: %w", k, err)
+		}
+		clients[i] = cli
+		watchers.Add(1)
+		go func(i int, cli *rsu.Client) {
+			defer watchers.Done()
+			for msg := range cli.Messages() {
+				if msg.Type != rsu.TypeAdvisory {
+					continue
+				}
+				total[i].Add(1)
+				if killed.Load() {
+					afterKill[i].Add(1)
+				}
+			}
+		}(i, cli)
+	}
+
+	// The run: serve, optionally crash a node partway, keep serving.
+	remaining := *runFor
+	if *killAfter > 0 {
+		time.Sleep(*killAfter)
+		remaining -= *killAfter
+		victimID := coord.Assignments()[keys[0]]
+		victim = byID[victimID]
+		if victim == nil {
+			return fmt.Errorf("intersection %d owned by unknown node %q", keys[0], victimID)
+		}
+		fmt.Fprintf(w, "killing %s (owner of intersection %d)\n", victim.id, keys[0])
+		killed.Store(true)
+		victim.agent.Close()
+		victim.srv.Close()
+		victim.plane.Close()
+	}
+	time.Sleep(remaining)
+
+	// Shutdown: vehicles first (their channels only close on Close),
+	// then the members and coordinator via the deferred closers.
+	for _, cli := range clients {
+		cli.Close()
+	}
+	watchers.Wait()
+
+	// Summary. The unserved counts are the acceptance criterion: a
+	// fleet that lost intersections to the kill failed its job.
+	failovers := reg.Counter("fleet_failovers_total", "").Value()
+	unserved, unservedAfter := 0, 0
+	var reconnects, redirects int64
+	for i, k := range keys {
+		tot, post := total[i].Load(), afterKill[i].Load()
+		if tot == 0 {
+			unserved++
+		}
+		if killed.Load() && post == 0 {
+			unservedAfter++
+		}
+		reconnects += clients[i].Reconnects()
+		redirects += clients[i].Redirects()
+		fmt.Fprintf(w, "intersection %d: advisories=%d after-kill=%d\n", k, tot, post)
+	}
+	var names []string
+	for id, s := range coord.States() {
+		if s != fleet.Dead {
+			names = append(names, id)
+		}
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "fleet: nodes=%d live=%d %v failovers=%d frames=%d vehicle-reconnects=%d vehicle-redirects=%d\n",
+		*nodes, len(names), names, failovers, frames.Load(), reconnects, redirects)
+	fmt.Fprintf(w, "unserved intersections: %d (after kill: %d)\n", unserved, unservedAfter)
+	if unserved > 0 || unservedAfter > 0 {
+		return fmt.Errorf("%d intersections unserved (%d after kill)", unserved, unservedAfter)
+	}
+	return nil
+}
+
+// serveIntersection runs one shard's camera feed until ctx is
+// cancelled: step the world, classify through the node's serving
+// plane, broadcast the advisory, cycling weather scenes every
+// perScene frames.
+func serveIntersection(ctx context.Context, n *node, fw *safecross.Framework, intersection int, scenes []sim.Weather, perScene int, frameEvery time.Duration, traceSample int, tracer *telemetry.Tracer, logger *telemetry.Logger, frames *atomic.Int64) {
+	tick := time.NewTicker(frameEvery)
+	defer tick.Stop()
+	frame := 0
+	sceneIdx := intersection
+	var world *sim.World
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		if world == nil || (perScene > 0 && frame%perScene == 0) {
+			world = sim.NewWorld(sim.Config{
+				Weather:       scenes[sceneIdx%len(scenes)],
+				TruckPresent:  true,
+				TurnerEnabled: true,
+				TurnerRespawn: true,
+				Seed:          int64(1000 + 100*intersection + sceneIdx),
+			})
+			sceneIdx++
+		}
+		world.Step()
+		frame++
+		fctx := ctx
+		var tr *telemetry.Trace
+		if traceSample > 0 && frame%traceSample == 0 {
+			tr = tracer.Start(fmt.Sprintf("frame/intersection-%d/%d", intersection, frame))
+			fctx = telemetry.WithTrace(ctx, tr)
+		}
+		d, err := fw.ProcessFrameContext(fctx, world.Render())
+		if err != nil {
+			tr.Finish()
+			if ctx.Err() == nil {
+				logger.Warnf("%s: intersection %d frame %d: %v", n.id, intersection, frame, err)
+			}
+			return
+		}
+		frames.Add(1)
+		bStart := time.Now()
+		n.srv.Broadcast(rsu.IntersectionAdvisory(intersection, frame, d))
+		tr.Span("broadcast", bStart, time.Now())
+		tr.Finish()
+	}
+}
+
+// waitCoverage blocks until every intersection has an owner.
+func waitCoverage(coord *fleet.Coordinator, keys []int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		owners := coord.Assignments()
+		covered := true
+		for _, k := range keys {
+			if owners[k] == "" {
+				covered = false
+				break
+			}
+		}
+		if covered {
+			return nil
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return fmt.Errorf("intersections not fully assigned within %v", timeout)
+}

@@ -36,13 +36,6 @@ import (
 	"safecross/internal/weather"
 )
 
-// traceSampleEvery is the per-intersection frame-trace sampling rate:
-// every Nth frame rides a full trace (queue → batch-wait → switch →
-// compute → deliver → broadcast) into the tracer's retention ring, so
-// /traces always holds recent end-to-end latency breakdowns without
-// per-frame overhead.
-const traceSampleEvery = 8
-
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "safecross-rsu:", err)
@@ -63,12 +56,16 @@ func run(args []string, w io.Writer) error {
 		demo          = fs.Bool("demo", false, "attach an in-process vehicle client and print advisories")
 		verbose       = fs.Bool("v", false, "log training progress and runtime events")
 		debugAddr     = fs.String("debug-addr", "", "optional debug HTTP listener (Prometheus /metrics, /metrics.json, /traces, expvar, pprof)")
+		traceSample   = fs.Int("trace-sample", 8, "per-intersection frame-trace sampling rate: every Nth frame rides a full trace (queue → batch-wait → switch → compute → deliver → broadcast) into the /traces retention ring; 0 disables tracing")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *intersections < 1 {
 		return fmt.Errorf("need at least one intersection")
+	}
+	if *traceSample < 0 {
+		return fmt.Errorf("trace-sample must be ≥ 0, got %d", *traceSample)
 	}
 
 	// One registry and tracer for the whole process: the serving plane,
@@ -214,7 +211,7 @@ func run(args []string, w io.Writer) error {
 					// Finish retires it into the dump ring.
 					ctx := context.Background()
 					var tr *telemetry.Trace
-					if frame%traceSampleEvery == 0 {
+					if *traceSample > 0 && frame%*traceSample == 0 {
 						tr = tracer.Start(fmt.Sprintf("frame/intersection-%d/%d", idx, frame))
 						ctx = telemetry.WithTrace(ctx, tr)
 					}

@@ -1,0 +1,478 @@
+package fleet
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"safecross/internal/rsu"
+	"safecross/internal/telemetry"
+)
+
+// Config sizes a Coordinator.
+type Config struct {
+	// Intersections are the shard keys the fleet must keep served.
+	Intersections []int
+	// Timings is the failure-detection clock.
+	Timings Timings
+	// PushTimeout bounds each assignment/ack write to a node (default
+	// 2s); a node that cannot be written to is left to the heartbeat
+	// detector.
+	PushTimeout time.Duration
+	// Metrics receives the fleet series (nil keeps a private
+	// registry).
+	Metrics *telemetry.Registry
+	// Logger records membership events (nil discards).
+	Logger *telemetry.Logger
+}
+
+// member is one node the coordinator has seen. Dead members are kept
+// as tombstones while their connection lives, so a late heartbeat
+// from a partitioned-but-alive node can be rejected with a redirect
+// instead of silently re-admitting a node whose shards moved.
+type member struct {
+	id    string
+	addr  string
+	state NodeState
+	last  time.Time
+
+	// conn/enc are written under Coordinator.mu; sendMu serialises
+	// actual writes (heartbeat acks from the connection handler race
+	// assignment pushes from the monitor).
+	conn   net.Conn
+	enc    *json.Encoder
+	sendMu sync.Mutex
+
+	live *telemetry.Gauge
+}
+
+// push is one outbound control message, built under the lock and sent
+// outside it.
+type push struct {
+	m   *member
+	msg rsu.Message
+}
+
+type coordMetrics struct {
+	heartbeats     *telemetry.Counter
+	lateHeartbeats *telemetry.Counter
+	failovers      *telemetry.Counter
+	reassignments  *telemetry.Counter
+	joins          *telemetry.Counter
+	drains         *telemetry.Counter
+	reassignLat    *telemetry.Histogram
+}
+
+// Coordinator owns the intersection→node assignment for one fleet.
+type Coordinator struct {
+	cfg     Config
+	ln      net.Listener
+	log     *telemetry.Logger
+	reg     *telemetry.Registry
+	metrics coordMetrics
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	mu      sync.Mutex
+	closed  bool
+	epoch   int64
+	members map[string]*member
+	owners  map[int]string // intersection → owning node id
+}
+
+// NewCoordinator starts a coordinator listening for node agents on
+// addr (e.g. "127.0.0.1:0").
+func NewCoordinator(addr string, cfg Config) (*Coordinator, error) {
+	if len(cfg.Intersections) == 0 {
+		return nil, fmt.Errorf("fleet: coordinator needs at least one intersection")
+	}
+	seen := make(map[int]bool, len(cfg.Intersections))
+	for _, i := range cfg.Intersections {
+		if i <= 0 {
+			return nil, fmt.Errorf("fleet: intersection ids must be positive, got %d", i)
+		}
+		if seen[i] {
+			return nil, fmt.Errorf("fleet: duplicate intersection id %d", i)
+		}
+		seen[i] = true
+	}
+	cfg.Timings = cfg.Timings.withDefaults()
+	if err := cfg.Timings.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.PushTimeout <= 0 {
+		cfg.PushTimeout = 2 * time.Second
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: listen: %w", err)
+	}
+	reg := nopIfNil(cfg.Metrics)
+	c := &Coordinator{
+		cfg:     cfg,
+		ln:      ln,
+		log:     cfg.Logger,
+		reg:     reg,
+		stop:    make(chan struct{}),
+		members: make(map[string]*member),
+		owners:  make(map[int]string),
+		metrics: coordMetrics{
+			heartbeats:     reg.Counter("fleet_heartbeats_total", "heartbeats received from node agents"),
+			lateHeartbeats: reg.Counter("fleet_late_heartbeats_total", "heartbeats rejected because the node was already declared dead"),
+			failovers:      reg.Counter("fleet_failovers_total", "nodes declared dead by heartbeat timeout"),
+			reassignments:  reg.Counter("fleet_reassignments_total", "assignment epochs pushed (joins, drains, failovers)"),
+			joins:          reg.Counter("fleet_joins_total", "nodes that registered with the coordinator"),
+			drains:         reg.Counter("fleet_drains_total", "nodes that left gracefully via drain"),
+			reassignLat:    reg.Histogram("fleet_reassign_seconds", "death detection to all assignments pushed", telemetry.UnitSeconds),
+		},
+	}
+	reg.GaugeFunc("fleet_nodes_live", "fleet nodes not declared dead", func() int64 {
+		return c.countState(func(s NodeState) bool { return s != Dead })
+	})
+	reg.GaugeFunc("fleet_nodes_suspect", "fleet nodes suspected (silent past suspect-after)", func() int64 {
+		return c.countState(func(s NodeState) bool { return s == Suspect })
+	})
+	c.wg.Add(2)
+	go c.acceptLoop()
+	go c.monitor()
+	return c, nil
+}
+
+// Addr returns the coordinator's control-plane address.
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+// Epoch returns the current assignment epoch.
+func (c *Coordinator) Epoch() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
+}
+
+// Assignments returns a copy of the current intersection→node-id map.
+func (c *Coordinator) Assignments() map[int]string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[int]string, len(c.owners))
+	for k, v := range c.owners {
+		out[k] = v
+	}
+	return out
+}
+
+// States returns every known node's liveness state (including dead
+// tombstones).
+func (c *Coordinator) States() map[string]NodeState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]NodeState, len(c.members))
+	for id, m := range c.members {
+		out[id] = m.state
+	}
+	return out
+}
+
+func (c *Coordinator) countState(pred func(NodeState) bool) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var n int64
+	for _, m := range c.members {
+		if pred(m.state) {
+			n++
+		}
+	}
+	return n
+}
+
+// acceptLoop accepts node-agent connections until the listener
+// closes.
+func (c *Coordinator) acceptLoop() {
+	defer c.wg.Done()
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return
+		}
+		c.wg.Add(1)
+		go c.handleNode(conn)
+	}
+}
+
+// handleNode speaks the control plane with one agent connection:
+// heartbeats in, acks/assigns/redirects out. The first heartbeat on a
+// connection registers (or re-binds) the node.
+func (c *Coordinator) handleNode(conn net.Conn) {
+	defer c.wg.Done()
+	defer func() { _ = conn.Close() }()
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	enc := json.NewEncoder(conn)
+	var m *member
+	defer func() {
+		if m != nil {
+			c.unbind(m, conn)
+		}
+	}()
+	for {
+		var msg rsu.Message
+		if err := dec.Decode(&msg); err != nil {
+			return
+		}
+		if msg.Type != rsu.TypeHeartbeat || msg.Validate() != nil {
+			c.log.Warnf("fleet: dropping control connection after bad message %q", msg.Type)
+			return
+		}
+		pushes, last := c.onHeartbeat(&m, conn, enc, msg)
+		for _, p := range pushes {
+			c.send(p.m, p.msg)
+		}
+		if last {
+			return
+		}
+	}
+}
+
+// onHeartbeat applies one heartbeat to the membership state and
+// returns the messages to send; last demands the connection be
+// dropped afterwards (a rejected dead node).
+func (c *Coordinator) onHeartbeat(pm **member, conn net.Conn, enc *json.Encoder, msg rsu.Message) (pushes []push, last bool) {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.metrics.heartbeats.Inc()
+	if c.closed {
+		return nil, true
+	}
+	ack := func(m *member) push {
+		return push{m: m, msg: rsu.HeartbeatMessage(m.id, "", c.epoch)}
+	}
+	m := *pm
+	if m == nil {
+		// First heartbeat on this connection: rebind, rejoin, or join.
+		if existing := c.members[msg.Node]; existing != nil && existing.state != Dead {
+			// The node redialed (network blip or restart) — adopt the
+			// new connection and resend the current assignment.
+			if existing.conn != nil && existing.conn != conn {
+				_ = existing.conn.Close()
+			}
+			existing.conn, existing.enc = conn, enc
+			if msg.Addr != "" {
+				existing.addr = msg.Addr
+			}
+			existing.last = now
+			if existing.state == Suspect {
+				existing.state = Live
+			}
+			*pm = existing
+			c.log.Infof("fleet: node %q re-bound its control connection", existing.id)
+			return []push{ack(existing), {m: existing, msg: c.assignMsgLocked(existing.id)}}, false
+		}
+		// A brand-new node, or a dead tombstone rejoining under its old
+		// id: either way it enters as a newcomer and the ring rebalances.
+		m = &member{
+			id:    msg.Node,
+			addr:  msg.Addr,
+			state: Live,
+			last:  now,
+			conn:  conn,
+			enc:   enc,
+			live:  c.reg.Gauge(fmt.Sprintf("fleet_node_live{node=%q}", msg.Node), "1 while the node is not declared dead"),
+		}
+		c.members[msg.Node] = m
+		m.live.Set(1)
+		*pm = m
+		c.metrics.joins.Inc()
+		c.log.Infof("fleet: node %q joined from %s (rsu at %s)", m.id, conn.RemoteAddr(), m.addr)
+		if msg.Draining {
+			// Joining already-draining makes no sense; treat as a
+			// plain join and let the next draining heartbeat leave.
+			return append(c.reassignLocked("join"), ack(m)), false
+		}
+		return append(c.reassignLocked("join"), ack(m)), false
+	}
+	if c.members[m.id] != m || (m.state == Dead && !msg.Draining) {
+		// This connection's node was declared dead (partition) or
+		// superseded by a newer connection. Reject: its shards belong
+		// to someone else now. The redirect points home so the agent
+		// rejoins as a newcomer.
+		c.metrics.lateHeartbeats.Inc()
+		c.log.Warnf("fleet: rejecting late heartbeat from %q (declared %v)", m.id, m.state)
+		return []push{{m: m, msg: rsu.RedirectMessage(0, c.Addr(), c.epoch)}}, true
+	}
+	if msg.Draining {
+		if m.state != Dead {
+			// Graceful leave: move the shards now, then hand the
+			// drainer a final empty assignment so it can redirect its
+			// subscribers and finish.
+			m.state = Dead
+			m.live.Set(0)
+			c.metrics.drains.Inc()
+			c.log.Infof("fleet: node %q draining; moving its shards", m.id)
+			pushes = c.reassignLocked("drain")
+			pushes = append(pushes, push{m: m, msg: c.assignMsgLocked(m.id)})
+			return append(pushes, ack(m)), false
+		}
+		return []push{ack(m)}, false
+	}
+	m.last = now
+	if m.state == Suspect {
+		c.log.Infof("fleet: node %q recovered from suspicion", m.id)
+		m.state = Live
+	}
+	return []push{ack(m)}, false
+}
+
+// assignMsgLocked builds the assignment push for one node from the
+// current owners map. Callers hold c.mu.
+func (c *Coordinator) assignMsgLocked(id string) rsu.Message {
+	var owned []int
+	table := make(map[int]string, len(c.owners))
+	for k, owner := range c.owners {
+		if owner == id {
+			owned = append(owned, k)
+		}
+		if mm := c.members[owner]; mm != nil {
+			table[k] = mm.addr
+		}
+	}
+	sort.Ints(owned)
+	return rsu.AssignMessage(c.epoch, owned, table)
+}
+
+// reassignLocked recomputes the rendezvous assignment over the
+// non-dead nodes, bumps the epoch, and returns the pushes for every
+// reachable node. Callers hold c.mu.
+func (c *Coordinator) reassignLocked(reason string) []push {
+	c.epoch++
+	var live []string
+	for id, m := range c.members {
+		if m.state != Dead {
+			live = append(live, id)
+		}
+	}
+	sort.Strings(live)
+	c.owners = Assignments(live, c.cfg.Intersections)
+	c.metrics.reassignments.Inc()
+	c.log.Infof("fleet: epoch %d (%s): %d intersections over %d nodes", c.epoch, reason, len(c.cfg.Intersections), len(live))
+	var pushes []push
+	for _, id := range live {
+		m := c.members[id]
+		if m.conn == nil {
+			continue // unreachable; it will get the state on re-bind
+		}
+		pushes = append(pushes, push{m: m, msg: c.assignMsgLocked(id)})
+	}
+	return pushes
+}
+
+// send writes one control message to a member with the push deadline.
+// Failures are logged and otherwise left to the heartbeat detector —
+// a node that cannot be written to will stop acking soon enough.
+func (c *Coordinator) send(m *member, msg rsu.Message) {
+	c.mu.Lock()
+	conn, enc := m.conn, m.enc
+	c.mu.Unlock()
+	if conn == nil {
+		return
+	}
+	m.sendMu.Lock()
+	defer m.sendMu.Unlock()
+	_ = conn.SetWriteDeadline(time.Now().Add(c.cfg.PushTimeout))
+	if err := enc.Encode(msg); err != nil {
+		c.log.Warnf("fleet: push %s to node %q failed: %v", msg.Type, m.id, err)
+		return
+	}
+	_ = conn.SetWriteDeadline(time.Time{})
+}
+
+// monitor escalates silent nodes: suspect past SuspectAfter, dead
+// past DeadAfter. Death moves shards immediately and counts a
+// failover; the reassignment latency histogram times detection to
+// last push.
+func (c *Coordinator) monitor() {
+	defer c.wg.Done()
+	interval := c.cfg.Timings.HeartbeatEvery / 2
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-tick.C:
+		}
+		start := time.Now()
+		c.mu.Lock()
+		var newlyDead int
+		for _, m := range c.members {
+			if m.state == Dead {
+				continue
+			}
+			age := start.Sub(m.last)
+			switch {
+			case age >= c.cfg.Timings.DeadAfter:
+				m.state = Dead
+				m.live.Set(0)
+				newlyDead++
+				c.log.Warnf("fleet: node %q declared dead after %v of silence", m.id, age)
+			case age >= c.cfg.Timings.SuspectAfter && m.state == Live:
+				m.state = Suspect
+				c.log.Warnf("fleet: node %q suspect after %v of silence", m.id, age)
+			}
+		}
+		var pushes []push
+		if newlyDead > 0 {
+			c.metrics.failovers.Add(int64(newlyDead))
+			pushes = c.reassignLocked("failover")
+		}
+		c.mu.Unlock()
+		for _, p := range pushes {
+			c.send(p.m, p.msg)
+		}
+		if newlyDead > 0 {
+			c.metrics.reassignLat.ObserveDuration(time.Since(start))
+		}
+	}
+}
+
+// unbind clears a member's connection when its handler exits; the
+// node keeps its shards until the heartbeat detector rules on it.
+func (c *Coordinator) unbind(m *member, conn net.Conn) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if m.conn == conn {
+		m.conn, m.enc = nil, nil
+	}
+}
+
+// Close stops the control plane: no more accepts, every node
+// connection is dropped, and the background goroutines exit. Agents
+// keep serving their last assignment (the data plane outlives its
+// coordinator).
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	conns := make([]net.Conn, 0, len(c.members))
+	for _, m := range c.members {
+		if m.conn != nil {
+			conns = append(conns, m.conn)
+		}
+	}
+	c.mu.Unlock()
+	close(c.stop)
+	err := c.ln.Close()
+	for _, conn := range conns {
+		_ = conn.Close()
+	}
+	c.wg.Wait()
+	return err
+}

@@ -1,0 +1,62 @@
+package fleet
+
+import (
+	"hash/fnv"
+	"strconv"
+)
+
+// Rendezvous (highest-random-weight) hashing assigns each
+// intersection to the node with the highest hash score for that
+// (node, intersection) pair. Two properties make it the right shape
+// for shard placement here: every node computes the same assignment
+// from the same membership list (no distributed agreement beyond the
+// live set), and when a node dies only ITS intersections move — the
+// survivors' scores for everything else are unchanged.
+
+// score is the HRW weight of placing key on node. Raw FNV-1a has
+// weak avalanche for short inputs — similar node ids would give
+// lopsided assignments — so the sum goes through a 64-bit
+// fmix-style finalizer before comparison.
+func score(node string, key int) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(node))
+	_, _ = h.Write([]byte{0xff})
+	_, _ = h.Write([]byte(strconv.Itoa(key)))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Owner returns the rendezvous owner of key among nodes. Ties break
+// toward the lexicographically smaller node id so the choice is
+// deterministic regardless of input order; ok is false when nodes is
+// empty.
+func Owner(nodes []string, key int) (owner string, ok bool) {
+	var best uint64
+	for _, n := range nodes {
+		s := score(n, key)
+		if !ok || s > best || (s == best && n < owner) {
+			owner, best, ok = n, s, true
+		}
+	}
+	return owner, ok
+}
+
+// Assignments maps every key to its rendezvous owner among nodes; an
+// empty node list yields an empty map (nothing is served, nothing is
+// silently defaulted).
+func Assignments(nodes []string, keys []int) map[int]string {
+	out := make(map[int]string, len(keys))
+	if len(nodes) == 0 {
+		return out
+	}
+	for _, k := range keys {
+		owner, _ := Owner(nodes, k)
+		out[k] = owner
+	}
+	return out
+}

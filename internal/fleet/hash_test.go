@@ -1,0 +1,74 @@
+package fleet
+
+import (
+	"testing"
+)
+
+func TestOwnerOrderIndependent(t *testing.T) {
+	orders := [][]string{
+		{"a", "b", "c"},
+		{"c", "a", "b"},
+		{"b", "c", "a"},
+	}
+	for key := 1; key <= 64; key++ {
+		want, ok := Owner(orders[0], key)
+		if !ok {
+			t.Fatalf("Owner(%v, %d) not ok", orders[0], key)
+		}
+		for _, nodes := range orders[1:] {
+			got, _ := Owner(nodes, key)
+			if got != want {
+				t.Fatalf("Owner for key %d depends on node order: %q vs %q", key, want, got)
+			}
+		}
+	}
+}
+
+func TestOwnerEmptyNodes(t *testing.T) {
+	if owner, ok := Owner(nil, 1); ok || owner != "" {
+		t.Fatalf("Owner(nil, 1) = %q, %v; want empty, false", owner, ok)
+	}
+	if got := Assignments(nil, []int{1, 2}); len(got) != 0 {
+		t.Fatalf("Assignments with no nodes = %v; want empty", got)
+	}
+}
+
+// TestAssignmentsMinimalMovement is the property rendezvous hashing
+// buys over mod-N: removing a node moves only that node's keys.
+func TestAssignmentsMinimalMovement(t *testing.T) {
+	keys := make([]int, 64)
+	for i := range keys {
+		keys[i] = i + 1
+	}
+	before := Assignments([]string{"a", "b", "c"}, keys)
+	after := Assignments([]string{"a", "b"}, keys)
+	for _, k := range keys {
+		if before[k] != "c" && after[k] != before[k] {
+			t.Fatalf("key %d moved %q→%q although its owner survived", k, before[k], after[k])
+		}
+		if before[k] == "c" && after[k] == "c" {
+			t.Fatalf("key %d still assigned to removed node", k)
+		}
+	}
+}
+
+// TestAssignmentsSpread is a loose balance sanity check: with 64 keys
+// over 3 nodes, nobody should be starved or hoarding.
+func TestAssignmentsSpread(t *testing.T) {
+	keys := make([]int, 64)
+	for i := range keys {
+		keys[i] = i + 1
+	}
+	counts := map[string]int{}
+	for _, owner := range Assignments([]string{"a", "b", "c"}, keys) {
+		counts[owner]++
+	}
+	for _, n := range []string{"a", "b", "c"} {
+		if counts[n] == 0 {
+			t.Fatalf("node %q owns nothing of 64 keys: %v", n, counts)
+		}
+		if counts[n] > 48 {
+			t.Fatalf("node %q hoards %d of 64 keys: %v", n, counts[n], counts)
+		}
+	}
+}

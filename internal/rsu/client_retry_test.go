@@ -1,0 +1,216 @@
+package rsu
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestDialWrapsNetError: connection failures must expose the
+// underlying net error through errors.As, so callers can distinguish
+// refused/timeout from protocol problems.
+func TestDialWrapsNetError(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // free the port: the dial below must be refused
+
+	_, err = DialTimeout(addr, "v1", time.Second)
+	if err == nil {
+		t.Fatal("expected a dial error")
+	}
+	var opErr *net.OpError
+	if !errors.As(err, &opErr) {
+		t.Fatalf("dial error %v does not wrap *net.OpError", err)
+	}
+}
+
+// TestDialRetryBackoffBounds: a client whose server keeps slamming
+// the door must back off between attempts — MaxAttempts failures with
+// base delay d take at least the sum of the jitter floors (d/2 + d +
+// 2d ...), never a tight reconnect loop.
+func TestDialRetryBackoffBounds(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			conn.Close() // accept-and-close: every handshake fails
+		}
+	}()
+
+	base := 40 * time.Millisecond
+	start := time.Now()
+	_, err = DialRetry(RetryConfig{
+		Seeds:       []string{ln.Addr().String()},
+		Vehicle:     "v-backoff",
+		BackoffBase: base,
+		MaxAttempts: 4,
+	})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("expected DialRetry to exhaust its attempts")
+	}
+	// 4 attempts ⇒ 3 sleeps of 40/80/160ms, each jittered into
+	// [d/2, d]: the floor is 20+40+80 = 140ms.
+	if min := 140 * time.Millisecond; elapsed < min {
+		t.Fatalf("4 failed attempts took %v; want ≥ %v (tight reconnect loop?)", elapsed, min)
+	}
+	// And the ceiling (40+80+160 = 280ms plus scheduling slack) guards
+	// against un-jittered runaway growth.
+	if max := 2 * time.Second; elapsed > max {
+		t.Fatalf("4 failed attempts took %v; want ≤ %v", elapsed, max)
+	}
+}
+
+// TestClientCloseRace hammers Close against a hot read loop and a
+// broadcasting server. Before the single-owner rework, Close and the
+// reader could both close the messages channel — a double-close
+// panic this test (especially under -race) would surface.
+func TestClientCloseRace(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			srv.Broadcast(Message{Type: TypeAdvisory, Frame: i})
+		}
+	}()
+
+	for i := 0; i < 20; i++ {
+		cli, err := DialRetry(RetryConfig{
+			Seeds:   []string{srv.Addr()},
+			Vehicle: "v-race",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		wg.Add(3)
+		go func() {
+			defer wg.Done()
+			for range cli.Messages() {
+			}
+		}()
+		// Two goroutines racing Close exercises idempotency too.
+		go func() { defer wg.Done(); _ = cli.Close() }()
+		go func() { defer wg.Done(); _ = cli.Close() }()
+		wg.Wait()
+	}
+}
+
+// TestClientFollowsRedirect: a retry client subscribing to an
+// intersection through the wrong node must be bounced to the owner
+// and end up streaming that intersection's advisories.
+func TestClientFollowsRedirect(t *testing.T) {
+	owner, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer owner.Close()
+	stranger, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stranger.Close()
+
+	const intersection = 5
+	table := map[int]string{intersection: owner.Addr()}
+	owner.SetRoutes(1, []int{intersection}, table)
+	stranger.SetRoutes(1, nil, table)
+
+	cli, err := DialRetry(RetryConfig{
+		Seeds:        []string{stranger.Addr()},
+		Vehicle:      "v-redirect",
+		Intersection: intersection,
+		BackoffBase:  5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("DialRetry via the wrong node: %v", err)
+	}
+	defer cli.Close()
+	if got := cli.Redirects(); got < 1 {
+		t.Fatalf("redirects = %d; want ≥ 1", got)
+	}
+	waitFor(t, func() bool { return owner.Subscribers() == 1 })
+
+	owner.Broadcast(Message{Type: TypeAdvisory, Intersection: intersection, Frame: 9, Safe: true})
+	deadline := time.After(2 * time.Second)
+	for {
+		select {
+		case msg, ok := <-cli.Messages():
+			if !ok {
+				t.Fatal("client channel closed before the advisory arrived")
+			}
+			if msg.Type == TypeAdvisory && msg.Intersection == intersection {
+				return
+			}
+		case <-deadline:
+			t.Fatal("no advisory after following the redirect")
+		}
+	}
+}
+
+// TestServerFiltersWatchedIntersection: a subscriber watching one
+// intersection must not receive advisories for others.
+func TestServerFiltersWatchedIntersection(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.SetRoutes(1, []int{1, 2}, map[int]string{1: srv.Addr(), 2: srv.Addr()})
+
+	cli, err := DialRetry(RetryConfig{
+		Seeds:        []string{srv.Addr()},
+		Vehicle:      "v-watch",
+		Intersection: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	waitFor(t, func() bool { return srv.Subscribers() == 1 })
+
+	srv.Broadcast(Message{Type: TypeAdvisory, Intersection: 2, Frame: 1})
+	srv.Broadcast(Message{Type: TypeAdvisory, Intersection: 1, Frame: 2})
+	deadline := time.After(2 * time.Second)
+	for {
+		select {
+		case msg, ok := <-cli.Messages():
+			if !ok {
+				t.Fatal("channel closed early")
+			}
+			if msg.Type != TypeAdvisory {
+				continue
+			}
+			if msg.Intersection == 2 {
+				t.Fatalf("received advisory for unwatched intersection: %+v", msg)
+			}
+			if msg.Intersection == 1 {
+				return // the watched one arrived, the other was filtered
+			}
+		case <-deadline:
+			t.Fatal("watched advisory never arrived")
+		}
+	}
+}

@@ -28,6 +28,23 @@ const (
 	TypeSwitch = "switch"
 	// TypeStats carries a periodic serving-plane health snapshot.
 	TypeStats = "stats"
+
+	// TypeHeartbeat is the fleet liveness ping: a node agent sends it
+	// to the coordinator on an interval, and the coordinator echoes it
+	// back as the acknowledgement (carrying the current assignment
+	// epoch), which is how agents measure heartbeat RTT.
+	TypeHeartbeat = "heartbeat"
+	// TypeAssign is the coordinator's authoritative shard push: the
+	// set of intersections the receiving node owns plus the full
+	// intersection→owner-address table (so any node can redirect a
+	// misdirected vehicle).
+	TypeAssign = "assign"
+	// TypeRedirect tells the receiver the resource it wants lives
+	// elsewhere: sent to a vehicle subscribing for an intersection the
+	// node does not own, to subscribed vehicles when a shard moves
+	// away, and to a node whose late heartbeat arrived after it was
+	// declared dead (Addr then points back at the coordinator: rejoin).
+	TypeRedirect = "redirect"
 )
 
 // Message is the single JSON envelope used on the wire.
@@ -63,6 +80,27 @@ type Message struct {
 	// P99Micros is the serving plane's p99 submit-to-verdict latency
 	// in microseconds (stats messages).
 	P99Micros int64 `json:"p99Micros,omitempty"`
+	// Node identifies an RSU node in the fleet control plane
+	// (heartbeat messages).
+	Node string `json:"node,omitempty"`
+	// Addr is an endpoint address: the node's advertised RSU address
+	// on a registering heartbeat, the new owner on a redirect, and the
+	// sender's own address on a welcome.
+	Addr string `json:"addr,omitempty"`
+	// Epoch is the assignment version the message reflects; receivers
+	// ignore assigns older than the epoch they already hold.
+	Epoch int64 `json:"epoch,omitempty"`
+	// Owned lists the intersections the receiving node owns (assign
+	// messages).
+	Owned []int `json:"owned,omitempty"`
+	// Table maps every intersection to its owner's RSU address
+	// (assign messages), so the receiver can redirect vehicles it does
+	// not serve.
+	Table map[int]string `json:"table,omitempty"`
+	// Draining marks a heartbeat as a graceful-leave announcement: the
+	// coordinator should move the node's shards now and expect it to
+	// disappear.
+	Draining bool `json:"draining,omitempty"`
 }
 
 // AdvisoryMessage builds the advisory message for a decision.
@@ -104,12 +142,50 @@ func SwitchMessage(scene string, rep pipeswitch.Report) Message {
 	}
 }
 
+// HeartbeatMessage builds a fleet liveness ping. Addr is the node's
+// advertised RSU address (required on the registering first heartbeat,
+// harmless later); the coordinator's echo carries the current epoch
+// instead.
+func HeartbeatMessage(node, addr string, epoch int64) Message {
+	return Message{Type: TypeHeartbeat, Node: node, Addr: addr, Epoch: epoch}
+}
+
+// AssignMessage builds the coordinator's shard push for one node.
+func AssignMessage(epoch int64, owned []int, table map[int]string) Message {
+	return Message{Type: TypeAssign, Epoch: epoch, Owned: owned, Table: table}
+}
+
+// RedirectMessage points the receiver at addr for the given
+// intersection (0 when the redirect is not intersection-scoped, e.g. a
+// dead node being sent back to the coordinator).
+func RedirectMessage(intersection int, addr string, epoch int64) Message {
+	return Message{Type: TypeRedirect, Intersection: intersection, Addr: addr, Epoch: epoch}
+}
+
 // Validate checks well-formedness of an inbound message.
 func (m Message) Validate() error {
 	switch m.Type {
 	case TypeSubscribe:
 		if m.Vehicle == "" {
 			return fmt.Errorf("rsu: subscribe without vehicle id")
+		}
+		if m.Intersection < 0 {
+			return fmt.Errorf("rsu: subscribe with negative intersection %d", m.Intersection)
+		}
+		return nil
+	case TypeHeartbeat:
+		if m.Node == "" {
+			return fmt.Errorf("rsu: heartbeat without node id")
+		}
+		return nil
+	case TypeAssign:
+		if m.Epoch < 1 {
+			return fmt.Errorf("rsu: assign with epoch %d, need >= 1", m.Epoch)
+		}
+		return nil
+	case TypeRedirect:
+		if m.Addr == "" {
+			return fmt.Errorf("rsu: redirect without target address")
 		}
 		return nil
 	case TypeWelcome, TypeAdvisory, TypeSwitch, TypeStats:

@@ -20,6 +20,14 @@ func TestMessageValidate(t *testing.T) {
 		{name: "subscribe-ok", msg: Message{Type: TypeSubscribe, Vehicle: "v1"}},
 		{name: "subscribe-missing-id", msg: Message{Type: TypeSubscribe}, wantErr: true},
 		{name: "advisory-ok", msg: Message{Type: TypeAdvisory}},
+		{name: "subscribe-negative-intersection", msg: Message{Type: TypeSubscribe, Vehicle: "v1", Intersection: -1}, wantErr: true},
+		{name: "heartbeat-ok", msg: HeartbeatMessage("node-a", "127.0.0.1:9", 3)},
+		{name: "heartbeat-missing-node", msg: Message{Type: TypeHeartbeat}, wantErr: true},
+		{name: "assign-ok", msg: AssignMessage(1, []int{1, 2}, map[int]string{1: "a:1", 2: "a:1"})},
+		{name: "assign-empty-owned-ok", msg: AssignMessage(4, nil, nil)},
+		{name: "assign-zero-epoch", msg: Message{Type: TypeAssign}, wantErr: true},
+		{name: "redirect-ok", msg: RedirectMessage(7, "127.0.0.1:9", 2)},
+		{name: "redirect-missing-addr", msg: Message{Type: TypeRedirect, Intersection: 7}, wantErr: true},
 		{name: "unknown", msg: Message{Type: "nope"}, wantErr: true},
 	}
 	for _, tt := range tests {

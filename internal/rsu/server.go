@@ -22,6 +22,14 @@ type Server struct {
 	clients map[*clientConn]struct{}
 	closed  bool
 
+	// Fleet routing view, pushed by a node agent via SetRoutes. When
+	// owned is nil the server is standalone and accepts every
+	// subscription; otherwise a subscribe for an intersection outside
+	// owned is answered with a redirect to the owner from table.
+	routeEpoch int64
+	owned      map[int]bool
+	table      map[int]string
+
 	log     *telemetry.Logger
 	metrics serverMetrics
 
@@ -38,6 +46,7 @@ type serverMetrics struct {
 	broadcasts *telemetry.Counter
 	enqueued   *telemetry.Counter
 	dropped    *telemetry.Counter
+	redirects  *telemetry.Counter
 	latency    *telemetry.Histogram
 }
 
@@ -57,6 +66,7 @@ func (o serverMetricsOption) apply(s *Server) {
 		broadcasts: o.reg.Counter("rsu_broadcasts_total", "broadcast calls"),
 		enqueued:   o.reg.Counter("rsu_enqueued_total", "messages placed on client queues"),
 		dropped:    o.reg.Counter("rsu_slow_subscriber_evictions_total", "slow subscribers disconnected for a full queue"),
+		redirects:  o.reg.Counter("rsu_redirects_total", "vehicles redirected to another node (wrong-node subscribes plus shard handoffs)"),
 		latency:    o.reg.Histogram("rsu_broadcast_seconds", "broadcast fan-out latency (enqueue to all subscribers)", telemetry.UnitSeconds),
 	}
 	o.reg.GaugeFunc("rsu_subscribers", "currently connected vehicles", func() int64 {
@@ -88,13 +98,27 @@ type Stats struct {
 	// Dropped is the number of slow clients disconnected for a full
 	// queue.
 	Dropped int
+	// Redirects is the number of vehicles pointed at another node
+	// (wrong-node subscribes plus shard handoffs).
+	Redirects int
 }
 
-// clientConn is one subscribed vehicle connection.
+// outMsg is one queued outbound message; last marks a targeted
+// redirect after which the connection is torn down (the writer flushes
+// it first, so the vehicle always learns where to go before the drop).
+type outMsg struct {
+	msg  Message
+	last bool
+}
+
+// clientConn is one subscribed vehicle connection. watch > 0 narrows
+// the advisory stream to one intersection (fleet vehicles subscribe
+// per intersection); 0 receives everything (legacy single-node mode).
 type clientConn struct {
 	vehicle string
+	watch   int
 	conn    net.Conn
-	out     chan Message
+	out     chan outMsg
 	stop    chan struct{}
 }
 
@@ -135,6 +159,42 @@ func (s *Server) Subscribers() int {
 	return len(s.clients)
 }
 
+// SetRoutes installs the fleet routing view: the intersections this
+// node owns and the full intersection→owner-address table, stamped
+// with the assignment epoch. Stale epochs (≤ the installed one) are
+// ignored, so out-of-order pushes cannot roll the view backwards. A
+// server with no routes set accepts every subscription.
+func (s *Server) SetRoutes(epoch int64, owned []int, table map[int]string) {
+	ownedSet := make(map[int]bool, len(owned))
+	for _, i := range owned {
+		ownedSet[i] = true
+	}
+	tableCopy := make(map[int]string, len(table))
+	for i, addr := range table {
+		tableCopy[i] = addr
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if epoch <= s.routeEpoch {
+		return
+	}
+	s.routeEpoch = epoch
+	s.owned = ownedSet
+	s.table = tableCopy
+}
+
+// routeFor resolves a subscribe for an intersection: ok means this
+// node serves it; otherwise addr is the owner to redirect to (empty
+// when no owner is known, e.g. no surviving nodes).
+func (s *Server) routeFor(intersection int) (addr string, epoch int64, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.owned == nil || intersection <= 0 || s.owned[intersection] {
+		return "", s.routeEpoch, true
+	}
+	return s.table[intersection], s.routeEpoch, false
+}
+
 // acceptLoop accepts connections until the listener closes.
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
@@ -159,10 +219,24 @@ func (s *Server) handle(conn net.Conn) {
 		_ = conn.Close()
 		return
 	}
+	enc := json.NewEncoder(conn)
+	if addr, epoch, ok := s.routeFor(sub.Intersection); !ok {
+		// Wrong node: point the vehicle at the owner and hang up. An
+		// unknown owner (no survivors hold the shard yet) still closes
+		// the connection — the client's retry loop keeps probing seeds.
+		s.metrics.redirects.Inc()
+		if addr != "" {
+			_ = enc.Encode(RedirectMessage(sub.Intersection, addr, epoch))
+		}
+		s.log.Infof("rsu: redirecting vehicle %q (intersection %d) to %q", sub.Vehicle, sub.Intersection, addr)
+		_ = conn.Close()
+		return
+	}
 	c := &clientConn{
 		vehicle: sub.Vehicle,
+		watch:   sub.Intersection,
 		conn:    conn,
-		out:     make(chan Message, clientQueueDepth),
+		out:     make(chan outMsg, clientQueueDepth),
 		stop:    make(chan struct{}),
 	}
 	s.mu.Lock()
@@ -176,15 +250,18 @@ func (s *Server) handle(conn net.Conn) {
 	s.mu.Unlock()
 	s.log.Infof("rsu: vehicle %q subscribed from %s", c.vehicle, conn.RemoteAddr())
 
-	enc := json.NewEncoder(conn)
-	if err := enc.Encode(Message{Type: TypeWelcome, Vehicle: c.vehicle}); err != nil {
+	if err := enc.Encode(Message{Type: TypeWelcome, Vehicle: c.vehicle, Intersection: c.watch, Addr: s.Addr()}); err != nil {
 		s.drop(c)
 		return
 	}
 	for {
 		select {
-		case msg := <-c.out:
-			if err := enc.Encode(msg); err != nil {
+		case m := <-c.out:
+			if err := enc.Encode(m.msg); err != nil {
+				s.drop(c)
+				return
+			}
+			if m.last {
 				s.drop(c)
 				return
 			}
@@ -216,8 +293,11 @@ func (s *Server) Broadcast(msg Message) {
 	s.metrics.broadcasts.Inc()
 	var overloaded []*clientConn
 	for c := range s.clients {
+		if c.watch > 0 && msg.Type == TypeAdvisory && msg.Intersection != c.watch {
+			continue // the vehicle asked for one intersection only
+		}
 		select {
-		case c.out <- msg:
+		case c.out <- outMsg{msg: msg}:
 			s.metrics.enqueued.Inc()
 		default:
 			s.metrics.dropped.Inc()
@@ -232,6 +312,40 @@ func (s *Server) Broadcast(msg Message) {
 	s.metrics.latency.ObserveDuration(time.Since(start))
 }
 
+// RedirectIntersection tells every vehicle watching the intersection
+// that its advisories now come from addr, then disconnects them so
+// their retry loop re-attaches to the new owner. Used on planned
+// shard handoff; vehicles on a crashed node learn the same thing from
+// the connection drop plus a redirect at their next wrong-node
+// subscribe.
+func (s *Server) RedirectIntersection(intersection int, addr string) {
+	if addr == "" || intersection <= 0 {
+		return
+	}
+	msg := RedirectMessage(intersection, addr, 0)
+	s.mu.Lock()
+	epoch := s.routeEpoch
+	msg.Epoch = epoch
+	var stale []*clientConn
+	for c := range s.clients {
+		if c.watch != intersection {
+			continue
+		}
+		s.metrics.redirects.Inc()
+		select {
+		case c.out <- outMsg{msg: msg, last: true}:
+		default:
+			// Queue full: the drop alone must move the vehicle; its
+			// reconnect will be redirected at subscribe time instead.
+			stale = append(stale, c)
+		}
+	}
+	s.mu.Unlock()
+	for _, c := range stale {
+		s.drop(c)
+	}
+}
+
 // Stats returns a snapshot of server activity counters. It is a
 // façade over the telemetry counters, which are the single source of
 // truth whether or not the server was wired to an external registry.
@@ -241,6 +355,7 @@ func (s *Server) Stats() Stats {
 		Broadcasts: int(s.metrics.broadcasts.Value()),
 		Enqueued:   int(s.metrics.enqueued.Value()),
 		Dropped:    int(s.metrics.dropped.Value()),
+		Redirects:  int(s.metrics.redirects.Value()),
 	}
 }
 

@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"safecross/internal/sim"
+	"safecross/internal/telemetry"
+)
+
+// TestDrainFlushesInFlight: Drain must stop admission immediately but
+// let already-submitted requests finish with real verdicts instead of
+// ErrClosed.
+func TestDrainFlushesInFlight(t *testing.T) {
+	s, err := New(Config{Workers: 1, MaxBatch: 2, QueueDepth: 16}, stubFactory(5*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const inFlight = 6
+	var wg sync.WaitGroup
+	errs := make([]error, inFlight)
+	for i := 0; i < inFlight; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = s.Submit(context.Background(), Request{Scene: sim.Day, Clip: testClip()})
+		}(i)
+	}
+	// Let the submissions land in the queue before draining.
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Stats().Submitted < inFlight && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("in-flight request %d lost to drain: %v", i, err)
+		}
+	}
+
+	// Admission is off after the drain...
+	if _, err := s.Submit(context.Background(), Request{Scene: sim.Day, Clip: testClip()}); err != ErrClosed {
+		t.Fatalf("Submit after Drain = %v; want ErrClosed", err)
+	}
+	// ...and a follow-up Close is a safe no-op.
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close after Drain: %v", err)
+	}
+	if got := s.Stats().Completed; got != inFlight {
+		t.Fatalf("completed = %d; want %d", got, inFlight)
+	}
+}
+
+// TestDrainHonoursContext: a drain that cannot finish in time returns
+// the context error rather than hanging.
+func TestDrainHonoursContext(t *testing.T) {
+	s, err := New(Config{Workers: 1, MaxBatch: 1, QueueDepth: 16}, stubFactory(50*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _ = s.Submit(context.Background(), Request{Scene: sim.Day, Clip: testClip()})
+		}()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Stats().Submitted < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	if err := s.Drain(ctx); err == nil {
+		t.Fatal("Drain with an instant deadline and a backlog returned nil")
+	}
+	wg.Wait()
+}
+
+// TestPerSceneSeries: every submitted scene gets its own labelled
+// request counter and queue-wait histogram in the registry.
+func TestPerSceneSeries(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s, err := New(Config{Workers: 1, Metrics: reg}, stubFactory(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	scenes := map[sim.Weather]int{sim.Day: 3, sim.Rain: 2}
+	for scene, n := range scenes {
+		for i := 0; i < n; i++ {
+			if _, err := s.Submit(context.Background(), Request{Scene: scene, Clip: testClip()}); err != nil {
+				t.Fatalf("submit %v: %v", scene, err)
+			}
+		}
+	}
+	for scene, n := range scenes {
+		name := fmt.Sprintf("serve_requests_total{scene=%q}", scene)
+		if got := reg.Counter(name, "").Value(); got != int64(n) {
+			t.Fatalf("%s = %d; want %d", name, got, n)
+		}
+		hist := fmt.Sprintf("serve_queue_wait_seconds{scene=%q}", scene)
+		if got := reg.Histogram(hist, "", telemetry.UnitSeconds).Count(); got != int64(n) {
+			t.Fatalf("%s count = %d; want %d", hist, got, n)
+		}
+	}
+	// A scene never submitted still has its series registered (at
+	// zero), so dashboards see a stable set of labels.
+	snowName := fmt.Sprintf("serve_requests_total{scene=%q}", sim.Snow)
+	if got := reg.Counter(snowName, "").Value(); got != 0 {
+		t.Fatalf("%s = %d; want 0", snowName, got)
+	}
+}

@@ -1,6 +1,9 @@
 package serve
 
 import (
+	"fmt"
+
+	"safecross/internal/sim"
 	"safecross/internal/telemetry"
 )
 
@@ -86,6 +89,36 @@ func newServeMetrics(reg *telemetry.Registry) serveMetrics {
 		critCompleted: reg.Counter(`serve_completed_by_class_total{class="critical"}`, "completed requests by effective class"),
 		routCompleted: reg.Counter(`serve_completed_by_class_total{class="routine"}`, "completed requests by effective class"),
 	}
+}
+
+// sceneSeries are one scene's labelled serving metrics: how much
+// traffic the scene submits and how long its requests wait for
+// admission. Per-scene series let an operator see that one
+// intersection's weather is saturating the plane while the aggregate
+// histograms still look healthy.
+type sceneSeries struct {
+	requests  *telemetry.Counter
+	queueWait *telemetry.Histogram
+}
+
+// newSceneSeries resolves the labelled per-scene series for every
+// scene the plane serves. Scenes are fixed at construction, so the
+// hot path indexes a read-only map and never touches the registry
+// lock.
+func newSceneSeries(reg *telemetry.Registry, scenes map[sim.Weather]bool) map[sim.Weather]sceneSeries {
+	out := make(map[sim.Weather]sceneSeries, len(scenes))
+	for scene := range scenes {
+		label := scene.String()
+		out[scene] = sceneSeries{
+			requests: reg.Counter(
+				fmt.Sprintf(`serve_requests_total{scene=%q}`, label),
+				"requests accepted into the admission queue by scene"),
+			queueWait: reg.Histogram(
+				fmt.Sprintf(`serve_queue_wait_seconds{scene=%q}`, label),
+				"admission-queue wait before bucketing by scene", telemetry.UnitSeconds),
+		}
+	}
+	return out
 }
 
 // Metrics returns the server's telemetry registry — the one passed in

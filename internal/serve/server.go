@@ -102,7 +102,10 @@ type Server struct {
 	// stage spans.
 	registry *telemetry.Registry
 	metrics  serveMetrics
-	tracer   *telemetry.Tracer
+	// scene holds the per-scene labelled series (requests, queue
+	// wait), resolved once at construction.
+	scene  map[sim.Weather]sceneSeries
+	tracer *telemetry.Tracer
 
 	// wake nudges the scheduler after intake grows; capacity 1, sends
 	// never block.
@@ -113,6 +116,9 @@ type Server struct {
 
 	mu     sync.Mutex
 	closed bool
+	// stopped marks the scheduler/worker teardown as begun; Drain sets
+	// closed without stopped (admission off, machinery still flushing).
+	stopped bool
 	// intake is the admission queue handed to the scheduler; appends
 	// never block, so Submit can run entirely under mu.
 	intake []*pending
@@ -173,6 +179,7 @@ func New(cfg Config, factory ModelFactory) (*Server, error) {
 	for scene := range s.workers[0].models {
 		s.scenes[scene] = true
 	}
+	s.scene = newSceneSeries(reg, s.scenes)
 	for _, w := range s.workers {
 		s.wg.Add(1)
 		go w.run(s)
@@ -246,6 +253,7 @@ func (s *Server) Submit(ctx context.Context, req Request) (Verdict, error) {
 		s.inflight++
 	}
 	s.metrics.submitted.Inc()
+	s.scene[req.Scene].requests.Inc()
 	s.intake = append(s.intake, p)
 	if p.prio == Routine {
 		s.routine[p] = struct{}{}
@@ -339,15 +347,58 @@ func (s *Server) drainIntake() []*pending {
 // goroutine to exit. Safe to call twice.
 func (s *Server) Close() error {
 	s.mu.Lock()
-	if s.closed {
+	s.closed = true
+	if s.stopped {
+		s.mu.Unlock()
+		return nil
+	}
+	s.stopped = true
+	s.mu.Unlock()
+	close(s.stopCh)
+	s.wg.Wait()
+	return nil
+}
+
+// Drain gracefully quiesces the serving plane: admission stops
+// immediately (Submit returns ErrClosed), but everything already
+// admitted keeps flowing — open buckets seal on their batch-latency
+// timers, in-flight batches compute, and every verdict is delivered —
+// before the machinery shuts down. When ctx ends first, the remaining
+// queued requests are failed with ErrClosed by the normal shutdown
+// path and ctx.Err() is returned. This is the planned-handoff half of
+// fleet failover: a draining node finishes the advisories it owes
+// before its shards move.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if s.stopped {
 		s.mu.Unlock()
 		return nil
 	}
 	s.closed = true
 	s.mu.Unlock()
-	close(s.stopCh)
-	s.wg.Wait()
-	return nil
+
+	// Every submitted request settles into exactly one outcome
+	// counter; drained means they have all done so.
+	settled := func() bool {
+		m := &s.metrics
+		done := m.completed.Value() + m.cancelled.Value() + m.expired.Value() +
+			m.failed.Value() + m.shed.Value()
+		return done >= m.submitted.Value()
+	}
+	var err error
+	for !settled() {
+		select {
+		case <-ctx.Done():
+			err = ctx.Err()
+		case <-time.After(time.Millisecond):
+			continue
+		}
+		break
+	}
+	if cerr := s.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // reject delivers an explicit rejection and counts it. Metrics and the

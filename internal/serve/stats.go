@@ -123,10 +123,12 @@ func (s *Server) recordBatch(b *batch, rep pipeswitch.Report, computeWall time.D
 	if rep.Reload {
 		m.reloads.Inc()
 	}
+	scene := s.scene[b.scene]
 	for _, p := range b.reqs {
 		total := now.Sub(p.submitted)
 		m.completed.Inc()
 		m.queueWait.ObserveDuration(p.bucketed.Sub(p.submitted))
+		scene.queueWait.ObserveDuration(p.bucketed.Sub(p.submitted))
 		m.batchWait.ObserveDuration(p.dispatched.Sub(p.bucketed))
 		m.compute.ObserveDuration(computeWall)
 		m.totalLatency.ObserveDuration(total)
