@@ -50,11 +50,15 @@ bench-json:
 obs-smoke:
 	$(GO) test -run TestObsSmoke -count=1 ./cmd/safecross-rsu/
 
-# fleet-smoke boots a three-node fleet (8 intersections, coordinator,
-# per-intersection retry vehicles), crashes one node mid-run, and
-# asserts every intersection keeps receiving advisories (zero
-# unserved) with exactly one failover — scraping fleet_failovers_total
-# and fleet_nodes_live off the debug listener while degraded.
+# fleet-smoke boots a three-node fleet (8 intersections, a replicated
+# coordinator — 1 primary + 2 standbys — and per-intersection retry
+# vehicles), kills the primary coordinator mid-run, waits for a
+# standby to promote itself, then crashes a node under the new
+# primary, and asserts every intersection keeps receiving advisories
+# (zero unserved) with exactly one promotion and one failover —
+# scraping fleet_promotions_total, fleet_coordinator_role,
+# fleet_replication_lag_seconds, fleet_failovers_total, and
+# fleet_nodes_live off the debug listener while degraded.
 fleet-smoke:
 	$(GO) test -run TestFleetSmoke -count=1 ./cmd/safecross-fleet/
 

@@ -9,12 +9,18 @@
 // Usage:
 //
 //	safecross-fleet -nodes 3 -intersections 8 -run 3s -kill-after 1s
+//	safecross-fleet -nodes 3 -coordinators 3 -kill-coordinator-after 5s -run 10s
 //
 // With -kill-after the node owning intersection 1 is crashed
 // mid-run (agent, RSU listener, and serving plane all torn down, no
 // drain) — the fleet must fail over and every intersection must keep
-// receiving advisories. The summary reports per-intersection
-// delivery before and after the kill.
+// receiving advisories. With -coordinators N the control plane itself
+// is replicated (one primary, N-1 standbys fed by its replication
+// stream), and -kill-coordinator-after crashes the primary mid-run:
+// the lowest-ranked standby must promote itself and the nodes must
+// re-heartbeat there without dropping a single running intersection.
+// The summary reports per-intersection delivery before and after the
+// kills.
 package main
 
 import (
@@ -65,6 +71,8 @@ func run(args []string, w io.Writer) error {
 		intersections = fs.Int("intersections", 8, "intersections sharded across the fleet (ids 1..N)")
 		runFor        = fs.Duration("run", 3*time.Second, "serving time before shutdown")
 		killAfter     = fs.Duration("kill-after", 0, "crash the node owning intersection 1 this long into the run (0 = no fault injection)")
+		coordinators  = fs.Int("coordinators", 1, "coordinator replicas (1 primary + N-1 standbys)")
+		killCoord     = fs.Duration("kill-coordinator-after", 0, "crash the primary coordinator this long into the run (0 = no fault injection; needs -coordinators ≥ 2)")
 		heartbeat     = fs.Duration("heartbeat", 250*time.Millisecond, "fleet heartbeat interval (suspect at 3×, dead at 6×); keep dead-time well above scheduling jitter on loaded hosts")
 		frameEvery    = fs.Duration("frame-every", 25*time.Millisecond, "camera frame cadence per intersection")
 		perScene      = fs.Int("scene-frames", 60, "frames per weather scene in each feed")
@@ -91,6 +99,15 @@ func run(args []string, w io.Writer) error {
 	}
 	if *killAfter >= *runFor {
 		*killAfter = 0
+	}
+	if *coordinators < 1 {
+		return fmt.Errorf("need at least one coordinator")
+	}
+	if *killCoord > 0 && *coordinators < 2 {
+		return fmt.Errorf("-kill-coordinator-after needs at least two coordinators to promote between")
+	}
+	if *killCoord >= *runFor {
+		*killCoord = 0
 	}
 
 	// One registry, tracer, and logger for the whole fleet: node series
@@ -129,18 +146,40 @@ func run(args []string, w io.Writer) error {
 	for i := range keys {
 		keys[i] = i + 1 // 1-based: intersection 0 means "all" on the wire
 	}
-	timings := fleet.Timings{HeartbeatEvery: *heartbeat}
-	coord, err := fleet.NewCoordinator("127.0.0.1:0", fleet.Config{
-		Intersections: keys,
-		Timings:       timings,
-		Metrics:       reg,
-		Logger:        logger,
-	})
+	// Standbys first: they listen passively, so the primary can be born
+	// knowing every replica address and start streaming immediately.
+	standbyAddrs := make([]string, 0, *coordinators-1)
+	coords := make([]*fleet.Coordinator, 0, *coordinators)
+	for i := 1; i < *coordinators; i++ {
+		sb, err := fleet.NewCoordinator("127.0.0.1:0",
+			fleet.AsStandby(),
+			fleet.WithHeartbeat(*heartbeat, 0, 0),
+			fleet.WithMetrics(reg),
+			fleet.WithLogger(logger))
+		if err != nil {
+			return err
+		}
+		defer sb.Close()
+		coords = append(coords, sb)
+		standbyAddrs = append(standbyAddrs, sb.Addr())
+	}
+	coord, err := fleet.NewCoordinator("127.0.0.1:0",
+		fleet.WithIntersections(keys...),
+		fleet.WithHeartbeat(*heartbeat, 0, 0),
+		fleet.WithStandbys(standbyAddrs...),
+		fleet.WithMetrics(reg),
+		fleet.WithLogger(logger))
 	if err != nil {
 		return err
 	}
 	defer coord.Close()
-	fmt.Fprintf(w, "fleet coordinator on %s\n", coord.Addr())
+	coords = append([]*fleet.Coordinator{coord}, coords...)
+	coordSeeds := append([]string{coord.Addr()}, standbyAddrs...)
+	fmt.Fprintf(w, "fleet coordinator on %s", coord.Addr())
+	if len(standbyAddrs) > 0 {
+		fmt.Fprintf(w, " (standbys %v)", standbyAddrs)
+	}
+	fmt.Fprintln(w)
 
 	scenes := sim.AllWeathers()
 	var frames atomic.Int64
@@ -188,14 +227,12 @@ func run(args []string, w io.Writer) error {
 			}
 			serveIntersection(ctx, n, fw, intersection, scenes, *perScene, *frameEvery, *traceSample, tracer, logger, &frames)
 		}
-		n.agent, err = fleet.NewAgent(fleet.AgentConfig{
-			ID:          n.id,
-			Coordinator: coord.Addr(),
-			Advertise:   n.srv.Addr(),
-			Timings:     timings,
-			Metrics:     reg,
-			Logger:      logger,
-		}, n.srv, runner)
+		n.agent, err = fleet.NewAgent(n.id, n.srv,
+			fleet.WithCoordinators(coordSeeds...),
+			fleet.WithHeartbeat(*heartbeat, 0, 0),
+			fleet.WithRunner(runner),
+			fleet.WithMetrics(reg),
+			fleet.WithLogger(logger))
 		if err != nil {
 			return err
 		}
@@ -264,12 +301,32 @@ func run(args []string, w io.Writer) error {
 		}(i, cli)
 	}
 
-	// The run: serve, optionally crash a node partway, keep serving.
-	remaining := *runFor
+	// The run: serve, optionally crash the primary coordinator and/or a
+	// node partway, keep serving.
+	var elapsed time.Duration
+	var deadCoord *fleet.Coordinator
+	if *killCoord > 0 && (*killAfter == 0 || *killCoord <= *killAfter) {
+		time.Sleep(*killCoord)
+		elapsed = *killCoord
+		deadCoord = coord
+		fmt.Fprintf(w, "killing primary coordinator %s\n", coord.Addr())
+		coord.Close()
+		promoted, err := waitPromotion(coords, deadCoord, 10*time.Second)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "standby %s promoted to primary (term %d)\n", promoted.Addr(), promoted.Term())
+	}
 	if *killAfter > 0 {
-		time.Sleep(*killAfter)
-		remaining -= *killAfter
-		victimID := coord.Assignments()[keys[0]]
+		if d := *killAfter - elapsed; d > 0 {
+			time.Sleep(d)
+			elapsed = *killAfter
+		}
+		lead := leader(coords, deadCoord)
+		if lead == nil {
+			return fmt.Errorf("no live primary coordinator to pick a victim from")
+		}
+		victimID := lead.Assignments()[keys[0]]
 		victim = byID[victimID]
 		if victim == nil {
 			return fmt.Errorf("intersection %d owned by unknown node %q", keys[0], victimID)
@@ -280,7 +337,7 @@ func run(args []string, w io.Writer) error {
 		victim.srv.Close()
 		victim.plane.Close()
 	}
-	time.Sleep(remaining)
+	time.Sleep(*runFor - elapsed)
 
 	// Shutdown: vehicles first (their channels only close on Close),
 	// then the members and coordinator via the deferred closers.
@@ -292,6 +349,7 @@ func run(args []string, w io.Writer) error {
 	// Summary. The unserved counts are the acceptance criterion: a
 	// fleet that lost intersections to the kill failed its job.
 	failovers := reg.Counter("fleet_failovers_total", "").Value()
+	promotions := reg.Counter("fleet_promotions_total", "").Value()
 	unserved, unservedAfter := 0, 0
 	var reconnects, redirects int64
 	for i, k := range keys {
@@ -306,15 +364,19 @@ func run(args []string, w io.Writer) error {
 		redirects += clients[i].Redirects()
 		fmt.Fprintf(w, "intersection %d: advisories=%d after-kill=%d\n", k, tot, post)
 	}
+	statesFrom := coord
+	if lead := leader(coords, deadCoord); lead != nil {
+		statesFrom = lead
+	}
 	var names []string
-	for id, s := range coord.States() {
+	for id, s := range statesFrom.States() {
 		if s != fleet.Dead {
 			names = append(names, id)
 		}
 	}
 	sort.Strings(names)
-	fmt.Fprintf(w, "fleet: nodes=%d live=%d %v failovers=%d frames=%d vehicle-reconnects=%d vehicle-redirects=%d\n",
-		*nodes, len(names), names, failovers, frames.Load(), reconnects, redirects)
+	fmt.Fprintf(w, "fleet: nodes=%d live=%d %v failovers=%d promotions=%d frames=%d vehicle-reconnects=%d vehicle-redirects=%d\n",
+		*nodes, len(names), names, failovers, promotions, frames.Load(), reconnects, redirects)
 	fmt.Fprintf(w, "unserved intersections: %d (after kill: %d)\n", unserved, unservedAfter)
 	if unserved > 0 || unservedAfter > 0 {
 		return fmt.Errorf("%d intersections unserved (%d after kill)", unserved, unservedAfter)
@@ -370,6 +432,33 @@ func serveIntersection(ctx context.Context, n *node, fw *safecross.Framework, in
 		tr.Span("broadcast", bStart, time.Now())
 		tr.Finish()
 	}
+}
+
+// leader returns the first coordinator (skipping the killed one) that
+// currently holds the primary role, or nil when none does.
+func leader(coords []*fleet.Coordinator, skip *fleet.Coordinator) *fleet.Coordinator {
+	for _, c := range coords {
+		if c == skip {
+			continue
+		}
+		if c.Role() == fleet.RolePrimary {
+			return c
+		}
+	}
+	return nil
+}
+
+// waitPromotion blocks until a surviving coordinator promotes itself
+// to primary after the old primary's death.
+func waitPromotion(coords []*fleet.Coordinator, dead *fleet.Coordinator, timeout time.Duration) (*fleet.Coordinator, error) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if c := leader(coords, dead); c != nil {
+			return c, nil
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return nil, fmt.Errorf("no standby promoted within %v", timeout)
 }
 
 // waitCoverage blocks until every intersection has an owner.

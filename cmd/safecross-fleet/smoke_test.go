@@ -1,11 +1,15 @@
 package main
 
-// Fleet smoke test (`make fleet-smoke`): boot a three-node fleet with
-// a debug listener, crash one node mid-run, and assert (a) the
-// summary shows every intersection still served with exactly one
-// failover, and (b) the fleet series — nodes-live gauge and failover
-// counter — were observable on /metrics while the fleet was degraded,
-// exactly as an operator's dashboard would see them.
+// Fleet smoke test (`make fleet-smoke`): boot a three-node fleet
+// under a replicated coordinator (1 primary + 2 standbys) with a
+// debug listener, crash the PRIMARY COORDINATOR mid-run, then crash a
+// node under the freshly promoted primary, and assert (a) the summary
+// shows every intersection still served with exactly one promotion
+// and one failover, and (b) the control-plane series — promotions
+// counter, coordinator-role gauge, replication-lag histogram,
+// nodes-live gauge, and failover counter — were observable on
+// /metrics while the fleet was degraded, exactly as an operator's
+// dashboard would see them.
 //
 // The timings below are deliberately loose (150ms heartbeats, 60ms
 // frames): the suite runs with -race on small machines, and a
@@ -63,8 +67,10 @@ func TestFleetSmoke(t *testing.T) {
 		done <- run([]string{
 			"-nodes", "3",
 			"-intersections", "8",
-			"-run", "6s",
-			"-kill-after", "1500ms",
+			"-coordinators", "3",
+			"-run", "7s",
+			"-kill-coordinator-after", "1200ms",
+			"-kill-after", "3s",
 			"-heartbeat", "150ms",
 			"-frame-every", "60ms",
 			"-debug-addr", "127.0.0.1:0",
@@ -85,10 +91,11 @@ func TestFleetSmoke(t *testing.T) {
 	}
 
 	// Scrape mid-run until the degraded-fleet series show: the
-	// failover counted and the live gauge down to two survivors. The
-	// run finishing first means the metrics never reflected the kill.
+	// standby's promotion counted, the node failover counted, and the
+	// live gauge down to two survivors. The run finishing first means
+	// the metrics never reflected the kills.
 	var lastMetrics string
-	wantLines := []string{"fleet_failovers_total 1", "fleet_nodes_live 2"}
+	wantLines := []string{"fleet_promotions_total 1", "fleet_failovers_total 1", "fleet_nodes_live 2"}
 	tick := time.NewTicker(100 * time.Millisecond)
 	defer tick.Stop()
 scraping:
@@ -115,6 +122,8 @@ scraping:
 	// too: per-node liveness, heartbeat RTTs, and reassignment latency.
 	for _, series := range []string{
 		`fleet_node_live{node="node-`,
+		`fleet_coordinator_role{coordinator=`,
+		`fleet_replication_lag_seconds_count{peer=`,
 		"fleet_heartbeats_total",
 		"fleet_heartbeat_rtt_seconds_count",
 		"fleet_reassign_seconds_count",
@@ -130,8 +139,11 @@ scraping:
 	}
 	final := out.String()
 	for _, want := range []string{
+		"killing primary coordinator",
+		"promoted to primary (term 2)",
 		"unserved intersections: 0 (after kill: 0)",
 		"failovers=1",
+		"promotions=1",
 		"live=2",
 	} {
 		if !strings.Contains(final, want) {

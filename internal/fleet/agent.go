@@ -14,21 +14,32 @@ import (
 	"safecross/internal/telemetry"
 )
 
-// AgentConfig wires one node agent.
+// AgentConfig wires one node agent. Construction normally goes
+// through NewAgent with options; the struct remains for the
+// deprecated NewAgentFromConfig path.
 type AgentConfig struct {
 	// ID is the node's stable fleet identity (must be non-empty and
 	// unique across the fleet — it is the rendezvous hashing input).
 	ID string
-	// Coordinator is the control-plane address to register with.
+	// Coordinator is a single control-plane address to register with.
+	//
+	// Deprecated: use Coordinators (the agent treats this field as a
+	// one-element seed list).
 	Coordinator string
+	// Coordinators is the coordinator seed list. The agent sweeps it
+	// until a primary accepts the registration, and follows promote
+	// redirects to whichever seed currently leads.
+	Coordinators []string
 	// Advertise is the node's rsu.Server address as vehicles should
 	// dial it; it travels in heartbeats and assignment tables.
 	Advertise string
 	// Timings must match the coordinator's clock (only HeartbeatEvery
-	// is used on the agent side).
+	// and SuspectAfter are used on the agent side).
 	Timings Timings
 	// DialTimeout bounds each coordinator dial (default 2s).
 	DialTimeout time.Duration
+	// Runner serves each owned intersection (nil: routing state only).
+	Runner Runner
 	// Metrics receives the agent's series (nil keeps a private
 	// registry).
 	Metrics *telemetry.Registry
@@ -50,7 +61,10 @@ type agentMetrics struct {
 
 // Agent binds one RSU process into the fleet: it registers with the
 // coordinator, heartbeats, and turns assignment pushes into running
-// shards plus rsu.Server routing state.
+// shards plus rsu.Server routing state. A coordinator failover is
+// survivable in place: a promote redirect re-targets the control
+// connection to the new primary while every owned shard keeps
+// serving.
 type Agent struct {
 	cfg     AgentConfig
 	srv     *rsu.Server
@@ -68,19 +82,43 @@ type Agent struct {
 	enc       *json.Encoder
 	sendMu    sync.Mutex
 	owned     map[int]context.CancelFunc
+	term      int64
 	epoch     int64
+	target    string // last promote-announced primary; tried first
 	draining  bool
 	pendingHB time.Time // zero when no heartbeat awaits its ack
 }
 
-// NewAgent starts an agent for srv and begins dialing the
-// coordinator. srv must be non-nil; runner may be nil.
-func NewAgent(cfg AgentConfig, srv *rsu.Server, runner Runner) (*Agent, error) {
+// NewAgent starts an agent for srv and begins sweeping the
+// coordinator seed list (WithCoordinators). srv must be non-nil.
+func NewAgent(id string, srv *rsu.Server, opts ...AgentOption) (*Agent, error) {
+	cfg := AgentConfig{ID: id}
+	for _, o := range opts {
+		o.applyAgent(&cfg)
+	}
+	return newAgent(cfg, srv)
+}
+
+// NewAgentFromConfig is the Config-struct construction path.
+//
+// Deprecated: use NewAgent with options (WithCoordinators,
+// WithRunner, WithMetrics, WithHeartbeat, …).
+func NewAgentFromConfig(cfg AgentConfig, srv *rsu.Server, runner Runner) (*Agent, error) {
+	if runner != nil {
+		cfg.Runner = runner
+	}
+	return newAgent(cfg, srv)
+}
+
+func newAgent(cfg AgentConfig, srv *rsu.Server) (*Agent, error) {
 	if cfg.ID == "" {
 		return nil, fmt.Errorf("fleet: agent needs an ID")
 	}
-	if cfg.Coordinator == "" {
-		return nil, fmt.Errorf("fleet: agent needs a coordinator address")
+	if len(cfg.Coordinators) == 0 && cfg.Coordinator != "" {
+		cfg.Coordinators = []string{cfg.Coordinator}
+	}
+	if len(cfg.Coordinators) == 0 {
+		return nil, fmt.Errorf("fleet: agent needs at least one coordinator address")
 	}
 	if srv == nil {
 		return nil, fmt.Errorf("fleet: agent needs an rsu server")
@@ -99,14 +137,14 @@ func NewAgent(cfg AgentConfig, srv *rsu.Server, runner Runner) (*Agent, error) {
 	a := &Agent{
 		cfg:    cfg,
 		srv:    srv,
-		runner: runner,
+		runner: cfg.Runner,
 		log:    cfg.Logger,
 		stop:   make(chan struct{}),
 		owned:  make(map[int]context.CancelFunc),
 		metrics: agentMetrics{
 			rtt:      reg.Histogram(fmt.Sprintf("fleet_heartbeat_rtt_seconds{node=%q}", cfg.ID), "heartbeat send to coordinator ack", telemetry.UnitSeconds),
 			assigns:  reg.Counter(fmt.Sprintf("fleet_assigns_total{node=%q}", cfg.ID), "assignment epochs applied"),
-			sessions: reg.Counter(fmt.Sprintf("fleet_coordinator_sessions_total{node=%q}", cfg.ID), "control connections established to the coordinator"),
+			sessions: reg.Counter(fmt.Sprintf("fleet_coordinator_sessions_total{node=%q}", cfg.ID), "control connections established to a coordinator"),
 		},
 	}
 	a.loopWG.Add(1)
@@ -122,6 +160,13 @@ func (a *Agent) Epoch() int64 {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.epoch
+}
+
+// Term returns the coordinator term of the last assignment applied.
+func (a *Agent) Term() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.term
 }
 
 // Owned returns the intersections this node currently serves, sorted.
@@ -151,36 +196,68 @@ func (a *Agent) isDraining() bool {
 	return a.draining
 }
 
-// loop dials the coordinator with capped exponential backoff and runs
-// sessions until the agent stops. A lost coordinator never stops
-// serving: the current shards keep running on the last-known
-// assignment while the agent redials.
+// candidates returns the dial order for one sweep: the last
+// promote-announced primary first, then the rest of the seed list.
+func (a *Agent) candidates() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]string, 0, len(a.cfg.Coordinators)+1)
+	if a.target != "" {
+		out = append(out, a.target)
+	}
+	for _, s := range a.cfg.Coordinators {
+		if s != a.target {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// loop sweeps the coordinator seed list until the agent stops. A lost
+// coordinator never stops serving: the current shards keep running on
+// the last-known assignment while the agent redials. Backoff between
+// sweeps is capped at the suspect threshold, so a node re-finds a
+// freshly promoted primary before the new primary's failure detector
+// rules on it.
 func (a *Agent) loop() {
 	defer a.loopWG.Done()
 	backoff := a.cfg.Timings.HeartbeatEvery
+	maxBackoff := a.cfg.Timings.SuspectAfter
+	if maxBackoff < a.cfg.Timings.HeartbeatEvery {
+		maxBackoff = a.cfg.Timings.HeartbeatEvery
+	}
 	for {
 		if a.stopped() {
 			return
 		}
-		conn, err := net.DialTimeout("tcp", a.cfg.Coordinator, a.cfg.DialTimeout)
-		if err != nil {
-			a.log.Debugf("fleet: node %q cannot reach coordinator: %v", a.cfg.ID, err)
-			select {
-			case <-a.stop:
+		connected := false
+		for _, addr := range a.candidates() {
+			conn, err := net.DialTimeout("tcp", addr, a.cfg.DialTimeout)
+			if err != nil {
+				a.log.Debugf("fleet: node %q cannot reach coordinator %s: %v", a.cfg.ID, addr, err)
+				continue
+			}
+			connected = true
+			a.metrics.sessions.Inc()
+			again := a.session(conn)
+			_ = conn.Close()
+			if !again || a.stopped() {
 				return
-			case <-time.After(backoff):
 			}
-			if backoff *= 2; backoff > 2*time.Second {
-				backoff = 2 * time.Second
-			}
-			continue
+			break // re-derive the sweep order: a promote may have re-targeted us
 		}
-		backoff = a.cfg.Timings.HeartbeatEvery
-		a.metrics.sessions.Inc()
-		again := a.session(conn)
-		_ = conn.Close()
-		if !again || a.stopped() {
+		if connected {
+			backoff = a.cfg.Timings.HeartbeatEvery
+		}
+		select {
+		case <-a.stop:
 			return
+		case <-time.After(backoff):
+		}
+		if !connected {
+			if backoff *= 2; backoff > maxBackoff {
+				backoff = maxBackoff
+			}
 		}
 	}
 }
@@ -233,6 +310,16 @@ func (a *Agent) session(conn net.Conn) bool {
 				a.observeRTT()
 			case rsu.TypeAssign:
 				a.apply(msg)
+			case rsu.TypePromote:
+				// The primary moved. Re-target the control plane and
+				// re-register there — WITHOUT touching the running
+				// shards: ownership only changes on an assign or a
+				// redirect.
+				a.mu.Lock()
+				a.target = msg.Addr
+				a.mu.Unlock()
+				a.log.Infof("fleet: node %q re-targeting coordinator %s (term %d)", a.cfg.ID, msg.Addr, msg.Term)
+				return true
 			case rsu.TypeRedirect:
 				if a.isDraining() {
 					// Drain raced death detection; either way the
@@ -294,24 +381,36 @@ func (a *Agent) observeRTT() {
 	}
 }
 
+// routeEpoch collapses the (term, epoch) fencing stamp into the single
+// monotone value the rsu.Server's routing state is versioned by.
+// Terms dominate: a promoted coordinator's first push outranks every
+// epoch of the term before it, matching the lexicographic fence.
+func routeEpoch(term, epoch int64) int64 { return term<<32 | epoch }
+
 // apply installs one assignment epoch: start runners for newly owned
 // intersections, cancel runners for shards that moved away, update
 // the rsu.Server routing table, and redirect subscribers of departed
-// shards to their new home.
+// shards to their new home. Assignments carry the issuing
+// coordinator's (term, epoch) stamp; anything that does not strictly
+// advance it is a stale primary's push and is dropped.
 func (a *Agent) apply(msg rsu.Message) {
 	if msg.Validate() != nil {
 		return
+	}
+	term := msg.Term
+	if term < 1 {
+		term = 1 // pre-replication coordinators did not stamp terms
 	}
 	newOwned := make(map[int]bool, len(msg.Owned))
 	for _, i := range msg.Owned {
 		newOwned[i] = true
 	}
 	a.mu.Lock()
-	if msg.Epoch <= a.epoch {
+	if term < a.term || (term == a.term && msg.Epoch <= a.epoch) {
 		a.mu.Unlock()
 		return
 	}
-	a.epoch = msg.Epoch
+	a.term, a.epoch = term, msg.Epoch
 	var started, stopped []int
 	for i, cancel := range a.owned {
 		if !newOwned[i] {
@@ -339,7 +438,7 @@ func (a *Agent) apply(msg rsu.Message) {
 	}
 	a.mu.Unlock()
 
-	a.srv.SetRoutes(msg.Epoch, msg.Owned, msg.Table)
+	a.srv.SetRoutes(routeEpoch(term, msg.Epoch), msg.Owned, msg.Table)
 	sort.Ints(stopped)
 	for _, i := range stopped {
 		if addr := msg.Table[i]; addr != "" && addr != a.cfg.Advertise {
@@ -348,7 +447,7 @@ func (a *Agent) apply(msg rsu.Message) {
 	}
 	a.metrics.assigns.Inc()
 	sort.Ints(started)
-	a.log.Infof("fleet: node %q epoch %d: +%v -%v (owns %d)", a.cfg.ID, msg.Epoch, started, stopped, len(newOwned))
+	a.log.Infof("fleet: node %q term %d epoch %d: +%v -%v (owns %d)", a.cfg.ID, term, msg.Epoch, started, stopped, len(newOwned))
 }
 
 // clearShards cancels every runner and forgets ownership — used when
@@ -386,7 +485,9 @@ wait:
 		// reassignment it triggers always pushes us a fresh (empty)
 		// epoch — and every runner's shard is gone. Waiting for the
 		// epoch, not just an empty owned set, keeps a node that owned
-		// nothing from racing its own goodbye off the wire.
+		// nothing from racing its own goodbye off the wire. Epochs
+		// survive promotions monotonically, so the comparison holds
+		// even when the drain spans a coordinator failover.
 		a.mu.Lock()
 		done := a.epoch > epoch0 && len(a.owned) == 0
 		a.mu.Unlock()

@@ -13,16 +13,26 @@ import (
 	"safecross/internal/telemetry"
 )
 
-// Config sizes a Coordinator.
+// Config sizes a Coordinator. Construction normally goes through
+// NewCoordinator with options; the struct remains for the deprecated
+// NewCoordinatorFromConfig path.
 type Config struct {
 	// Intersections are the shard keys the fleet must keep served.
+	// Required for a primary; a standby learns the key set from the
+	// replication stream.
 	Intersections []int
 	// Timings is the failure-detection clock.
 	Timings Timings
-	// PushTimeout bounds each assignment/ack write to a node (default
-	// 2s); a node that cannot be written to is left to the heartbeat
+	// PushTimeout bounds each assignment/ack/replicate write (default
+	// 2s); a peer that cannot be written to is left to the heartbeat
 	// detector.
 	PushTimeout time.Duration
+	// Standbys are the standby coordinator addresses a primary
+	// replicates its state to.
+	Standbys []string
+	// Standby starts the coordinator as a passive replica that waits
+	// for the primary's replication stream.
+	Standby bool
 	// Metrics receives the fleet series (nil keeps a private
 	// registry).
 	Metrics *telemetry.Registry
@@ -64,10 +74,14 @@ type coordMetrics struct {
 	reassignments  *telemetry.Counter
 	joins          *telemetry.Counter
 	drains         *telemetry.Counter
+	promotions     *telemetry.Counter
 	reassignLat    *telemetry.Histogram
 }
 
-// Coordinator owns the intersection→node assignment for one fleet.
+// Coordinator owns the intersection→node assignment for one fleet —
+// or stands by to: a replica constructed with AsStandby applies the
+// primary's replication stream and promotes itself when the primary
+// goes silent (see replica.go).
 type Coordinator struct {
 	cfg     Config
 	ln      net.Listener
@@ -78,17 +92,42 @@ type Coordinator struct {
 	stop chan struct{}
 	wg   sync.WaitGroup
 
-	mu      sync.Mutex
-	closed  bool
-	epoch   int64
-	members map[string]*member
-	owners  map[int]string // intersection → owning node id
+	mu          sync.Mutex
+	closed      bool
+	role        Role
+	term        int64
+	epoch       int64
+	seeds       []string  // coordinator seed list, primary first at birth
+	primaryAddr string    // current primary ("" until a standby hears one)
+	lastRepl    time.Time // last replicate applied (standby clock)
+	replStop    chan struct{}
+	members     map[string]*member
+	owners      map[int]string // intersection → owning node id
 }
 
-// NewCoordinator starts a coordinator listening for node agents on
-// addr (e.g. "127.0.0.1:0").
-func NewCoordinator(addr string, cfg Config) (*Coordinator, error) {
-	if len(cfg.Intersections) == 0 {
+// NewCoordinator starts a coordinator listening for node agents (and
+// standby replicas) on addr (e.g. "127.0.0.1:0").
+func NewCoordinator(addr string, opts ...CoordinatorOption) (*Coordinator, error) {
+	var cfg Config
+	for _, o := range opts {
+		o.applyCoordinator(&cfg)
+	}
+	return newCoordinator(addr, cfg)
+}
+
+// NewCoordinatorFromConfig is the Config-struct construction path.
+//
+// Deprecated: use NewCoordinator with options (WithIntersections,
+// WithMetrics, WithHeartbeat, WithStandbys, AsStandby, …).
+func NewCoordinatorFromConfig(addr string, cfg Config) (*Coordinator, error) {
+	return newCoordinator(addr, cfg)
+}
+
+func newCoordinator(addr string, cfg Config) (*Coordinator, error) {
+	if cfg.Standby && len(cfg.Standbys) > 0 {
+		return nil, fmt.Errorf("fleet: a standby coordinator cannot own standbys")
+	}
+	if !cfg.Standby && len(cfg.Intersections) == 0 {
 		return nil, fmt.Errorf("fleet: coordinator needs at least one intersection")
 	}
 	seen := make(map[int]bool, len(cfg.Intersections))
@@ -128,19 +167,52 @@ func NewCoordinator(addr string, cfg Config) (*Coordinator, error) {
 			reassignments:  reg.Counter("fleet_reassignments_total", "assignment epochs pushed (joins, drains, failovers)"),
 			joins:          reg.Counter("fleet_joins_total", "nodes that registered with the coordinator"),
 			drains:         reg.Counter("fleet_drains_total", "nodes that left gracefully via drain"),
+			promotions:     reg.Counter("fleet_promotions_total", "standby coordinators promoted to primary"),
 			reassignLat:    reg.Histogram("fleet_reassign_seconds", "death detection to all assignments pushed", telemetry.UnitSeconds),
 		},
 	}
-	reg.GaugeFunc("fleet_nodes_live", "fleet nodes not declared dead", func() int64 {
-		return c.countState(func(s NodeState) bool { return s != Dead })
-	})
-	reg.GaugeFunc("fleet_nodes_suspect", "fleet nodes suspected (silent past suspect-after)", func() int64 {
-		return c.countState(func(s NodeState) bool { return s == Suspect })
-	})
+	if cfg.Standby {
+		c.role = RoleStandby
+	} else {
+		// A birth primary opens term 1; every promotion opens a later
+		// term, so (term, epoch) orders coordinators across failovers.
+		c.role = RolePrimary
+		c.term = 1
+		c.primaryAddr = c.Addr()
+		c.seeds = append([]string{c.Addr()}, cfg.Standbys...)
+		c.registerMembershipGauges()
+	}
+	reg.GaugeFunc(fmt.Sprintf("fleet_coordinator_role{coordinator=%q}", c.Addr()),
+		"1 while this coordinator is the primary", func() int64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			if c.role == RolePrimary {
+				return 1
+			}
+			return 0
+		})
+	if c.role == RolePrimary {
+		c.mu.Lock()
+		c.startReplicatorsLocked()
+		c.mu.Unlock()
+	}
 	c.wg.Add(2)
 	go c.acceptLoop()
 	go c.monitor()
 	return c, nil
+}
+
+// registerMembershipGauges (re-)binds the fleet-wide membership
+// gauges to this coordinator. GaugeFunc re-registration replaces the
+// closure, so a promoting standby takes the series over from the dead
+// primary on a shared registry.
+func (c *Coordinator) registerMembershipGauges() {
+	c.reg.GaugeFunc("fleet_nodes_live", "fleet nodes not declared dead", func() int64 {
+		return c.countState(func(s NodeState) bool { return s != Dead })
+	})
+	c.reg.GaugeFunc("fleet_nodes_suspect", "fleet nodes suspected (silent past suspect-after)", func() int64 {
+		return c.countState(func(s NodeState) bool { return s == Suspect })
+	})
 }
 
 // Addr returns the coordinator's control-plane address.
@@ -151,6 +223,29 @@ func (c *Coordinator) Epoch() int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.epoch
+}
+
+// Term returns the coordinator generation this instance believes in —
+// bumped by every promotion, never reused.
+func (c *Coordinator) Term() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.term
+}
+
+// Role returns whether this coordinator currently leads the fleet.
+func (c *Coordinator) Role() Role {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.role
+}
+
+// Primary returns the control-plane address of the primary this
+// coordinator believes in ("" while a standby has heard nothing).
+func (c *Coordinator) Primary() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.primaryAddr
 }
 
 // Assignments returns a copy of the current intersection→node-id map.
@@ -202,9 +297,12 @@ func (c *Coordinator) acceptLoop() {
 	}
 }
 
-// handleNode speaks the control plane with one agent connection:
-// heartbeats in, acks/assigns/redirects out. The first heartbeat on a
-// connection registers (or re-binds) the node.
+// handleNode speaks the control plane with one inbound connection.
+// The first message decides who is talking: a heartbeat opens an
+// agent session (register/re-bind, acks, assigns, redirects out), a
+// replicate opens a replication session from a primary (replica.go).
+// A standby answers agent heartbeats with a promote pointing at the
+// primary it believes in, so agents sweeping the seed list converge.
 func (c *Coordinator) handleNode(conn net.Conn) {
 	defer c.wg.Done()
 	defer func() { _ = conn.Close() }()
@@ -216,13 +314,30 @@ func (c *Coordinator) handleNode(conn net.Conn) {
 			c.unbind(m, conn)
 		}
 	}()
+	first := true
 	for {
 		var msg rsu.Message
 		if err := dec.Decode(&msg); err != nil {
 			return
 		}
-		if msg.Type != rsu.TypeHeartbeat || msg.Validate() != nil {
+		if msg.Validate() != nil {
+			c.log.Warnf("fleet: dropping control connection after invalid %q message", msg.Type)
+			return
+		}
+		if first && msg.Type == rsu.TypeReplicate {
+			c.replicaSession(conn, dec, enc, msg)
+			return
+		}
+		first = false
+		if msg.Type != rsu.TypeHeartbeat {
 			c.log.Warnf("fleet: dropping control connection after bad message %q", msg.Type)
+			return
+		}
+		if redirect, standby := c.standbyRedirect(); standby {
+			if redirect.Type != "" {
+				_ = conn.SetWriteDeadline(time.Now().Add(c.cfg.PushTimeout))
+				_ = enc.Encode(redirect)
+			}
 			return
 		}
 		pushes, last := c.onHeartbeat(&m, conn, enc, msg)
@@ -233,6 +348,21 @@ func (c *Coordinator) handleNode(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// standbyRedirect returns the promote message a standby answers agent
+// heartbeats with (zero message when it has not heard a primary yet —
+// the agent just moves to the next seed).
+func (c *Coordinator) standbyRedirect() (rsu.Message, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.role == RolePrimary {
+		return rsu.Message{}, false
+	}
+	if c.primaryAddr == "" || c.term < 1 {
+		return rsu.Message{}, true
+	}
+	return rsu.PromoteMessage(c.primaryAddr, c.term, c.epoch), true
 }
 
 // onHeartbeat applies one heartbeat to the membership state and
@@ -253,8 +383,9 @@ func (c *Coordinator) onHeartbeat(pm **member, conn net.Conn, enc *json.Encoder,
 	if m == nil {
 		// First heartbeat on this connection: rebind, rejoin, or join.
 		if existing := c.members[msg.Node]; existing != nil && existing.state != Dead {
-			// The node redialed (network blip or restart) — adopt the
-			// new connection and resend the current assignment.
+			// The node redialed (network blip, restart, or a coordinator
+			// failover) — adopt the new connection and resend the current
+			// assignment.
 			if existing.conn != nil && existing.conn != conn {
 				_ = existing.conn.Close()
 			}
@@ -326,7 +457,8 @@ func (c *Coordinator) onHeartbeat(pm **member, conn net.Conn, enc *json.Encoder,
 }
 
 // assignMsgLocked builds the assignment push for one node from the
-// current owners map. Callers hold c.mu.
+// current owners map, stamped with the coordinator term so agents can
+// fence stale primaries. Callers hold c.mu.
 func (c *Coordinator) assignMsgLocked(id string) rsu.Message {
 	var owned []int
 	table := make(map[int]string, len(c.owners))
@@ -339,7 +471,9 @@ func (c *Coordinator) assignMsgLocked(id string) rsu.Message {
 		}
 	}
 	sort.Ints(owned)
-	return rsu.AssignMessage(c.epoch, owned, table)
+	msg := rsu.AssignMessage(c.epoch, owned, table)
+	msg.Term = c.term
+	return msg
 }
 
 // reassignLocked recomputes the rendezvous assignment over the
@@ -356,7 +490,7 @@ func (c *Coordinator) reassignLocked(reason string) []push {
 	sort.Strings(live)
 	c.owners = Assignments(live, c.cfg.Intersections)
 	c.metrics.reassignments.Inc()
-	c.log.Infof("fleet: epoch %d (%s): %d intersections over %d nodes", c.epoch, reason, len(c.cfg.Intersections), len(live))
+	c.log.Infof("fleet: term %d epoch %d (%s): %d intersections over %d nodes", c.term, c.epoch, reason, len(c.cfg.Intersections), len(live))
 	var pushes []push
 	for _, id := range live {
 		m := c.members[id]
@@ -369,8 +503,9 @@ func (c *Coordinator) reassignLocked(reason string) []push {
 }
 
 // send writes one control message to a member with the push deadline.
-// Failures are logged and otherwise left to the heartbeat detector —
-// a node that cannot be written to will stop acking soon enough.
+// Failures are counted per peer and otherwise left to the heartbeat
+// detector — a node that cannot be written to will stop acking soon
+// enough.
 func (c *Coordinator) send(m *member, msg rsu.Message) {
 	c.mu.Lock()
 	conn, enc := m.conn, m.enc
@@ -382,16 +517,19 @@ func (c *Coordinator) send(m *member, msg rsu.Message) {
 	defer m.sendMu.Unlock()
 	_ = conn.SetWriteDeadline(time.Now().Add(c.cfg.PushTimeout))
 	if err := enc.Encode(msg); err != nil {
+		c.reg.Counter(fmt.Sprintf("fleet_push_errors_total{peer=%q}", m.id),
+			"control-plane pushes that failed to write").Inc()
 		c.log.Warnf("fleet: push %s to node %q failed: %v", msg.Type, m.id, err)
 		return
 	}
 	_ = conn.SetWriteDeadline(time.Time{})
 }
 
-// monitor escalates silent nodes: suspect past SuspectAfter, dead
-// past DeadAfter. Death moves shards immediately and counts a
-// failover; the reassignment latency histogram times detection to
-// last push.
+// monitor runs the failure detector. As primary it escalates silent
+// nodes: suspect past SuspectAfter, dead past DeadAfter — death moves
+// shards immediately and counts a failover. As standby it watches the
+// primary's replication stream and promotes itself when the primary
+// has been silent past its rank-staggered deadline (replica.go).
 func (c *Coordinator) monitor() {
 	defer c.wg.Done()
 	interval := c.cfg.Timings.HeartbeatEvery / 2
@@ -408,6 +546,15 @@ func (c *Coordinator) monitor() {
 		}
 		start := time.Now()
 		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return
+		}
+		if c.role == RoleStandby {
+			c.standbyTickLocked(start)
+			c.mu.Unlock()
+			continue
+		}
 		var newlyDead int
 		for _, m := range c.members {
 			if m.state == Dead {
@@ -451,9 +598,9 @@ func (c *Coordinator) unbind(m *member, conn net.Conn) {
 }
 
 // Close stops the control plane: no more accepts, every node
-// connection is dropped, and the background goroutines exit. Agents
-// keep serving their last assignment (the data plane outlives its
-// coordinator).
+// connection is dropped, replication stops, and the background
+// goroutines exit. Agents keep serving their last assignment (the
+// data plane outlives its coordinator).
 func (c *Coordinator) Close() error {
 	c.mu.Lock()
 	if c.closed {
@@ -461,6 +608,14 @@ func (c *Coordinator) Close() error {
 		return nil
 	}
 	c.closed = true
+	// A closed coordinator is nobody's primary: drop the role so the
+	// fleet_coordinator_role gauge on a shared registry cannot show two
+	// leaders after a standby takes over.
+	c.role = RoleStandby
+	if c.replStop != nil {
+		close(c.replStop)
+		c.replStop = nil
+	}
 	conns := make([]net.Conn, 0, len(c.members))
 	for _, m := range c.members {
 		if m.conn != nil {

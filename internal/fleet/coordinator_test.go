@@ -115,12 +115,12 @@ func (f *fakeNode) stopPump() {
 // rejected with a redirect and the stale connection dropped.
 func TestCoordinatorPartition(t *testing.T) {
 	keys := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	tt := testTimings()
 	reg := telemetry.NewRegistry()
-	coord, err := NewCoordinator("127.0.0.1:0", Config{
-		Intersections: keys,
-		Timings:       testTimings(),
-		Metrics:       reg,
-	})
+	coord, err := NewCoordinator("127.0.0.1:0",
+		WithIntersections(keys...),
+		WithHeartbeat(tt.HeartbeatEvery, tt.SuspectAfter, tt.DeadAfter),
+		WithMetrics(reg))
 	if err != nil {
 		t.Fatalf("NewCoordinator: %v", err)
 	}
@@ -225,13 +225,15 @@ func TestCoordinatorPartition(t *testing.T) {
 func TestCoordinatorSuspectRecovery(t *testing.T) {
 	keys := []int{1, 2, 3, 4}
 	reg := telemetry.NewRegistry()
-	coord, err := NewCoordinator("127.0.0.1:0", Config{
+	// Deliberately on the deprecated Config path: the shim must keep
+	// building coordinators identical to the options path.
+	coord, err := NewCoordinatorFromConfig("127.0.0.1:0", Config{
 		Intersections: keys,
 		Timings:       testTimings(),
 		Metrics:       reg,
 	})
 	if err != nil {
-		t.Fatalf("NewCoordinator: %v", err)
+		t.Fatalf("NewCoordinatorFromConfig: %v", err)
 	}
 	defer coord.Close()
 

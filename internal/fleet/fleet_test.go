@@ -21,7 +21,7 @@ type testNode struct {
 	agent *Agent
 }
 
-func startNode(t *testing.T, id, coordAddr string, reg *telemetry.Registry) *testNode {
+func startNode(t *testing.T, id string, reg *telemetry.Registry, coordAddrs ...string) *testNode {
 	t.Helper()
 	srv, err := rsu.Listen("127.0.0.1:0")
 	if err != nil {
@@ -41,13 +41,12 @@ func startNode(t *testing.T, id, coordAddr string, reg *telemetry.Registry) *tes
 			}
 		}
 	}
-	agent, err := NewAgent(AgentConfig{
-		ID:          id,
-		Coordinator: coordAddr,
-		Advertise:   srv.Addr(),
-		Timings:     testTimings(),
-		Metrics:     reg,
-	}, srv, runner)
+	tt := testTimings()
+	agent, err := NewAgent(id, srv,
+		WithCoordinators(coordAddrs...),
+		WithHeartbeat(tt.HeartbeatEvery, tt.SuspectAfter, tt.DeadAfter),
+		WithRunner(runner),
+		WithMetrics(reg))
 	if err != nil {
 		srv.Close()
 		t.Fatalf("NewAgent(%s): %v", id, err)
@@ -82,21 +81,21 @@ func coverage(nodes []*testNode, keys []int) bool {
 // chain to the new owner.
 func TestFleetFailover(t *testing.T) {
 	keys := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	tt := testTimings()
 	reg := telemetry.NewRegistry()
-	coord, err := NewCoordinator("127.0.0.1:0", Config{
-		Intersections: keys,
-		Timings:       testTimings(),
-		Metrics:       reg,
-	})
+	coord, err := NewCoordinator("127.0.0.1:0",
+		WithIntersections(keys...),
+		WithHeartbeat(tt.HeartbeatEvery, tt.SuspectAfter, tt.DeadAfter),
+		WithMetrics(reg))
 	if err != nil {
 		t.Fatalf("NewCoordinator: %v", err)
 	}
 	defer coord.Close()
 
 	nodes := []*testNode{
-		startNode(t, "n0", coord.Addr(), reg),
-		startNode(t, "n1", coord.Addr(), reg),
-		startNode(t, "n2", coord.Addr(), reg),
+		startNode(t, "n0", reg, coord.Addr()),
+		startNode(t, "n1", reg, coord.Addr()),
+		startNode(t, "n2", reg, coord.Addr()),
 	}
 	defer func() {
 		for _, n := range nodes {
@@ -177,19 +176,19 @@ func TestFleetFailover(t *testing.T) {
 // the handoff is complete.
 func TestAgentDrainHandoff(t *testing.T) {
 	keys := []int{1, 2, 3, 4, 5, 6}
+	tt := testTimings()
 	reg := telemetry.NewRegistry()
-	coord, err := NewCoordinator("127.0.0.1:0", Config{
-		Intersections: keys,
-		Timings:       testTimings(),
-		Metrics:       reg,
-	})
+	coord, err := NewCoordinator("127.0.0.1:0",
+		WithIntersections(keys...),
+		WithHeartbeat(tt.HeartbeatEvery, tt.SuspectAfter, tt.DeadAfter),
+		WithMetrics(reg))
 	if err != nil {
 		t.Fatalf("NewCoordinator: %v", err)
 	}
 	defer coord.Close()
 
-	a := startNode(t, "a", coord.Addr(), reg)
-	b := startNode(t, "b", coord.Addr(), reg)
+	a := startNode(t, "a", reg, coord.Addr())
+	b := startNode(t, "b", reg, coord.Addr())
 	defer func() {
 		for _, n := range []*testNode{a, b} {
 			n.agent.Close()
@@ -228,14 +227,14 @@ func TestAgentDrainHandoff(t *testing.T) {
 // and quietly redials.
 func TestAgentSurvivesCoordinatorLoss(t *testing.T) {
 	keys := []int{1, 2, 3}
-	coord, err := NewCoordinator("127.0.0.1:0", Config{
-		Intersections: keys,
-		Timings:       testTimings(),
-	})
+	tt := testTimings()
+	coord, err := NewCoordinator("127.0.0.1:0",
+		WithIntersections(keys...),
+		WithHeartbeat(tt.HeartbeatEvery, tt.SuspectAfter, tt.DeadAfter))
 	if err != nil {
 		t.Fatalf("NewCoordinator: %v", err)
 	}
-	n := startNode(t, "solo", coord.Addr(), nil)
+	n := startNode(t, "solo", nil, coord.Addr())
 	defer func() {
 		n.agent.Close()
 		n.srv.Close()

@@ -52,20 +52,20 @@ func TestManagerMetrics(t *testing.T) {
 		t.Fatal("load histogram recorded no latency")
 	}
 	snap := reg.Snapshot()
-	if snap["pipeswitch_evictions_total"].(int64) != 2 {
-		t.Fatalf("evictions = %v, want 2", snap["pipeswitch_evictions_total"])
+	if got := snap.Value("pipeswitch_evictions_total"); got != 2 {
+		t.Fatalf("evictions = %v, want 2", got)
 	}
-	if snap["pipeswitch_reloads_total"].(int64) != 1 {
-		t.Fatalf("reloads = %v, want 1", snap["pipeswitch_reloads_total"])
+	if got := snap.Value("pipeswitch_reloads_total"); got != 1 {
+		t.Fatalf("reloads = %v, want 1", got)
 	}
-	if snap["pipeswitch_noop_activations_total"].(int64) != 1 {
-		t.Fatalf("noops = %v, want 1", snap["pipeswitch_noop_activations_total"])
+	if got := snap.Value("pipeswitch_noop_activations_total"); got != 1 {
+		t.Fatalf("noops = %v, want 1", got)
 	}
 	// Registry counters must agree with the manager's own façade.
 	ev, rl := m.ResidencyCounters()
-	if int64(ev) != snap["pipeswitch_evictions_total"].(int64) || int64(rl) != snap["pipeswitch_reloads_total"].(int64) {
+	if int64(ev) != snap.Value("pipeswitch_evictions_total") || int64(rl) != snap.Value("pipeswitch_reloads_total") {
 		t.Fatalf("registry (%v, %v) disagrees with ResidencyCounters (%d, %d)",
-			snap["pipeswitch_evictions_total"], snap["pipeswitch_reloads_total"], ev, rl)
+			snap.Value("pipeswitch_evictions_total"), snap.Value("pipeswitch_reloads_total"), ev, rl)
 	}
 
 	var sb strings.Builder

@@ -45,19 +45,19 @@ func TestServerMetrics(t *testing.T) {
 	waitFor(t, func() bool { return srv.Subscribers() == 1 })
 
 	snap := reg.Snapshot()
-	if got := snap["rsu_subscribed_total"].(int64); got != 2 {
+	if got := snap.Value("rsu_subscribed_total"); got != 2 {
 		t.Fatalf("subscribed = %d, want 2", got)
 	}
-	if got := snap["rsu_broadcasts_total"].(int64); got != int64(n) {
+	if got := snap.Value("rsu_broadcasts_total"); got != int64(n) {
 		t.Fatalf("broadcasts = %d, want %d", got, n)
 	}
-	if got := snap["rsu_slow_subscriber_evictions_total"].(int64); got < 1 {
+	if got := snap.Value("rsu_slow_subscriber_evictions_total"); got < 1 {
 		t.Fatalf("evictions = %d, want >= 1", got)
 	}
 	// The façade must agree with the registry.
 	st := srv.Stats()
-	if int64(st.Dropped) != snap["rsu_slow_subscriber_evictions_total"].(int64) ||
-		int64(st.Enqueued) != snap["rsu_enqueued_total"].(int64) {
+	if int64(st.Dropped) != snap.Value("rsu_slow_subscriber_evictions_total") ||
+		int64(st.Enqueued) != snap.Value("rsu_enqueued_total") {
 		t.Fatalf("Stats façade %+v disagrees with registry snapshot", st)
 	}
 

@@ -45,7 +45,34 @@ const (
 	// away, and to a node whose late heartbeat arrived after it was
 	// declared dead (Addr then points back at the coordinator: rejoin).
 	TypeRedirect = "redirect"
+
+	// TypeReplicate is the primary coordinator's state stream to a
+	// standby: the full epoch-versioned fleet view (membership,
+	// assignment, seed list) so any standby can resume as primary.
+	// Standbys fence on (term, epoch) — a replicate from a stale
+	// primary is rejected with a promote reply instead of applied.
+	TypeReplicate = "replicate"
+	// TypePromote announces where the primary coordinator is: a
+	// standby answers a node heartbeat with it (Addr names the
+	// primary), and a promoted standby uses it to fence a stale
+	// primary's pushes (forcing it to step down). Unlike a redirect,
+	// a promote never means "you are dead" — the receiver keeps its
+	// shards and simply re-heartbeats at Addr.
+	TypePromote = "promote"
 )
+
+// FleetMember is one node's membership record as replicated from the
+// primary coordinator to its standbys (replicate messages).
+type FleetMember struct {
+	// Node is the member's fleet identity.
+	Node string `json:"node"`
+	// Addr is the member's advertised RSU address.
+	Addr string `json:"addr,omitempty"`
+	// State is the primary's liveness verdict: "live", "suspect", or
+	// "dead" (dead tombstones replicate too, so a new primary keeps
+	// rejecting late heartbeats from reassigned nodes).
+	State string `json:"state"`
+}
 
 // Message is the single JSON envelope used on the wire.
 type Message struct {
@@ -90,6 +117,26 @@ type Message struct {
 	// Epoch is the assignment version the message reflects; receivers
 	// ignore assigns older than the epoch they already hold.
 	Epoch int64 `json:"epoch,omitempty"`
+	// Term is the coordinator generation: it starts at 1 with the
+	// first primary and bumps every time a standby promotes itself.
+	// Receivers order control pushes by (term, epoch) lexicographically,
+	// so a partitioned stale primary — whatever epoch it reached alone —
+	// can never override a promoted standby's assignments.
+	Term int64 `json:"term,omitempty"`
+	// Seeds is the ordered coordinator seed list (replicate messages);
+	// a coordinator's rank is its index here, and the lowest-ranked
+	// live standby is the one that promotes.
+	Seeds []string `json:"seeds,omitempty"`
+	// Primary is the current primary coordinator's control address
+	// (replicate messages).
+	Primary string `json:"primary,omitempty"`
+	// Owners maps every intersection to its owning node id (replicate
+	// messages) — the id-level companion of Table, which maps to
+	// addresses.
+	Owners map[int]string `json:"owners,omitempty"`
+	// Members is the replicated membership, dead tombstones included
+	// (replicate messages).
+	Members []FleetMember `json:"members,omitempty"`
 	// Owned lists the intersections the receiving node owns (assign
 	// messages).
 	Owned []int `json:"owned,omitempty"`
@@ -162,6 +209,32 @@ func RedirectMessage(intersection int, addr string, epoch int64) Message {
 	return Message{Type: TypeRedirect, Intersection: intersection, Addr: addr, Epoch: epoch}
 }
 
+// ReplicateMessage builds the primary coordinator's state push to one
+// standby: the whole fleet view under one (term, epoch) stamp. keys is
+// the full intersection list (travelling in Owned), owners the
+// intersection→node-id assignment, members the membership including
+// dead tombstones.
+func ReplicateMessage(term, epoch int64, primary string, seeds []string, keys []int, owners map[int]string, members []FleetMember) Message {
+	return Message{
+		Type:    TypeReplicate,
+		Term:    term,
+		Epoch:   epoch,
+		Primary: primary,
+		Seeds:   seeds,
+		Owned:   keys,
+		Owners:  owners,
+		Members: members,
+	}
+}
+
+// PromoteMessage names the primary coordinator: Addr is where the
+// receiver should heartbeat (keeping its shards), stamped with the
+// sender's (term, epoch) so a stale primary recognises it has been
+// superseded.
+func PromoteMessage(addr string, term, epoch int64) Message {
+	return Message{Type: TypePromote, Addr: addr, Term: term, Epoch: epoch}
+}
+
 // Validate checks well-formedness of an inbound message.
 func (m Message) Validate() error {
 	switch m.Type {
@@ -186,6 +259,25 @@ func (m Message) Validate() error {
 	case TypeRedirect:
 		if m.Addr == "" {
 			return fmt.Errorf("rsu: redirect without target address")
+		}
+		return nil
+	case TypeReplicate:
+		if m.Term < 1 {
+			return fmt.Errorf("rsu: replicate with term %d, need >= 1", m.Term)
+		}
+		if m.Primary == "" {
+			return fmt.Errorf("rsu: replicate without primary address")
+		}
+		if len(m.Seeds) == 0 {
+			return fmt.Errorf("rsu: replicate without coordinator seed list")
+		}
+		return nil
+	case TypePromote:
+		if m.Addr == "" {
+			return fmt.Errorf("rsu: promote without primary address")
+		}
+		if m.Term < 1 {
+			return fmt.Errorf("rsu: promote with term %d, need >= 1", m.Term)
 		}
 		return nil
 	case TypeWelcome, TypeAdvisory, TypeSwitch, TypeStats:

@@ -31,6 +31,7 @@ type Server struct {
 	table      map[int]string
 
 	log     *telemetry.Logger
+	reg     *telemetry.Registry
 	metrics serverMetrics
 
 	wg sync.WaitGroup
@@ -61,6 +62,7 @@ func (o serverMetricsOption) apply(s *Server) {
 	if o.reg == nil {
 		return
 	}
+	s.reg = o.reg
 	s.metrics = serverMetrics{
 		subscribed: o.reg.Counter("rsu_subscribed_total", "successful vehicle subscriptions"),
 		broadcasts: o.reg.Counter("rsu_broadcasts_total", "broadcast calls"),
@@ -347,15 +349,18 @@ func (s *Server) RedirectIntersection(intersection int, addr string) {
 }
 
 // Stats returns a snapshot of server activity counters. It is a
-// façade over the telemetry counters, which are the single source of
-// truth whether or not the server was wired to an external registry.
+// façade over a telemetry.Snapshot of the server's registry — the
+// single source of truth whether or not the server was wired to an
+// external registry — so new series join the façade by name, with no
+// per-metric plumbing.
 func (s *Server) Stats() Stats {
+	snap := s.reg.Snapshot()
 	return Stats{
-		Subscribed: int(s.metrics.subscribed.Value()),
-		Broadcasts: int(s.metrics.broadcasts.Value()),
-		Enqueued:   int(s.metrics.enqueued.Value()),
-		Dropped:    int(s.metrics.dropped.Value()),
-		Redirects:  int(s.metrics.redirects.Value()),
+		Subscribed: snap.Int("rsu_subscribed_total"),
+		Broadcasts: snap.Int("rsu_broadcasts_total"),
+		Enqueued:   snap.Int("rsu_enqueued_total"),
+		Dropped:    snap.Int("rsu_slow_subscriber_evictions_total"),
+		Redirects:  snap.Int("rsu_redirects_total"),
 	}
 }
 

@@ -146,43 +146,45 @@ func (s *Server) recordBatch(b *batch, rep pipeswitch.Report, computeWall time.D
 	}
 }
 
-// Stats returns a snapshot computed from the telemetry registry, plus
-// the per-worker virtual timelines.
+// Stats returns a snapshot computed from the telemetry registry —
+// one consistent telemetry.Snapshot read, addressed by series name —
+// plus the per-worker virtual timelines, which live outside the
+// registry.
 func (s *Server) Stats() Stats {
-	m := &s.metrics
+	snap := s.registry.Snapshot()
 	out := Stats{
-		Submitted:     int(m.submitted.Value()),
-		Rejected:      int(m.rejected.Value()),
-		Shed:          int(m.shed.Value()),
-		Cancelled:     int(m.cancelled.Value()),
-		Expired:       int(m.expired.Value()),
-		Failed:        int(m.failed.Value()),
-		Completed:     int(m.completed.Value()),
-		SLOViolations: int(m.sloViolations.Value()),
-		Aged:          int(m.aged.Value()),
+		Submitted:     snap.Int("serve_submitted_total"),
+		Rejected:      snap.Int("serve_rejected_total"),
+		Shed:          snap.Int("serve_shed_total"),
+		Cancelled:     snap.Int("serve_cancelled_total"),
+		Expired:       snap.Int("serve_expired_total"),
+		Failed:        snap.Int("serve_failed_total"),
+		Completed:     snap.Int("serve_completed_total"),
+		SLOViolations: snap.Int("serve_slo_violations_total"),
+		Aged:          snap.Int("serve_aged_total"),
 
-		Batches:      int(m.batches.Value()),
-		BatchedClips: int(m.batchedClips.Value()),
-		MaxBatch:     int(m.maxBatch.Value()),
-		WarmBatches:  int(m.warmBatches.Value()),
-		Switches:     int(m.switches.Value()),
-		Evictions:    int(m.evictions.Value()),
-		Reloads:      int(m.reloads.Value()),
+		Batches:      snap.Int("serve_batches_total"),
+		BatchedClips: snap.Int("serve_batched_clips_total"),
+		MaxBatch:     snap.Int("serve_max_batch"),
+		WarmBatches:  snap.Int("serve_warm_batches_total"),
+		Switches:     snap.Int("serve_switches_total"),
+		Evictions:    snap.Int("serve_evictions_total"),
+		Reloads:      snap.Int("serve_reloads_total"),
 
-		QueueWait:    time.Duration(m.queueWait.Sum()),
-		BatchWait:    time.Duration(m.batchWait.Sum()),
-		ComputeWall:  time.Duration(m.compute.Sum()),
-		TotalLatency: time.Duration(m.totalLatency.Sum()),
+		QueueWait:    snap.SumDuration("serve_queue_wait_seconds"),
+		BatchWait:    snap.SumDuration("serve_batch_wait_seconds"),
+		ComputeWall:  snap.SumDuration("serve_compute_seconds"),
+		TotalLatency: snap.SumDuration("serve_total_latency_seconds"),
 
-		P50:              m.totalLatency.QuantileDuration(0.50),
-		P99:              m.totalLatency.QuantileDuration(0.99),
-		CriticalQueueP95: m.critWait.QuantileDuration(0.95),
-		RoutineQueueP95:  m.routWait.QuantileDuration(0.95),
+		P50:              snap.QuantileDuration("serve_total_latency_seconds", 0.50),
+		P99:              snap.QuantileDuration("serve_total_latency_seconds", 0.99),
+		CriticalQueueP95: snap.QuantileDuration(`serve_dispatch_wait_seconds{class="critical"}`, 0.95),
+		RoutineQueueP95:  snap.QuantileDuration(`serve_dispatch_wait_seconds{class="routine"}`, 0.95),
 
-		CriticalCompleted: int(m.critCompleted.Value()),
-		RoutineCompleted:  int(m.routCompleted.Value()),
+		CriticalCompleted: snap.Int(`serve_completed_by_class_total{class="critical"}`),
+		RoutineCompleted:  snap.Int(`serve_completed_by_class_total{class="routine"}`),
 
-		SwitchVirtual: time.Duration(m.switchCost.Sum()),
+		SwitchVirtual: snap.SumDuration("serve_switch_cost_seconds"),
 	}
 	for _, w := range s.workers {
 		v := time.Duration(w.virtualNow.Load())

@@ -46,7 +46,7 @@ func ListenDebug(addr string, reg *Registry, tracer *Tracer) (*DebugServer, erro
 		w.Header().Set("Content-Type", "application/json")
 		snap := map[string]any{}
 		if reg != nil {
-			snap = reg.Snapshot()
+			snap = reg.Snapshot().Values()
 		}
 		_ = json.NewEncoder(w).Encode(snap)
 	})

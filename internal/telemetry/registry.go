@@ -262,11 +262,17 @@ func (h *Histogram) Quantile(q float64) int64 {
 		return 0
 	}
 	buckets, count, _ := h.snapshot()
+	return quantileFromBuckets(&buckets, count, h.Max(), q)
+}
+
+// quantileFromBuckets resolves a quantile from a merged bucket array —
+// shared between live histograms and frozen Snapshot state.
+func quantileFromBuckets(buckets *[histBuckets]int64, count, max int64, q float64) int64 {
 	if count == 0 {
 		return 0
 	}
 	if q >= 1 {
-		return h.Max()
+		return max
 	}
 	rank := int64(math.Ceil(q * float64(count)))
 	if rank < 1 {
@@ -277,13 +283,13 @@ func (h *Histogram) Quantile(q float64) int64 {
 		seen += buckets[i]
 		if seen >= rank {
 			upper := bucketUpper(i)
-			if m := h.Max(); upper > m {
-				upper = m // never report beyond the observed maximum
+			if upper > max {
+				upper = max // never report beyond the observed maximum
 			}
 			return upper
 		}
 	}
-	return h.Max()
+	return max
 }
 
 // QuantileDuration returns Quantile(q) as a time.Duration; it is only
@@ -517,33 +523,3 @@ func inUnit(v int64, unit Unit) float64 {
 	return float64(v)
 }
 
-// Snapshot returns every metric's current value keyed by name:
-// counters and gauges as numbers, histograms as HistogramSnapshot.
-func (r *Registry) Snapshot() map[string]any {
-	out := make(map[string]any)
-	for _, m := range r.snapshotMetrics() {
-		switch {
-		case m.c != nil:
-			out[m.name] = m.c.Value()
-		case m.g != nil:
-			out[m.name] = m.g.Value()
-		case m.gf != nil:
-			out[m.name] = m.gf()
-		case m.h != nil:
-			mean := m.h.Mean()
-			if m.h.unit == UnitSeconds {
-				mean /= float64(time.Second)
-			}
-			out[m.name] = HistogramSnapshot{
-				Count: m.h.Count(),
-				Sum:   inUnit(m.h.Sum(), m.h.unit),
-				Mean:  mean,
-				Max:   inUnit(m.h.Max(), m.h.unit),
-				P50:   inUnit(m.h.Quantile(0.50), m.h.unit),
-				P90:   inUnit(m.h.Quantile(0.90), m.h.unit),
-				P99:   inUnit(m.h.Quantile(0.99), m.h.unit),
-			}
-		}
-	}
-	return out
-}

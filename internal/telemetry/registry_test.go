@@ -205,11 +205,19 @@ func TestSnapshotJSONShape(t *testing.T) {
 	h := r.Histogram("h_seconds", "", UnitSeconds)
 	h.ObserveDuration(time.Second)
 	snap := r.Snapshot()
-	if snap["c_total"].(int64) != 2 {
-		t.Fatalf("snapshot counter = %v", snap["c_total"])
+	if snap.Value("c_total") != 2 {
+		t.Fatalf("snapshot counter = %v", snap.Value("c_total"))
 	}
-	hs := snap["h_seconds"].(HistogramSnapshot)
+	vals := snap.Values()
+	if vals["c_total"].(int64) != 2 {
+		t.Fatalf("snapshot JSON counter = %v", vals["c_total"])
+	}
+	hs := vals["h_seconds"].(HistogramSnapshot)
 	if hs.Count != 1 || hs.Max < 0.99 || hs.Max > 1.01 {
 		t.Fatalf("snapshot histogram = %+v", hs)
+	}
+	if snap.Count("h_seconds") != 1 || snap.QuantileDuration("h_seconds", 1) != time.Second {
+		t.Fatalf("typed histogram accessors: count=%d p100=%v",
+			snap.Count("h_seconds"), snap.QuantileDuration("h_seconds", 1))
 	}
 }
