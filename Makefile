@@ -30,17 +30,22 @@ bench:
 # bench-smoke runs the serving and inference benchmarks exactly once:
 # enough to catch a broken benchmark or a serving-plane regression (the
 # memory-pressure benchmark asserts zero drops and real eviction/reload
-# churn; the Fig8 benchmark drives the batched workspace path) without
-# paying for a full measurement run.
+# churn; the Fig8 benchmark drives the batched workspace path; the
+# detect-eval benchmark asserts the pooled score path stays
+# allocation-free at steady state) without paying for a full
+# measurement run.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkServe|BenchmarkFig8_SlowFastInference' -benchtime=1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkServe|BenchmarkFig8_SlowFastInference|BenchmarkDetectEval|BenchmarkFewshotAdapt' -benchtime=1x .
 
-# bench-json measures the inference hot paths (batched Fig8 inference
-# and the serving plane) with allocation tracking and records them in
-# BENCH_infer.json; the file's previous contents roll into a
-# "previous" field, so each refresh carries its own before/after.
+# bench-json measures the inference hot paths (batched Fig8 inference,
+# the serving plane, detector eval, and few-shot adaptation) with
+# allocation tracking and records them in BENCH_infer.json; the file's
+# previous contents roll into a "previous" field, so each refresh
+# carries its own before/after. -require makes a silently skipped hot
+# path (a bad -bench regex) fail the target instead of writing a
+# report with a hole in it.
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkFig8_SlowFastInference|BenchmarkServe' -benchmem . | $(GO) run ./cmd/benchjson -out BENCH_infer.json
+	$(GO) test -run '^$$' -bench 'BenchmarkFig8_SlowFastInference|BenchmarkServe|BenchmarkDetectEval|BenchmarkFewshotAdapt' -benchmem . | $(GO) run ./cmd/benchjson -out BENCH_infer.json -require 'BenchmarkFig8_SlowFastInference,BenchmarkServe_MultiIntersection,BenchmarkDetectEval,BenchmarkFewshotAdapt'
 
 # obs-smoke boots the RSU command with its debug listener
 # (-debug-addr), scrapes /metrics and /traces while the feeds run, and

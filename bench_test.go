@@ -18,6 +18,7 @@ import (
 	"safecross/internal/dataset"
 	"safecross/internal/detect"
 	"safecross/internal/experiments"
+	"safecross/internal/fewshot"
 	"safecross/internal/gpusim"
 	"safecross/internal/nn"
 	"safecross/internal/pipeswitch"
@@ -337,12 +338,104 @@ func BenchmarkFig8_SlowFastInference(b *testing.B) {
 	})
 }
 
+// BenchmarkDetectEval_Yolite times the detector's steady-state frame
+// eval — the deployed per-frame path: ScoreMapWS through the pooled
+// workspace plus connected-component boxing. Before timing it asserts
+// the warm score path allocates nothing at all: the workspace owns
+// the frame copy, every conv scratch buffer, and the sigmoid map.
+func BenchmarkDetectEval_Yolite(b *testing.B) {
+	d := yoliteSetup(b)
+	scene, err := detect.CanonicalScene()
+	if err != nil {
+		b.Fatal(err)
+	}
+	frames := scene.Frames
+	frame := frames[len(frames)-1]
+
+	ws := nn.NewWorkspace()
+	if _, err := d.ScoreMapWS(frame, ws); err != nil {
+		b.Fatal(err) // warm the workspace outside the assertion
+	}
+	ws.Reset()
+	if allocs := testing.AllocsPerRun(10, func() {
+		if _, err := d.ScoreMapWS(frame, ws); err != nil {
+			b.Fatal(err)
+		}
+		ws.Reset()
+	}); allocs > 0 {
+		b.Fatalf("steady-state detect score path allocates %.0f/run, want 0", allocs)
+	}
+
+	if _, err := d.Detect(frames); err != nil {
+		b.Fatal(err) // warm the detector's private workspace and mask
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var rects []vision.Rect
+	for i := 0; i < b.N; i++ {
+		rects, err = d.Detect(frames)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(rects)), "boxes")
+}
+
+// cachedYoliteBench trains the detector once per benchmark binary.
+var (
+	yoliteBenchOnce sync.Once
+	yoliteBenchDet  *detect.Yolite
+	yoliteBenchErr  error
+)
+
+func yoliteSetup(b *testing.B) *detect.Yolite {
+	b.Helper()
+	yoliteBenchOnce.Do(func() {
+		yoliteBenchDet, yoliteBenchErr = detect.TrainYolite(7, 8)
+	})
+	if yoliteBenchErr != nil {
+		b.Fatal(yoliteBenchErr)
+	}
+	return yoliteBenchDet
+}
+
+// BenchmarkFewshotAdapt times one full few-shot episode on the
+// trained daytime model: the MAML inner loop on a 4-clip support set
+// (train-mode forwards) followed by query evaluation through the
+// pooled batch engine. The reused workspace means the eval half of
+// the episode stops allocating once warm — allocs/op is dominated by
+// adaptation, the part that must stay on the training path.
+func BenchmarkFewshotAdapt(b *testing.B) {
+	tm := pipelineSetup(b)
+	m, err := fewshot.NewFromPretrained(tm.Builder, tm.Models[sim.Day])
+	if err != nil {
+		b.Fatal(err)
+	}
+	clips := makeBenchClips(b, tm.Cfg.ClipLen, 12)
+	task := fewshot.Task{Support: clips[:4], Query: clips[4:]}
+	ws := nn.NewWorkspace()
+	if _, _, err := m.EvalTask(task, 2, 0.05, ws); err != nil {
+		b.Fatal(err) // warm the eval workspace outside the timed loop
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var cm *nn.ConfusionMatrix
+	for i := 0; i < b.N; i++ {
+		_, cm, err = m.EvalTask(task, 2, 0.05, ws)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(cm.Top1(), "query-top1")
+}
+
 // BenchmarkServe_MultiIntersection drives the inference-serving plane
-// with four concurrent intersection feeds, comparing the per-clip
+// with concurrent intersection feeds, comparing the per-clip
 // single-GPU baseline against the dynamically batched multi-GPU
-// configuration. Throughput is reported in virtual GPU time
-// (virt-clip/s), which is deterministic and independent of host core
-// count; wall-clock clips/s is the standard benchmark metric.
+// configuration and a bursty 16-feed overload that exercises the
+// adaptive batch-target growth. Throughput is reported in virtual GPU
+// time (virt-clip/s), which is deterministic and independent of host
+// core count; wall-clock clips/s is the standard benchmark metric.
 func BenchmarkServe_MultiIntersection(b *testing.B) {
 	builder := video.SlowFastBuilder(video.SlowFastConfig{
 		T: 16, H: 10, W: 16, Alpha: 8, Classes: 2, Lateral: true, Seed: 7,
@@ -357,13 +450,25 @@ func BenchmarkServe_MultiIntersection(b *testing.B) {
 	}
 	factory := serve.Replicas(builder, models)
 
-	const intersections, clipsPer = 4, 12
+	const clipsPer = 12
 	configs := []struct {
-		name string
-		cfg  serve.Config
+		name  string
+		feeds int
+		// burst is how many clips each feed has outstanding at once: 1
+		// models a camera that waits for each verdict, larger values
+		// model arrival bursts (backed-up RTSP frames flushing at once)
+		// that build real queue depth and force the adaptive batch
+		// target to grow.
+		burst int
+		cfg   serve.Config
 	}{
-		{"baseline-1gpu", serve.Config{Workers: 1, MaxBatch: 1, QueueDepth: 256, SLO: time.Minute}},
-		{"batched-4gpu", serve.Config{Workers: 4, MaxBatch: 8, QueueDepth: 256, SLO: time.Minute}},
+		{"baseline-1gpu", 4, 1, serve.Config{Workers: 1, MaxBatch: 1, QueueDepth: 256, SLO: time.Minute}},
+		{"batched-4gpu", 4, 1, serve.Config{Workers: 4, MaxBatch: 8, QueueDepth: 256, SLO: time.Minute}},
+		// The burst plane runs a 1ms batch window: with sub-millisecond
+		// per-clip compute, the adaptive growth gate (compute p50 vs a
+		// quarter of the window) stays open, so the target tracks the
+		// backlog instead of pinning at 1.
+		{"burst-16feeds-4gpu", 16, 4, serve.Config{Workers: 4, MaxBatch: 8, QueueDepth: 512, BatchLatency: time.Millisecond, SLO: time.Minute}},
 	}
 	for _, c := range configs {
 		c := c
@@ -381,18 +486,25 @@ func BenchmarkServe_MultiIntersection(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				var wg sync.WaitGroup
-				for p := 0; p < intersections; p++ {
+				for p := 0; p < c.feeds; p++ {
 					wg.Add(1)
 					go func(p int) {
 						defer wg.Done()
 						rng := rand.New(rand.NewSource(int64(100 + p)))
-						for j := 0; j < clipsPer; j++ {
-							clip := tensor.RandnTensor(rng, 1, 1, 16, 10, 16)
-							scene := sim.AllWeathers()[(p+j)%3]
-							if _, err := s.Submit(context.Background(), serve.Request{Scene: scene, Clip: clip}); err != nil {
-								b.Error(err)
-								return
+						for j := 0; j < clipsPer; j += c.burst {
+							var bwg sync.WaitGroup
+							for k := 0; k < c.burst && j+k < clipsPer; k++ {
+								clip := tensor.RandnTensor(rng, 1, 1, 16, 10, 16)
+								scene := sim.AllWeathers()[(p+j+k)%3]
+								bwg.Add(1)
+								go func() {
+									defer bwg.Done()
+									if _, err := s.Submit(context.Background(), serve.Request{Scene: scene, Clip: clip}); err != nil {
+										b.Error(err)
+									}
+								}()
 							}
+							bwg.Wait()
 						}
 					}(p)
 				}
@@ -400,12 +512,19 @@ func BenchmarkServe_MultiIntersection(b *testing.B) {
 			}
 			b.StopTimer()
 			st := s.Stats()
-			if st.Completed != b.N*intersections*clipsPer {
-				b.Fatalf("%d of %d clips completed", st.Completed, b.N*intersections*clipsPer)
+			if st.Completed != b.N*c.feeds*clipsPer {
+				b.Fatalf("%d of %d clips completed", st.Completed, b.N*c.feeds*clipsPer)
 			}
 			b.ReportMetric(st.VirtualThroughput(), "virt-clip/s")
 			b.ReportMetric(float64(st.P99.Microseconds()), "p99-µs")
 			b.ReportMetric(st.MeanBatch(), "mean-batch")
+			// The adaptive batch-sizing series: the live early-seal
+			// target plus its high-water mark, and the pool's workspace
+			// reuse split. Under the burst config the target must react
+			// to queue depth, so its max rises above 1.
+			b.ReportMetric(float64(st.BatchTargetMax), "batch-target-max")
+			b.ReportMetric(float64(st.WorkspaceHits)/float64(b.N), "ws-hits/op")
+			b.ReportMetric(float64(st.WorkspaceMisses)/float64(b.N), "ws-misses/op")
 			// Scrape the telemetry registry the serving plane recorded
 			// into: queue-wait and switch-cost land in BENCH_infer.json
 			// via cmd/benchjson, which folds every ReportMetric unit

@@ -5,6 +5,11 @@
 // one-step before/after trajectory alongside every refresh:
 //
 //	go test -run '^$' -bench . -benchmem . | go run ./cmd/benchjson -out BENCH_infer.json
+//
+// The -require flag takes comma-separated name substrings that must
+// each match at least one parsed benchmark; a run that silently skips
+// a hot path (e.g. a typo in the -bench regex) then fails loudly
+// instead of writing a report with a hole in it.
 package main
 
 import (
@@ -79,7 +84,31 @@ func parseLine(line string) (Benchmark, bool) {
 	return b, true
 }
 
-func run(out string) error {
+// missingRequired returns the entries of require (comma-separated
+// substrings) that match none of the parsed benchmark names. An empty
+// require string demands nothing.
+func missingRequired(require string, benches []Benchmark) []string {
+	var missing []string
+	for _, want := range strings.Split(require, ",") {
+		want = strings.TrimSpace(want)
+		if want == "" {
+			continue
+		}
+		found := false
+		for _, b := range benches {
+			if strings.Contains(b.Name, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			missing = append(missing, want)
+		}
+	}
+	return missing
+}
+
+func run(out, require string) error {
 	var benches []Benchmark
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -95,6 +124,9 @@ func run(out string) error {
 	}
 	if len(benches) == 0 {
 		return fmt.Errorf("benchjson: no benchmark lines on stdin")
+	}
+	if missing := missingRequired(require, benches); len(missing) > 0 {
+		return fmt.Errorf("benchjson: required benchmarks missing from input: %s", strings.Join(missing, ", "))
 	}
 
 	rep := Report{
@@ -124,8 +156,9 @@ func run(out string) error {
 
 func main() {
 	out := flag.String("out", "BENCH_infer.json", "output JSON file")
+	require := flag.String("require", "", "comma-separated name substrings that must each match a parsed benchmark, else exit non-zero")
 	flag.Parse()
-	if err := run(*out); err != nil {
+	if err := run(*out, *require); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

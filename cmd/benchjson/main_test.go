@@ -18,6 +18,23 @@ func TestParseLineStandardAndCustomMetrics(t *testing.T) {
 	}
 }
 
+func TestMissingRequired(t *testing.T) {
+	benches := []Benchmark{
+		{Name: "BenchmarkServe_MultiIntersection/batched-4gpu"},
+		{Name: "BenchmarkDetectEval_Yolite"},
+	}
+	if m := missingRequired("", benches); m != nil {
+		t.Fatalf("empty require reported missing %v", m)
+	}
+	if m := missingRequired("BenchmarkServe, BenchmarkDetectEval", benches); m != nil {
+		t.Fatalf("satisfied require reported missing %v", m)
+	}
+	m := missingRequired("BenchmarkServe,BenchmarkFewshotAdapt", benches)
+	if len(m) != 1 || m[0] != "BenchmarkFewshotAdapt" {
+		t.Fatalf("missing = %v, want [BenchmarkFewshotAdapt]", m)
+	}
+}
+
 func TestParseLineRejectsNonBenchmarkLines(t *testing.T) {
 	for _, line := range []string{
 		"goos: linux",

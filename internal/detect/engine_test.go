@@ -1,0 +1,137 @@
+package detect
+
+// Engine-contract coverage for the detector: the workspace and batch
+// eval forwards must be bit-identical (==, not approximately equal) to
+// the allocating reference Forward, and the Presence adapter's argmax
+// decoding must agree exactly with the detector's threshold test.
+
+import (
+	"math"
+	"testing"
+
+	"safecross/internal/dataset"
+	"safecross/internal/infer"
+	"safecross/internal/nn"
+	"safecross/internal/tensor"
+	"safecross/internal/vision"
+)
+
+// frameTensor copies one grayscale frame into a [1,H,W] tensor.
+func frameTensor(im *vision.Image) *tensor.Tensor {
+	x := tensor.New(1, im.H, im.W)
+	copy(x.Data, im.Pix)
+	return x
+}
+
+func TestYoliteForwardVariantsBitIdentical(t *testing.T) {
+	d := trainedYolite(t)
+	scene := canonical(t)
+	frames := scene.Frames[:4]
+
+	xs := make([]*tensor.Tensor, len(frames))
+	refs := make([]*tensor.Tensor, len(frames))
+	for i, im := range frames {
+		xs[i] = frameTensor(im)
+		ref, err := d.Forward(xs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[i] = ref
+	}
+
+	ws := nn.NewWorkspace()
+	for i, x := range xs {
+		got, err := d.ForwardWS(x, ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Data) != len(refs[i].Data) {
+			t.Fatalf("frame %d: ForwardWS shape %v vs Forward %v", i, got.Shape, refs[i].Shape)
+		}
+		for j := range got.Data {
+			if got.Data[j] != refs[i].Data[j] {
+				t.Fatalf("frame %d cell %d: ForwardWS %v != Forward %v",
+					i, j, got.Data[j], refs[i].Data[j])
+			}
+		}
+		ws.Reset()
+	}
+
+	batched, err := d.ForwardBatch(xs, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batched) != len(xs) {
+		t.Fatalf("ForwardBatch returned %d maps for %d frames", len(batched), len(xs))
+	}
+	for i, got := range batched {
+		for j := range got.Data {
+			if got.Data[j] != refs[i].Data[j] {
+				t.Fatalf("frame %d cell %d: ForwardBatch %v != Forward %v",
+					i, j, got.Data[j], refs[i].Data[j])
+			}
+		}
+	}
+}
+
+func TestYoliteForwardBatchRejectsBadFrames(t *testing.T) {
+	d := trainedYolite(t)
+	ws := nn.NewWorkspace()
+	if _, err := d.ForwardBatch([]*tensor.Tensor{tensor.New(2, 8, 8)}, ws); err == nil {
+		t.Fatal("expected shape error for a 2-channel frame")
+	}
+	if _, err := d.ForwardBatch([]*tensor.Tensor{tensor.New(8, 8)}, ws); err == nil {
+		t.Fatal("expected shape error for a rank-2 frame")
+	}
+}
+
+// TestPresenceMatchesDetectorThreshold drives the detector through the
+// unified engine exactly the way a serve worker would, and checks the
+// decoded labels equal the detector's own peak-vs-threshold test.
+func TestPresenceMatchesDetectorThreshold(t *testing.T) {
+	d := trainedYolite(t)
+	scene := canonical(t)
+
+	// A clean bright vehicle the detector finds, plus raw scene frames.
+	bright := vision.NewImage(scene.Frames[0].W, scene.Frames[0].H)
+	bright.Fill(0.33)
+	bright.FillRect(20, 12, 38, 20, 0.9)
+	frames := append([]*vision.Image{bright}, scene.Frames[:3]...)
+
+	xs := make([]*tensor.Tensor, len(frames))
+	want := make([]int, len(frames))
+	for i, im := range frames {
+		xs[i] = frameTensor(im)
+		logits, err := d.Forward(xs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		peak := math.Inf(-1)
+		for _, z := range logits.Data {
+			if z > peak {
+				peak = z
+			}
+		}
+		want[i] = dataset.ClassSafe
+		if 1/(1+math.Exp(-peak)) >= d.Threshold {
+			want[i] = dataset.ClassDanger
+		}
+	}
+
+	labels, err := infer.PredictBatch(NewPresence(d), xs, nn.NewWorkspace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawDanger := false
+	for i, got := range labels {
+		if got != want[i] {
+			t.Fatalf("frame %d: presence label %d, detector threshold says %d", i, got, want[i])
+		}
+		if got == dataset.ClassDanger {
+			sawDanger = true
+		}
+	}
+	if !sawDanger {
+		t.Fatal("the bright near-field vehicle must decode as danger")
+	}
+}

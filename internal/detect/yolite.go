@@ -27,6 +27,14 @@ type Yolite struct {
 	stride int
 	// minCells is the minimum number of positive cells per detection.
 	minCells int
+
+	// ws and mask are Detect's private eval scratch: the score path
+	// draws every buffer from ws and the cell mask is reused across
+	// frames, so steady-state detection allocates nothing per frame.
+	// They make Detect single-goroutine, which it already was — the
+	// train-mode forward caches shared layer state too.
+	ws   *nn.Workspace
+	mask *vision.Image
 }
 
 var _ Detector = (*Yolite)(nil)
@@ -65,39 +73,117 @@ func (d *Yolite) Name() string { return "yolite" }
 // Params exposes the network parameters (for persistence).
 func (d *Yolite) Params() []*nn.Param { return d.net.Params() }
 
-// scoreMap runs the network on one frame and returns the sigmoid
-// objectness map (cells of stride×stride pixels).
-func (d *Yolite) scoreMap(frame *vision.Image) (*tensor.Tensor, error) {
-	x := tensor.New(1, frame.H, frame.W)
-	copy(x.Data, frame.Pix)
+// SetTrain toggles the grid CNN between its cache-writing training
+// forward and the stateless eval forward.
+func (d *Yolite) SetTrain(train bool) { d.net.SetTrain(train) }
+
+// Forward runs the grid CNN on one [1,H,W] frame tensor and returns
+// the raw cell logits [1,GH,GW] — the allocating reference path the
+// workspace variants are tested bit-identical against.
+func (d *Yolite) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 	logits, err := d.net.Forward(x)
 	if err != nil {
 		return nil, fmt.Errorf("detect: yolite: %w", err)
 	}
-	probs := logits.Map(func(v float64) float64 { return 1 / (1 + math.Exp(-v)) })
-	return probs, nil
+	return logits, nil
+}
+
+// ForwardWS is the eval forward through workspace scratch: it accepts
+// one [1,H,W] frame tensor or a channel-major [1,N,H,W] frame batch
+// (batch axis second), returning cell logits of matching rank,
+// bit-identical to Forward. The result is a workspace buffer — valid
+// until ws is reset, owned by the calling goroutine.
+func (d *Yolite) ForwardWS(x *tensor.Tensor, ws *nn.Workspace) (*tensor.Tensor, error) {
+	logits, err := d.net.ForwardWS(x, ws)
+	if err != nil {
+		return nil, fmt.Errorf("detect: yolite: %w", err)
+	}
+	return logits, nil
+}
+
+// ForwardBatch implements the unified engine contract (infer.Model):
+// n [1,H,W] frames ride one stacked [1,N,H,W] pass — one im2col + one
+// matmul per conv layer — and come back as n fresh [1,GH,GW] cell-
+// logit tensors, bit-identical to Forward per frame.
+func (d *Yolite) ForwardBatch(xs []*tensor.Tensor, ws *nn.Workspace) ([]*tensor.Tensor, error) {
+	defer ws.Reset()
+	for i, f := range xs {
+		if f.Rank() != 3 || f.Shape[0] != 1 {
+			return nil, fmt.Errorf("detect: frame %d has shape %v, want [1,H,W]", i, f.Shape)
+		}
+	}
+	n := len(xs)
+	h, w := xs[0].Shape[1], xs[0].Shape[2]
+	x := ws.Get(1, n, h, w)
+	vol := h * w
+	for i, f := range xs {
+		copy(x.Data[i*vol:(i+1)*vol], f.Data)
+	}
+	batched, err := d.ForwardWS(x, ws) // [1,N,GH,GW]
+	if err != nil {
+		return nil, err
+	}
+	gh, gw := batched.Shape[2], batched.Shape[3]
+	cells := gh * gw
+	out := make([]*tensor.Tensor, n)
+	for i := range out {
+		l := tensor.New(1, gh, gw)
+		copy(l.Data, batched.Data[i*cells:(i+1)*cells])
+		out[i] = l
+	}
+	return out, nil
+}
+
+// ScoreMapWS scores one frame through the pooled eval path: the frame
+// copy, every conv scratch buffer, and the sigmoid objectness map all
+// land in ws, so a warm caller's per-frame score path allocates
+// nothing. The returned [1,GH,GW] map (cells of stride×stride pixels)
+// is valid until ws is reset.
+func (d *Yolite) ScoreMapWS(frame *vision.Image, ws *nn.Workspace) (*tensor.Tensor, error) {
+	x := ws.Get(1, frame.H, frame.W)
+	copy(x.Data, frame.Pix)
+	logits, err := d.ForwardWS(x, ws)
+	if err != nil {
+		return nil, err
+	}
+	for i, z := range logits.Data {
+		logits.Data[i] = 1 / (1 + math.Exp(-z))
+	}
+	return logits, nil
 }
 
 // Detect scores the final frame and boxes groups of positive cells.
+// The score path runs through the detector's private workspace and
+// the cell mask is reused, so a warm detector's per-frame eval
+// allocates only the returned rects. Not safe for concurrent use.
 func (d *Yolite) Detect(frames []*vision.Image) ([]vision.Rect, error) {
 	if err := minSequence(frames, 1); err != nil {
 		return nil, err
 	}
 	frame := frames[len(frames)-1]
-	probs, err := d.scoreMap(frame)
+	if d.ws == nil {
+		d.ws = nn.NewWorkspace()
+	}
+	defer d.ws.Reset()
+	d.net.SetTrain(false)
+	probs, err := d.ScoreMapWS(frame, d.ws)
 	if err != nil {
 		return nil, err
 	}
 	gh, gw := probs.Shape[1], probs.Shape[2]
-	mask := vision.NewImage(gw, gh)
+	if d.mask == nil || d.mask.W != gw || d.mask.H != gh {
+		d.mask = vision.NewImage(gw, gh)
+	} else {
+		d.mask.Fill(0)
+	}
 	for y := 0; y < gh; y++ {
 		for x := 0; x < gw; x++ {
 			if probs.At(0, y, x) >= d.Threshold {
-				mask.Set(x, y, 1)
+				d.mask.Set(x, y, 1)
 			}
 		}
 	}
-	blobs := vision.ConnectedComponents(mask, d.minCells)
+	blobs := vision.ConnectedComponents(d.mask, d.minCells)
 	rects := make([]vision.Rect, 0, len(blobs))
 	for _, b := range blobs {
 		rects = append(rects, vision.Rect{
@@ -164,6 +250,8 @@ func TrainYolite(seed int64, epochs int) (*Yolite, error) {
 	}
 	opt := nn.NewAdam(0.01)
 	params := d.net.Params()
+	d.net.SetTrain(true)
+	defer d.net.SetTrain(false)
 	for e := 0; e < epochs; e++ {
 		for _, s := range samples {
 			nn.ZeroGrad(params)

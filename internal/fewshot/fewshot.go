@@ -275,6 +275,26 @@ func (m *MAML) Adapt(support []*dataset.Clip, steps int, lr float64) (video.Clas
 	return adapted, nil
 }
 
+// EvalTask runs one full episode: adapt a clone of the meta
+// parameters on the support set (Eq. 1, train-mode forwards,
+// untouched by the engine), then score the adapted model on the query
+// set through the unified batch engine — the eval forwards ride
+// infer workspaces via video.EvaluateWS, so a caller evaluating many
+// episodes with one workspace pays no per-episode eval allocation.
+// It returns the adapted classifier and its query confusion matrix. A
+// nil ws is replaced by a throwaway workspace.
+func (m *MAML) EvalTask(task Task, steps int, lr float64, ws *nn.Workspace) (video.Classifier, *nn.ConfusionMatrix, error) {
+	adapted, err := m.Adapt(task.Support, steps, lr)
+	if err != nil {
+		return nil, nil, err
+	}
+	cm, err := video.EvaluateWS(adapted, task.Query, ws)
+	if err != nil {
+		return nil, nil, fmt.Errorf("fewshot: query eval: %w", err)
+	}
+	return adapted, cm, nil
+}
+
 // AdaptFromPretrained fine-tunes a copy of a pretrained model on a
 // small support set with the MAML inner-loop rule (full-batch SGD) —
 // the fast runtime adaptation path.

@@ -1,0 +1,118 @@
+package infer
+
+import (
+	"sync"
+
+	"safecross/internal/nn"
+	"safecross/internal/telemetry"
+)
+
+// Pool shares eval workspaces across serving workers. An nn.Workspace
+// itself does no locking — it belongs to one goroutine at a time — so
+// the pool is the hand-off point: Get checks a workspace out for
+// exclusive use, Put resets it and returns it. A worker pool of N
+// goroutines therefore warms at most N workspaces total, and a worker
+// that went away donates its warm buffers to the next one instead of
+// stranding them.
+//
+// When built WithMetrics, every Put folds the workspace's Gets/Misses
+// deltas into the registry as infer_workspace_hits_total and
+// infer_workspace_misses_total: a healthy steady state shows hits
+// growing while misses plateau after warm-up.
+type Pool struct {
+	mu   sync.Mutex
+	idle []*poolEntry
+	// out tracks checked-out workspaces so Put can find the counter
+	// baselines recorded at the previous sync.
+	out map[*nn.Workspace]*poolEntry
+
+	// created counts workspaces ever built by this pool — its
+	// steady-state value is the peak checkout concurrency.
+	created int
+
+	hits, misses *telemetry.Counter
+	size         *telemetry.Gauge
+}
+
+// poolEntry pairs a workspace with the Gets/Misses values already
+// folded into the metrics, so each Put exports only the delta since
+// the workspace was checked out.
+type poolEntry struct {
+	ws           *nn.Workspace
+	gets, misses int
+}
+
+// PoolOption configures a Pool.
+type PoolOption func(*Pool)
+
+// WithMetrics exports the pool's workspace counters through reg:
+// infer_workspace_hits_total (Gets served from pooled buffers),
+// infer_workspace_misses_total (Gets that had to allocate), and
+// infer_pool_workspaces (workspaces the pool has built).
+func WithMetrics(reg *telemetry.Registry) PoolOption {
+	return func(p *Pool) {
+		p.hits = reg.Counter("infer_workspace_hits_total", "workspace Gets served from pooled scratch buffers")
+		p.misses = reg.Counter("infer_workspace_misses_total", "workspace Gets that had to allocate a fresh buffer")
+		p.size = reg.Gauge("infer_pool_workspaces", "workspaces built by the shared inference pool")
+	}
+}
+
+// NewPool returns an empty pool.
+func NewPool(opts ...PoolOption) *Pool {
+	p := &Pool{out: make(map[*nn.Workspace]*poolEntry)}
+	for _, opt := range opts {
+		opt(p)
+	}
+	return p
+}
+
+// Get checks a workspace out for exclusive use by the calling
+// goroutine, building a fresh one when none is idle. Pair with Put.
+func (p *Pool) Get() *nn.Workspace {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var e *poolEntry
+	if n := len(p.idle); n > 0 {
+		e = p.idle[n-1]
+		p.idle[n-1] = nil
+		p.idle = p.idle[:n-1]
+	} else {
+		e = &poolEntry{ws: nn.NewWorkspace()}
+		p.created++
+		if p.size != nil {
+			p.size.Set(int64(p.created))
+		}
+	}
+	p.out[e.ws] = e
+	return e.ws
+}
+
+// Put resets the workspace and returns it to the pool, folding its
+// Gets/Misses growth since checkout into the exported counters. A
+// workspace the pool has never seen is adopted with its history
+// ignored (only activity after adoption is counted). Put(nil) is a
+// no-op.
+func (p *Pool) Put(ws *nn.Workspace) {
+	if ws == nil {
+		return
+	}
+	ws.Reset()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e := p.out[ws]
+	if e == nil {
+		e = &poolEntry{ws: ws, gets: ws.Gets, misses: ws.Misses}
+		p.created++
+		if p.size != nil {
+			p.size.Set(int64(p.created))
+		}
+	} else {
+		delete(p.out, ws)
+	}
+	if p.hits != nil {
+		p.hits.Add(int64((ws.Gets - e.gets) - (ws.Misses - e.misses)))
+		p.misses.Add(int64(ws.Misses - e.misses))
+	}
+	e.gets, e.misses = ws.Gets, ws.Misses
+	p.idle = append(p.idle, e)
+}

@@ -181,17 +181,27 @@ func (c *Conv2D) ForwardWS(x *tensor.Tensor, ws *Workspace) (*tensor.Tensor, err
 }
 
 // addBiasRows adds bias[o] to each of the rows rows of n contiguous
-// output positions, fanning rows out over the kernel pool.
+// output positions, fanning rows out over the kernel pool. The
+// closure is built only when the job splits, keeping small inline
+// kernels allocation-free.
 func addBiasRows(data, bias []float64, rows, n int) {
+	if tensor.ParallelChunks(rows, n) <= 1 {
+		addBiasRowsChunk(data, bias, n, 0, rows)
+		return
+	}
 	tensor.ParallelFor(rows, n, func(lo, hi int) {
-		for o := lo; o < hi; o++ {
-			b := bias[o]
-			row := data[o*n : (o+1)*n]
-			for i := range row {
-				row[i] += b
-			}
-		}
+		addBiasRowsChunk(data, bias, n, lo, hi)
 	})
+}
+
+func addBiasRowsChunk(data, bias []float64, n, lo, hi int) {
+	for o := lo; o < hi; o++ {
+		b := bias[o]
+		row := data[o*n : (o+1)*n]
+		for i := range row {
+			row[i] += b
+		}
+	}
 }
 
 // Params returns the weight and bias parameters.
@@ -474,34 +484,44 @@ func (m *MaxPool2D) ForwardWS(x *tensor.Tensor, ws *Workspace) (*tensor.Tensor, 
 		out = ws.Get(c, bn, oh, ow)
 	}
 	planes := c * bn
-	tensor.ParallelFor(planes, oh*ow*m.K*m.K, func(lo, hi int) {
-		for pi := lo; pi < hi; pi++ {
-			plane := x.Data[pi*h*w:]
-			dst := out.Data[pi*oh*ow:]
-			for oy := 0; oy < oh; oy++ {
-				for ox := 0; ox < ow; ox++ {
-					best := plane[(oy*m.S)*w+ox*m.S]
-					for ky := 0; ky < m.K; ky++ {
-						iy := oy*m.S + ky
-						if iy >= h {
+	if tensor.ParallelChunks(planes, oh*ow*m.K*m.K) <= 1 {
+		maxPoolPlanes(out.Data, x.Data, h, w, oh, ow, m.K, m.S, 0, planes)
+	} else {
+		tensor.ParallelFor(planes, oh*ow*m.K*m.K, func(lo, hi int) {
+			maxPoolPlanes(out.Data, x.Data, h, w, oh, ow, m.K, m.S, lo, hi)
+		})
+	}
+	return out, nil
+}
+
+// maxPoolPlanes pools planes [lo, hi) — the chunk body of the
+// MaxPool2D eval forward.
+func maxPoolPlanes(outData, xData []float64, h, w, oh, ow, k, s, lo, hi int) {
+	for pi := lo; pi < hi; pi++ {
+		plane := xData[pi*h*w:]
+		dst := outData[pi*oh*ow:]
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				best := plane[(oy*s)*w+ox*s]
+				for ky := 0; ky < k; ky++ {
+					iy := oy*s + ky
+					if iy >= h {
+						break
+					}
+					for kx := 0; kx < k; kx++ {
+						ix := ox*s + kx
+						if ix >= w {
 							break
 						}
-						for kx := 0; kx < m.K; kx++ {
-							ix := ox*m.S + kx
-							if ix >= w {
-								break
-							}
-							if v := plane[iy*w+ix]; v > best {
-								best = v
-							}
+						if v := plane[iy*w+ix]; v > best {
+							best = v
 						}
 					}
-					dst[oy*ow+ox] = best
 				}
+				dst[oy*ow+ox] = best
 			}
 		}
-	})
-	return out, nil
+	}
 }
 
 // Params returns nil; pooling has no parameters.
@@ -574,18 +594,28 @@ func (g *GlobalAvgPool3D) ForwardWS(x *tensor.Tensor, ws *Workspace) (*tensor.Te
 		return nil, fmt.Errorf("gap3d: input shape %v, want [C,(N,)T,H,W]", x.Shape)
 	}
 	out := ws.Get(bn, c)
-	fvol := float64(vol)
-	tensor.ParallelFor(c*bn, vol, func(lo, hi int) {
-		for pi := lo; pi < hi; pi++ {
-			ci, ni := pi/bn, pi%bn
-			s := 0.0
-			for _, v := range x.Data[pi*vol : (pi+1)*vol] {
-				s += v
-			}
-			out.Data[ni*c+ci] = s / fvol
-		}
-	})
+	if tensor.ParallelChunks(c*bn, vol) <= 1 {
+		gapPlanes(out.Data, x.Data, c, bn, vol, 0, c*bn)
+	} else {
+		tensor.ParallelFor(c*bn, vol, func(lo, hi int) {
+			gapPlanes(out.Data, x.Data, c, bn, vol, lo, hi)
+		})
+	}
 	return out, nil
+}
+
+// gapPlanes averages planes [lo, hi) — the chunk body of the
+// GlobalAvgPool3D eval forward.
+func gapPlanes(outData, xData []float64, c, bn, vol, lo, hi int) {
+	fvol := float64(vol)
+	for pi := lo; pi < hi; pi++ {
+		ci, ni := pi/bn, pi%bn
+		s := 0.0
+		for _, v := range xData[pi*vol : (pi+1)*vol] {
+			s += v
+		}
+		outData[ni*c+ci] = s / fvol
+	}
 }
 
 // Params returns nil; pooling has no parameters.
@@ -686,28 +716,38 @@ func (p *TemporalAvgPool) ForwardWS(x *tensor.Tensor, ws *Workspace) (*tensor.Te
 		out = ws.Get(c, bn, ot, h, w)
 	}
 	spat := h * w
-	inv := 1 / float64(p.K)
-	tensor.ParallelFor(c*bn, ot*spat*p.K, func(lo, hi int) {
-		for pi := lo; pi < hi; pi++ {
-			src := x.Data[pi*t*spat:]
-			for oz := 0; oz < ot; oz++ {
-				dst := out.Data[pi*ot*spat+oz*spat : pi*ot*spat+(oz+1)*spat]
+	if tensor.ParallelChunks(c*bn, ot*spat*p.K) <= 1 {
+		tpoolPlanes(out.Data, x.Data, t, ot, spat, p.K, 0, c*bn)
+	} else {
+		tensor.ParallelFor(c*bn, ot*spat*p.K, func(lo, hi int) {
+			tpoolPlanes(out.Data, x.Data, t, ot, spat, p.K, lo, hi)
+		})
+	}
+	return out, nil
+}
+
+// tpoolPlanes averages temporal windows for planes [lo, hi) — the
+// chunk body of the TemporalAvgPool eval forward.
+func tpoolPlanes(outData, xData []float64, t, ot, spat, k, lo, hi int) {
+	inv := 1 / float64(k)
+	for pi := lo; pi < hi; pi++ {
+		src := xData[pi*t*spat:]
+		for oz := 0; oz < ot; oz++ {
+			dst := outData[pi*ot*spat+oz*spat : pi*ot*spat+(oz+1)*spat]
+			for i := range dst {
+				dst[i] = 0
+			}
+			for kk := 0; kk < k; kk++ {
+				win := src[(oz*k+kk)*spat:]
 				for i := range dst {
-					dst[i] = 0
-				}
-				for k := 0; k < p.K; k++ {
-					win := src[(oz*p.K+k)*spat:]
-					for i := range dst {
-						dst[i] += win[i]
-					}
-				}
-				for i := range dst {
-					dst[i] *= inv
+					dst[i] += win[i]
 				}
 			}
+			for i := range dst {
+				dst[i] *= inv
+			}
 		}
-	})
-	return out, nil
+	}
 }
 
 // Params returns nil; pooling has no parameters.

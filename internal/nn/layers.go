@@ -92,21 +92,31 @@ func (l *Linear) ForwardWS(x *tensor.Tensor, ws *Workspace) (*tensor.Tensor, err
 	} else {
 		out = ws.Get(l.out)
 	}
-	tensor.ParallelFor(m, 2*l.in*l.out, func(lo, hi int) {
-		for mi := lo; mi < hi; mi++ {
-			xrow := x.Data[mi*l.in : (mi+1)*l.in]
-			orow := out.Data[mi*l.out : (mi+1)*l.out]
-			for o := 0; o < l.out; o++ {
-				wrow := l.W.Value.Data[o*l.in : (o+1)*l.in]
-				s := l.B.Value.Data[o]
-				for i, xv := range xrow {
-					s += wrow[i] * xv
-				}
-				orow[o] = s
-			}
-		}
-	})
+	if tensor.ParallelChunks(m, 2*l.in*l.out) <= 1 {
+		linearRows(out.Data, x.Data, l.W.Value.Data, l.B.Value.Data, l.in, l.out, 0, m)
+	} else {
+		tensor.ParallelFor(m, 2*l.in*l.out, func(lo, hi int) {
+			linearRows(out.Data, x.Data, l.W.Value.Data, l.B.Value.Data, l.in, l.out, lo, hi)
+		})
+	}
 	return out, nil
+}
+
+// linearRows computes output rows [lo, hi) — the chunk body of the
+// Linear eval forward.
+func linearRows(outData, xData, w, b []float64, in, outDim, lo, hi int) {
+	for mi := lo; mi < hi; mi++ {
+		xrow := xData[mi*in : (mi+1)*in]
+		orow := outData[mi*outDim : (mi+1)*outDim]
+		for o := 0; o < outDim; o++ {
+			wrow := w[o*in : (o+1)*in]
+			s := b[o]
+			for i, xv := range xrow {
+				s += wrow[i] * xv
+			}
+			orow[o] = s
+		}
+	}
 }
 
 // Params returns the weight and bias parameters.
@@ -158,16 +168,26 @@ func (r *ReLU) Backward(dout *tensor.Tensor) (*tensor.Tensor, error) {
 // inputs pass through unchanged in layout.
 func (r *ReLU) ForwardWS(x *tensor.Tensor, ws *Workspace) (*tensor.Tensor, error) {
 	out := ws.Get(x.Shape...)
-	tensor.ParallelFor(len(x.Data), 1, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			if v := x.Data[i]; v > 0 {
-				out.Data[i] = v
-			} else {
-				out.Data[i] = 0
-			}
-		}
-	})
+	if tensor.ParallelChunks(len(x.Data), 1) <= 1 {
+		reluChunk(out.Data, x.Data, 0, len(x.Data))
+	} else {
+		tensor.ParallelFor(len(x.Data), 1, func(lo, hi int) {
+			reluChunk(out.Data, x.Data, lo, hi)
+		})
+	}
 	return out, nil
+}
+
+// reluChunk clamps elements [lo, hi) — the chunk body of the ReLU
+// eval forward.
+func reluChunk(outData, xData []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		if v := xData[i]; v > 0 {
+			outData[i] = v
+		} else {
+			outData[i] = 0
+		}
+	}
 }
 
 // Params returns nil; ReLU has no parameters.
@@ -257,15 +277,25 @@ func (f *Flatten) ForwardWS(x *tensor.Tensor, ws *Workspace) (*tensor.Tensor, er
 	vol := x.Shape[2] * x.Shape[3]
 	feat := c * vol
 	out := ws.Get(m, feat)
-	tensor.ParallelFor(m, feat, func(lo, hi int) {
-		for mi := lo; mi < hi; mi++ {
-			dst := out.Data[mi*feat:]
-			for ci := 0; ci < c; ci++ {
-				copy(dst[ci*vol:(ci+1)*vol], x.Data[(ci*m+mi)*vol:])
-			}
-		}
-	})
+	if tensor.ParallelChunks(m, feat) <= 1 {
+		flattenRows(out.Data, x.Data, c, m, vol, feat, 0, m)
+	} else {
+		tensor.ParallelFor(m, feat, func(lo, hi int) {
+			flattenRows(out.Data, x.Data, c, m, vol, feat, lo, hi)
+		})
+	}
 	return out, nil
+}
+
+// flattenRows de-interleaves samples [lo, hi) from channel-major to
+// sample-major — the chunk body of the Flatten eval forward.
+func flattenRows(outData, xData []float64, c, m, vol, feat, lo, hi int) {
+	for mi := lo; mi < hi; mi++ {
+		dst := outData[mi*feat:]
+		for ci := 0; ci < c; ci++ {
+			copy(dst[ci*vol:(ci+1)*vol], xData[(ci*m+mi)*vol:])
+		}
+	}
 }
 
 // Params returns nil; Flatten has no parameters.

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"safecross/internal/gpusim"
+	"safecross/internal/nn"
 	"safecross/internal/pipeswitch"
 	"safecross/internal/sim"
 	"safecross/internal/telemetry"
@@ -130,6 +131,11 @@ type Framework struct {
 
 	ring       []*vision.Image
 	safeStreak int
+	// ws is the framework's persistent inference scratch (guarded by
+	// mu like the rest of the per-frame state): local classification
+	// forwards reuse it across frames, so the steady-state clip path
+	// stops allocating activation buffers.
+	ws *nn.Workspace
 
 	metrics frameMetrics
 }
@@ -324,7 +330,10 @@ func (f *Framework) ProcessFrameContext(ctx context.Context, frame *vision.Image
 			return nil, fmt.Errorf("safecross: classify: %w", err)
 		}
 	} else {
-		if label, err = video.Predict(f.models[scene], clip); err != nil {
+		if f.ws == nil {
+			f.ws = nn.NewWorkspace()
+		}
+		if label, err = video.PredictWS(f.models[scene], clip, f.ws); err != nil {
 			return nil, fmt.Errorf("safecross: classify: %w", err)
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"safecross/internal/dataset"
+	"safecross/internal/nn"
 	"safecross/internal/sim"
 	"safecross/internal/video"
 )
@@ -39,11 +40,12 @@ func EvaluateThroughput(m video.Classifier, clips []*dataset.Clip) (*ThroughputR
 	}
 	res := &ThroughputResult{Total: len(clips)}
 	correct := 0
+	ws := nn.NewWorkspace() // one scratch arena across the whole set
 	for i, clip := range clips {
 		if !clip.Blind {
 			return nil, fmt.Errorf("safecross: clip %d is not a blind-zone clip", i)
 		}
-		pred, err := video.Predict(m, clip.Input)
+		pred, err := video.PredictWS(m, clip.Input, ws)
 		if err != nil {
 			return nil, fmt.Errorf("safecross: clip %d: %w", i, err)
 		}

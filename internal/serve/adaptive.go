@@ -1,0 +1,45 @@
+package serve
+
+import "time"
+
+// adaptTarget derives the scheduler's next early-seal batch target
+// from observed load. queued is the number of admitted requests the
+// scheduler still owns (intake + buckets + ready), so queued/workers
+// is the batch size that would drain the backlog in one dispatch
+// round per worker — the demand. The target grows straight to demand
+// (a burst should not wait N rounds for doublings), but only when the
+// per-batch compute p50 is heavy enough to dominate batch formation:
+// batching cheap forwards just adds queueing delay, so those planes
+// stay latency-optimal at small targets. Shrinking decays half the
+// gap per round, so one shallow instant between bursts does not
+// collapse the target a deep queue earned. The result is clamped to
+// [1, maxBatch].
+//
+// A zero computeP50 means the compute histogram is still empty (cold
+// server): growth is allowed, since the gate exists to stop batching
+// of provably cheap forwards, not of unknown ones.
+func adaptTarget(cur, queued, workers, maxBatch int, computeP50, batchLatency time.Duration) int {
+	if workers < 1 {
+		workers = 1
+	}
+	need := (queued + workers - 1) / workers
+	if need < 1 {
+		need = 1
+	}
+	next := cur
+	switch {
+	case need > cur:
+		if computeP50 == 0 || computeP50 >= batchLatency/4 {
+			next = need
+		}
+	case need < cur:
+		next = cur - (cur-need+1)/2
+	}
+	if next < 1 {
+		next = 1
+	}
+	if next > maxBatch {
+		next = maxBatch
+	}
+	return next
+}

@@ -113,15 +113,17 @@ func TestConcurrentSubmitNoSilentDrops(t *testing.T) {
 	}
 }
 
-// TestConcurrentMemoryPressure hammers a fleet whose per-worker budget
-// holds a single model with all three scenes at once: every request
-// must still end in a verdict, and the churn must show up as evictions
-// and reloads.
+// TestConcurrentMemoryPressure hammers a worker whose budget holds a
+// single model with phased scene traffic — Day, Rain, Snow, then Day
+// again: every request must still end in a verdict, and the phase
+// pattern forces deterministic residency churn (each phase evicts the
+// previous scene, and Day's return is a reload) no matter how the
+// scheduler coalesces within a phase.
 func TestConcurrentMemoryPressure(t *testing.T) {
-	const producers, perProducer = 6, 10
+	const producers, perProducer = 6, 5
 
 	s, err := New(Config{
-		Workers:      2,
+		Workers:      1,
 		MaxBatch:     4,
 		BatchLatency: time.Millisecond,
 		QueueDepth:   64,
@@ -134,27 +136,29 @@ func TestConcurrentMemoryPressure(t *testing.T) {
 	defer s.Close()
 
 	ctx := context.Background()
-	var wg sync.WaitGroup
-	for i := 0; i < producers; i++ {
-		scene := sim.AllWeathers()[i%3]
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := 0; j < perProducer; j++ {
-				if _, err := s.Submit(ctx, Request{Scene: scene, Clip: testClip()}); err != nil {
-					t.Errorf("submit %v: %v", scene, err)
+	phases := []sim.Weather{sim.Day, sim.Rain, sim.Snow, sim.Day}
+	for _, scene := range phases {
+		var wg sync.WaitGroup
+		for i := 0; i < producers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := 0; j < perProducer; j++ {
+					if _, err := s.Submit(ctx, Request{Scene: scene, Clip: testClip()}); err != nil {
+						t.Errorf("submit %v: %v", scene, err)
+					}
 				}
-			}
-		}()
+			}()
+		}
+		wg.Wait()
 	}
-	wg.Wait()
 
 	st := s.Stats()
-	if st.Completed != producers*perProducer || st.Failed != 0 {
+	if st.Completed != len(phases)*producers*perProducer || st.Failed != 0 {
 		t.Fatalf("stats = %+v", st)
 	}
-	if st.Evictions < 1 || st.Reloads < 1 {
-		t.Fatalf("three scenes over capacity-1 workers must churn: evictions=%d reloads=%d",
+	if st.Evictions < 3 || st.Reloads < 1 {
+		t.Fatalf("phased scenes over a capacity-1 worker must churn: evictions=%d reloads=%d",
 			st.Evictions, st.Reloads)
 	}
 }

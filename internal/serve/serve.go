@@ -25,12 +25,24 @@
 // aging rule promotes any Routine batch that has waited past
 // Config.AgingBound so saturation cannot starve it.
 //
-// Dynamic batching coalesces queued clips for the same scene and
+// Dynamic batching coalesces queued inputs for the same scene and
 // class into one batched forward pass, flushing a batch when it
 // reaches MaxBatch or when its oldest member has waited BatchLatency.
-// The scheduler routes a sealed batch to a worker where the scene's
-// model is already resident when one is idle, and only triggers a
+// Batch sizing is adaptive: the scheduler keeps a target in
+// [1, MaxBatch] that tracks observed queue depth per worker — gated
+// on the per-batch compute p50 being heavy enough to amortise batch
+// formation — and seals a bucket early at the target whenever an idle
+// worker is waiting, so a shallow queue dispatches immediately while
+// a deep one forms full batches without the latency-timer stall. The
+// scheduler routes a sealed batch to a worker where the scene's model
+// is already resident when one is idle, and only triggers a
 // PipeSwitch load when no warm worker exists.
+//
+// The plane is engine-keyed: workers dispatch through the unified
+// inference engine (infer.Model / infer.PredictBatch), so video
+// classifiers and detector presence models serve interchangeably, and
+// all forward-pass scratch comes from one shared infer.Pool of
+// workspaces whose hit/miss counters land in the telemetry registry.
 //
 // Each worker owns a private replica of every scene model (forward
 // passes carry mutable state, so replicas are mandatory for
@@ -48,6 +60,7 @@ import (
 	"fmt"
 	"time"
 
+	"safecross/internal/infer"
 	"safecross/internal/sim"
 	"safecross/internal/telemetry"
 	"safecross/internal/tensor"
@@ -97,7 +110,8 @@ type Config struct {
 	// Workers is the number of simulated GPUs (default 2).
 	Workers int
 	// MaxBatch is the largest batch one forward pass may carry
-	// (default 8; 1 disables batching).
+	// (default 8; 1 disables batching). It is the upper bound of the
+	// adaptive batch target the scheduler derives from queue depth.
 	MaxBatch int
 	// BatchLatency is the longest a queued clip may wait for
 	// batch-mates before its batch is flushed anyway (default 2ms;
@@ -228,23 +242,27 @@ type Verdict struct {
 	Timing Timing
 }
 
-// ModelFactory builds one private replica of the per-scene
-// classifiers for a worker. It is called once per worker at server
-// construction; replicas must not share mutable state.
-type ModelFactory func() (map[sim.Weather]video.Classifier, error)
+// ModelFactory builds one private replica of the per-scene engine
+// models for a worker. It is called once per worker at server
+// construction; replicas must not share mutable state. The serving
+// plane is engine-keyed: any infer.Model — a video classifier behind
+// video.Engine, a detector behind detect.NewPresence — serves from
+// the same worker pool.
+type ModelFactory func() (map[sim.Weather]infer.Model, error)
 
-// Replicas returns a ModelFactory that clones trained per-scene
+// Replicas returns a ModelFactory that clones trained per-scene video
 // classifiers weight-for-weight through the builder that produced
-// them (experiments.TrainedModels carries it).
+// them (experiments.TrainedModels carries it) and lifts each clone to
+// the engine contract.
 func Replicas(builder video.Builder, trained map[sim.Weather]video.Classifier) ModelFactory {
-	return func() (map[sim.Weather]video.Classifier, error) {
-		out := make(map[sim.Weather]video.Classifier, len(trained))
+	return func() (map[sim.Weather]infer.Model, error) {
+		out := make(map[sim.Weather]infer.Model, len(trained))
 		for scene, m := range trained {
 			clone, err := video.CloneWeights(builder, m)
 			if err != nil {
 				return nil, fmt.Errorf("serve: replicate %v model: %w", scene, err)
 			}
-			out[scene] = clone
+			out[scene] = video.Engine(clone)
 		}
 		return out, nil
 	}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"safecross/internal/dataset"
+	"safecross/internal/infer"
 	"safecross/internal/nn"
 	"safecross/internal/sim"
 	"safecross/internal/tensor"
@@ -41,13 +42,16 @@ func (c *stubClassifier) Params() []*nn.Param             { return nil }
 func (c *stubClassifier) SetTrain(train bool)             {}
 
 // stubFactory returns fresh per-worker replicas predicting safe for
-// day and danger for rain/snow, with the given per-clip delay.
+// day and danger for rain/snow, with the given per-clip delay. The
+// stub is Forward-only, so it exercises the engine's Sequentialize
+// adapter — the serving plane must keep working for models without a
+// native batched pass.
 func stubFactory(delay time.Duration) ModelFactory {
-	return func() (map[sim.Weather]video.Classifier, error) {
-		return map[sim.Weather]video.Classifier{
-			sim.Day:  &stubClassifier{label: dataset.ClassSafe, delay: delay},
-			sim.Rain: &stubClassifier{label: dataset.ClassDanger, delay: delay},
-			sim.Snow: &stubClassifier{label: dataset.ClassDanger, delay: delay},
+	return func() (map[sim.Weather]infer.Model, error) {
+		return map[sim.Weather]infer.Model{
+			sim.Day:  video.Engine(&stubClassifier{label: dataset.ClassSafe, delay: delay}),
+			sim.Rain: video.Engine(&stubClassifier{label: dataset.ClassDanger, delay: delay}),
+			sim.Snow: video.Engine(&stubClassifier{label: dataset.ClassDanger, delay: delay}),
 		}, nil
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"safecross/internal/infer"
 	"safecross/internal/sim"
 	"safecross/internal/telemetry"
 )
@@ -96,6 +97,10 @@ type Server struct {
 	scenes  map[sim.Weather]bool
 	workers []*worker
 
+	// pool shares eval workspaces across the worker goroutines; its
+	// hit/miss counters export through the server's registry.
+	pool *infer.Pool
+
 	// registry backs all activity counters and latency histograms —
 	// Config.Metrics when set, else a private registry — and metrics
 	// holds the resolved handles. tracer (optional) samples per-request
@@ -154,6 +159,7 @@ func New(cfg Config, factory ModelFactory) (*Server, error) {
 	s := &Server{
 		cfg:      cfg,
 		scenes:   make(map[sim.Weather]bool),
+		pool:     infer.NewPool(infer.WithMetrics(reg)),
 		registry: reg,
 		metrics:  newServeMetrics(reg),
 		tracer:   cfg.Tracer,
@@ -460,6 +466,47 @@ func (s *Server) schedule() {
 		ready = append(ready, &batch{scene: key.scene, critical: key.critical, reqs: b.reqs})
 	}
 
+	// target is the adaptive early-seal batch size in [1, MaxBatch]:
+	// when an idle worker is waiting, a bucket that has reached it
+	// seals immediately instead of stalling on the latency timer. It
+	// tracks observed queue depth per worker — growing straight to
+	// demand under a backlog (gated on the per-batch compute p50 being
+	// heavy enough to amortise batch formation) and decaying toward 1
+	// when the queue is shallow, so an idle plane dispatches singles
+	// with no formation wait. Buckets accumulating behind busy workers
+	// still seal at MaxBatch or on the timer, exactly as before.
+	target := 1
+	s.metrics.batchTarget.Set(int64(target))
+	s.metrics.batchTargetMax.SetMax(int64(target))
+	adapt := func() {
+		s.mu.Lock()
+		queued := s.inflight
+		s.mu.Unlock()
+		var p50 time.Duration
+		if s.metrics.compute.Count() > 0 {
+			p50 = s.metrics.compute.QuantileDuration(0.5)
+		}
+		next := adaptTarget(target, queued, len(s.workers), s.cfg.MaxBatch, p50, s.cfg.BatchLatency)
+		if next != target {
+			target = next
+			s.metrics.batchTarget.Set(int64(target))
+			s.metrics.batchTargetMax.SetMax(int64(target))
+		}
+	}
+
+	// sealAtTarget seals every bucket that has reached the adaptive
+	// target while an idle worker is waiting for it.
+	sealAtTarget := func() {
+		if len(idle) == 0 {
+			return
+		}
+		for key, b := range buckets {
+			if len(b.reqs) >= target {
+				seal(key)
+			}
+		}
+	}
+
 	// resetTimer re-arms the flush timer for the oldest open bucket.
 	resetTimer := func() {
 		if timerSet {
@@ -588,8 +635,11 @@ func (s *Server) schedule() {
 		}
 	}
 
-	// admit buckets freshly submitted requests, sealing full batches.
+	// admit buckets freshly submitted requests, sealing full batches —
+	// at MaxBatch always, and at the adaptive target when an idle
+	// worker is waiting.
 	admit := func() {
+		adapt()
 		now := time.Now()
 		for _, p := range s.drainIntake() {
 			if p.state.Load() != statePending {
@@ -607,6 +657,7 @@ func (s *Server) schedule() {
 				seal(key)
 			}
 		}
+		sealAtTarget()
 	}
 
 	// fail claims and rejects a queued request at shutdown; requests
@@ -638,7 +689,13 @@ func (s *Server) schedule() {
 
 		case n := <-s.idleCh:
 			idle = append(idle, n)
+			// A worker just freed: re-derive the target from current
+			// depth and hand it any bucket that has already earned a
+			// batch, rather than stalling it on the latency timer.
+			adapt()
+			sealAtTarget()
 			dispatch()
+			resetTimer()
 
 		case <-s.stopCh:
 			// Fail everything not yet handed to a worker; in-flight

@@ -42,6 +42,17 @@ type Stats struct {
 	// Batches is the number of batched forward passes; BatchedClips
 	// the clips they carried; MaxBatch the largest batch observed.
 	Batches, BatchedClips, MaxBatch int
+	// BatchTarget is the scheduler's current adaptive early-seal batch
+	// size, derived from queue depth per worker and bounded by
+	// Config.MaxBatch; BatchTargetMax is the largest target the run
+	// reached — the adaptation's high-water mark, stable after the
+	// backlog drains and the live target decays back toward 1.
+	BatchTarget, BatchTargetMax int
+	// WorkspaceHits and WorkspaceMisses are the shared inference
+	// pool's workspace Get counters: hits were served from pooled
+	// scratch, misses had to allocate. After warm-up misses plateau
+	// while hits keep growing.
+	WorkspaceHits, WorkspaceMisses int
 	// WarmBatches counts batches routed to a worker already holding
 	// the scene's model; Switches counts batches that triggered a
 	// PipeSwitch model load.
@@ -163,13 +174,18 @@ func (s *Server) Stats() Stats {
 		SLOViolations: snap.Int("serve_slo_violations_total"),
 		Aged:          snap.Int("serve_aged_total"),
 
-		Batches:      snap.Int("serve_batches_total"),
-		BatchedClips: snap.Int("serve_batched_clips_total"),
-		MaxBatch:     snap.Int("serve_max_batch"),
-		WarmBatches:  snap.Int("serve_warm_batches_total"),
-		Switches:     snap.Int("serve_switches_total"),
-		Evictions:    snap.Int("serve_evictions_total"),
-		Reloads:      snap.Int("serve_reloads_total"),
+		Batches:        snap.Int("serve_batches_total"),
+		BatchedClips:   snap.Int("serve_batched_clips_total"),
+		MaxBatch:       snap.Int("serve_max_batch"),
+		BatchTarget:    snap.Int("serve_batch_target"),
+		BatchTargetMax: snap.Int("serve_batch_target_max"),
+
+		WorkspaceHits:   snap.Int("infer_workspace_hits_total"),
+		WorkspaceMisses: snap.Int("infer_workspace_misses_total"),
+		WarmBatches:     snap.Int("serve_warm_batches_total"),
+		Switches:        snap.Int("serve_switches_total"),
+		Evictions:       snap.Int("serve_evictions_total"),
+		Reloads:         snap.Int("serve_reloads_total"),
 
 		QueueWait:    snap.SumDuration("serve_queue_wait_seconds"),
 		BatchWait:    snap.SumDuration("serve_batch_wait_seconds"),

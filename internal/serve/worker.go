@@ -7,29 +7,26 @@ import (
 
 	"safecross/internal/dataset"
 	"safecross/internal/gpusim"
-	"safecross/internal/nn"
+	"safecross/internal/infer"
 	"safecross/internal/pipeswitch"
 	"safecross/internal/sim"
 	"safecross/internal/telemetry"
 	"safecross/internal/tensor"
-	"safecross/internal/video"
 )
 
 // worker is one GPU-attached serving process: a private replica of
-// every scene model, a simulated device with a finite memory budget,
-// and a PipeSwitch manager that owns model residency — loads, LRU
-// evictions, and reloads all land on the worker's virtual timeline.
+// every scene engine model, a simulated device with a finite memory
+// budget, and a PipeSwitch manager that owns model residency — loads,
+// LRU evictions, and reloads all land on the worker's virtual
+// timeline. Forward-pass scratch comes from the server's shared
+// infer.Pool, checked out per batch: a warm pool means a worker's
+// forward passes allocate nothing, keeping the heap inside the
+// WorkerMemory budget regardless of how long the server runs.
 type worker struct {
 	id     int
 	ch     chan *batch
 	mgr    *pipeswitch.Manager
-	models map[sim.Weather]video.Classifier
-
-	// ws is this worker's inference workspace. The worker goroutine is
-	// its sole owner; reusing it across batches means a warm worker's
-	// forward passes allocate nothing, keeping the heap inside the
-	// WorkerMemory budget regardless of how long the server runs.
-	ws *nn.Workspace
+	models map[sim.Weather]infer.Model
 
 	// virtualNow mirrors the device clock (nanoseconds) after each
 	// batch so Stats can read it without racing the worker.
@@ -74,7 +71,6 @@ func newWorker(id int, factory ModelFactory, memoryBytes int64, reg *telemetry.R
 		ch:     make(chan *batch, 1),
 		mgr:    mgr,
 		models: models,
-		ws:     nn.NewWorkspace(),
 	}, nil
 }
 
@@ -115,7 +111,9 @@ func (w *worker) serveBatch(s *Server, b *batch) {
 	for i, p := range b.reqs {
 		clips[i] = p.req.Clip
 	}
-	labels, err := video.PredictBatch(w.models[b.scene], clips, w.ws)
+	ws := s.pool.Get()
+	labels, err := infer.PredictBatch(w.models[b.scene], clips, ws)
+	s.pool.Put(ws)
 	computeWall := time.Since(switchEnd)
 	if err != nil {
 		w.failBatch(s, b, fmt.Errorf("serve: classify %v batch: %w", b.scene, err))

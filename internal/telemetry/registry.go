@@ -522,4 +522,3 @@ func inUnit(v int64, unit Unit) float64 {
 	}
 	return float64(v)
 }
-

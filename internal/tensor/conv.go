@@ -57,33 +57,46 @@ func Im2ColBatchInto(dst, x *Tensor, m, kh, kw, sh, sw, ph, pw int) error {
 		return fmt.Errorf("tensor: im2col dst shape %v, want [%d,%d]", dst.Shape, rows, rowLen)
 	}
 	dst.Zero()
-	ParallelFor(rows, rowLen, func(lo, hi int) {
-		for rowIdx := lo; rowIdx < hi; rowIdx++ {
-			ci := rowIdx / (kh * kw)
-			ki := rowIdx / kw % kh
-			kj := rowIdx % kw
-			row := dst.Data[rowIdx*rowLen:]
-			for mi := 0; mi < m; mi++ {
-				plane := x.Data[(ci*m+mi)*h*w:]
-				out := row[mi*oh*ow:]
-				for oy := 0; oy < oh; oy++ {
-					iy := oy*sh - ph + ki
-					if iy < 0 || iy >= h {
-						continue
-					}
-					src := plane[iy*w:]
-					dstRow := out[oy*ow:]
-					for ox := 0; ox < ow; ox++ {
-						ix := ox*sw - pw + kj
-						if ix >= 0 && ix < w {
-							dstRow[ox] = src[ix]
-						}
+	// The closure is built only when the job splits: an escaping
+	// closure heap-allocates at creation even for calls that run
+	// inline, and small frames must stay allocation-free.
+	if ParallelChunks(rows, rowLen) <= 1 {
+		im2colBatchRows(dst.Data, x.Data, m, h, w, kh, kw, sh, sw, ph, pw, oh, ow, rowLen, 0, rows)
+	} else {
+		ParallelFor(rows, rowLen, func(lo, hi int) {
+			im2colBatchRows(dst.Data, x.Data, m, h, w, kh, kw, sh, sw, ph, pw, oh, ow, rowLen, lo, hi)
+		})
+	}
+	return nil
+}
+
+// im2colBatchRows fills dst rows [lo, hi) of the batched column
+// matrix — the chunk body of Im2ColBatchInto.
+func im2colBatchRows(dst, x []float64, m, h, w, kh, kw, sh, sw, ph, pw, oh, ow, rowLen, lo, hi int) {
+	for rowIdx := lo; rowIdx < hi; rowIdx++ {
+		ci := rowIdx / (kh * kw)
+		ki := rowIdx / kw % kh
+		kj := rowIdx % kw
+		row := dst[rowIdx*rowLen:]
+		for mi := 0; mi < m; mi++ {
+			plane := x[(ci*m+mi)*h*w:]
+			out := row[mi*oh*ow:]
+			for oy := 0; oy < oh; oy++ {
+				iy := oy*sh - ph + ki
+				if iy < 0 || iy >= h {
+					continue
+				}
+				src := plane[iy*w:]
+				dstRow := out[oy*ow:]
+				for ox := 0; ox < ow; ox++ {
+					ix := ox*sw - pw + kj
+					if ix >= 0 && ix < w {
+						dstRow[ox] = src[ix]
 					}
 				}
 			}
 		}
-	})
-	return nil
+	}
 }
 
 // Col2Im scatters a [C*KH*KW, OH*OW] column matrix back into a
@@ -170,42 +183,54 @@ func Im2Col3DBatchInto(dst, x *Tensor, n, kt, kh, kw, st, sh, sw, pt, ph, pw int
 		return fmt.Errorf("tensor: im2col3d dst shape %v, want [%d,%d]", dst.Shape, rows, rowLen)
 	}
 	dst.Zero()
+	// Closure built only on the split path — see Im2ColBatchInto.
+	if ParallelChunks(rows, rowLen) <= 1 {
+		im2col3dBatchRows(dst.Data, x.Data, n, tn, h, w, kt, kh, kw, st, sh, sw, pt, ph, pw, ot, oh, ow, rowLen, 0, rows)
+	} else {
+		ParallelFor(rows, rowLen, func(lo, hi int) {
+			im2col3dBatchRows(dst.Data, x.Data, n, tn, h, w, kt, kh, kw, st, sh, sw, pt, ph, pw, ot, oh, ow, rowLen, lo, hi)
+		})
+	}
+	return nil
+}
+
+// im2col3dBatchRows fills dst rows [lo, hi) — the chunk body of
+// Im2Col3DBatchInto.
+func im2col3dBatchRows(dstData, xData []float64, n, tn, h, w, kt, kh, kw, st, sh, sw, pt, ph, pw, ot, oh, ow, rowLen, lo, hi int) {
 	spat := h * w
-	ParallelFor(rows, rowLen, func(lo, hi int) {
-		for rowIdx := lo; rowIdx < hi; rowIdx++ {
-			ci := rowIdx / (kt * kh * kw)
-			kti := rowIdx / (kh * kw) % kt
-			ki := rowIdx / kw % kh
-			kj := rowIdx % kw
-			row := dst.Data[rowIdx*rowLen:]
-			for ni := 0; ni < n; ni++ {
-				volSrc := x.Data[(ci*n+ni)*tn*spat:]
-				out := row[ni*vol:]
-				for otz := 0; otz < ot; otz++ {
-					it := otz*st - pt + kti
-					if it < 0 || it >= tn {
+	vol := ot * oh * ow
+	for rowIdx := lo; rowIdx < hi; rowIdx++ {
+		ci := rowIdx / (kt * kh * kw)
+		kti := rowIdx / (kh * kw) % kt
+		ki := rowIdx / kw % kh
+		kj := rowIdx % kw
+		row := dstData[rowIdx*rowLen:]
+		for ni := 0; ni < n; ni++ {
+			volSrc := xData[(ci*n+ni)*tn*spat:]
+			out := row[ni*vol:]
+			for otz := 0; otz < ot; otz++ {
+				it := otz*st - pt + kti
+				if it < 0 || it >= tn {
+					continue
+				}
+				plane := volSrc[it*spat:]
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*sh - ph + ki
+					if iy < 0 || iy >= h {
 						continue
 					}
-					plane := volSrc[it*spat:]
-					for oy := 0; oy < oh; oy++ {
-						iy := oy*sh - ph + ki
-						if iy < 0 || iy >= h {
-							continue
-						}
-						src := plane[iy*w:]
-						dstRow := out[(otz*oh+oy)*ow:]
-						for ox := 0; ox < ow; ox++ {
-							ix := ox*sw - pw + kj
-							if ix >= 0 && ix < w {
-								dstRow[ox] = src[ix]
-							}
+					src := plane[iy*w:]
+					dstRow := out[(otz*oh+oy)*ow:]
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*sw - pw + kj
+						if ix >= 0 && ix < w {
+							dstRow[ox] = src[ix]
 						}
 					}
 				}
 			}
 		}
-	})
-	return nil
+	}
 }
 
 // Col2Im3D scatters a column matrix produced by Im2Col3D back into a

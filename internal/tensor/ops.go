@@ -193,25 +193,37 @@ func MatMulInto(out, a, b *Tensor) error {
 		return fmt.Errorf("tensor: matmul out shape %v, want [%d,%d]", out.Shape, m, n)
 	}
 	out.Zero()
-	ParallelFor(m, 2*k*n, func(lo, hi int) {
-		// ikj loop order keeps the innermost accesses sequential in
-		// both b and out, which matters on the hot training path.
-		for i := lo; i < hi; i++ {
-			arow := a.Data[i*k : (i+1)*k]
-			orow := out.Data[i*n : (i+1)*n]
-			for p := 0; p < k; p++ {
-				av := arow[p]
-				if av == 0 {
-					continue
-				}
-				brow := b.Data[p*n : (p+1)*n]
-				for j, bv := range brow {
-					orow[j] += av * bv
-				}
+	// Closure built only on the split path — see Im2ColBatchInto.
+	if ParallelChunks(m, 2*k*n) <= 1 {
+		matmulRows(out.Data, a.Data, b.Data, k, n, 0, m)
+	} else {
+		ParallelFor(m, 2*k*n, func(lo, hi int) {
+			matmulRows(out.Data, a.Data, b.Data, k, n, lo, hi)
+		})
+	}
+	return nil
+}
+
+// matmulRows computes output rows [lo, hi) of a·b — the chunk body of
+// MatMulInto. The ikj loop order keeps the innermost accesses
+// sequential in both b and out, which matters on the hot training
+// path, and makes each row's accumulation order independent of the
+// chunking, so parallel results are bit-identical to sequential.
+func matmulRows(out, a, b []float64, k, n, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := a[i*k : (i+1)*k]
+		orow := out[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b[p*n : (p+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
 			}
 		}
-	})
-	return nil
+	}
 }
 
 // MatMulTransA computes aᵀ·b where a is k×m and b is k×n, yielding

@@ -61,17 +61,16 @@ func startKernelPool() {
 	}
 }
 
-// ParallelFor runs fn over [0, n) split into at most kernelProcs
-// contiguous chunks. workPerItem is the approximate number of scalar
-// operations one index costs; small jobs run inline. fn must write
-// only state owned by its own [lo, hi) range — chunks run concurrently
-// on the shared kernel pool. If the pool is saturated (e.g. several
-// serving workers inside kernels at once) chunks degrade to inline
-// execution instead of queueing, so ParallelFor never deadlocks and
-// never blocks behind another caller's work.
-func ParallelFor(n, workPerItem int, fn func(lo, hi int)) {
+// ParallelChunks reports how many chunks ParallelFor would split
+// [0, n) into for the given per-item work: 0 for an empty range, 1
+// when the job runs inline, kernelProcs at most. Kernels on the
+// allocation-free eval path consult it before building the closure a
+// ParallelFor handoff needs — a closure that reaches the task channel
+// escapes to the heap even on calls that end up running inline, so
+// the sequential body is invoked directly when no split will happen.
+func ParallelChunks(n, workPerItem int) int {
 	if n <= 0 {
-		return
+		return 0
 	}
 	if workPerItem < 1 {
 		workPerItem = 1
@@ -83,7 +82,26 @@ func ParallelFor(n, workPerItem int, fn func(lo, hi int)) {
 	if chunks > n {
 		chunks = n
 	}
-	if chunks <= 1 {
+	if chunks < 1 {
+		chunks = 1
+	}
+	return chunks
+}
+
+// ParallelFor runs fn over [0, n) split into at most kernelProcs
+// contiguous chunks. workPerItem is the approximate number of scalar
+// operations one index costs; small jobs run inline. fn must write
+// only state owned by its own [lo, hi) range — chunks run concurrently
+// on the shared kernel pool. If the pool is saturated (e.g. several
+// serving workers inside kernels at once) chunks degrade to inline
+// execution instead of queueing, so ParallelFor never deadlocks and
+// never blocks behind another caller's work.
+func ParallelFor(n, workPerItem int, fn func(lo, hi int)) {
+	chunks := ParallelChunks(n, workPerItem)
+	if chunks == 0 {
+		return
+	}
+	if chunks == 1 {
 		fn(0, n)
 		return
 	}

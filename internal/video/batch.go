@@ -4,16 +4,17 @@ import (
 	"bytes"
 	"fmt"
 
+	"safecross/internal/infer"
 	"safecross/internal/nn"
 	"safecross/internal/tensor"
 )
 
-// BatchForwarder is optionally implemented by classifiers that can
-// run several clips through one forward pass. The serving layer
-// (internal/serve) coalesces same-scene requests and prefers this
-// path; classifiers without it are driven clip by clip, which still
-// amortises the per-batch costs above the model (locking, model
-// switching, simulated kernel launches).
+// BatchForwarder is the classifier half of the engine contract: a
+// native batched forward pass. SlowFast, C3D, and TSN implement it
+// (one im2col + one matmul per conv layer for N clips); together with
+// Name and SetTrain from Classifier it makes them infer.Model
+// implementations, so Engine passes them straight to the unified
+// inference engine.
 type BatchForwarder interface {
 	// ForwardBatch maps n [1,T,H,W] clips to n rank-1 logit tensors,
 	// bit-identical to calling the eval-mode Forward per clip. Scratch
@@ -21,6 +22,18 @@ type BatchForwarder interface {
 	// goroutine; the returned logits are fresh tensors that stay valid
 	// after the workspace is reset or reused.
 	ForwardBatch(xs []*tensor.Tensor, ws *nn.Workspace) ([]*tensor.Tensor, error)
+}
+
+// Engine lifts a Classifier to the unified engine contract
+// (infer.Model). Batch-native classifiers pass through unchanged;
+// Forward-only classifiers are driven clip by clip behind the same
+// contract, which still amortises the per-batch costs above the model
+// (model switching, simulated kernel launches, dispatch).
+func Engine(c Classifier) infer.Model {
+	if m, ok := c.(infer.Model); ok {
+		return m
+	}
+	return infer.Sequentialize(c)
 }
 
 // validateClips checks the whole batch up front: every clip must be a
@@ -63,43 +76,16 @@ func stackClips(ws *nn.Workspace, clips []*tensor.Tensor) *tensor.Tensor {
 
 // PredictBatch classifies a batch of clips with one eval-mode model,
 // returning the predicted label per clip in input order. Clip shapes
-// are validated up front (errors name the offending clip index). It
-// uses the classifier's native batched forward when implemented —
-// scratch memory comes from ws, so a long-lived caller passing the
+// are validated up front (errors name the offending clip index); the
+// forward itself runs through the unified engine (infer.PredictBatch),
+// so scratch memory comes from ws and a long-lived caller passing the
 // same workspace reaches steady-state zero allocation inside the
-// model — and falls back to sequential forwards otherwise. A nil ws
-// is replaced by a throwaway workspace.
+// model. A nil ws is replaced by a throwaway workspace.
 func PredictBatch(m Classifier, clips []*tensor.Tensor, ws *nn.Workspace) ([]int, error) {
 	if err := validateClips(clips); err != nil {
 		return nil, err
 	}
-	m.SetTrain(false)
-	if bf, ok := m.(BatchForwarder); ok {
-		if ws == nil {
-			ws = nn.NewWorkspace()
-		}
-		logits, err := bf.ForwardBatch(clips, ws)
-		if err != nil {
-			return nil, fmt.Errorf("video: batched forward: %w", err)
-		}
-		if len(logits) != len(clips) {
-			return nil, fmt.Errorf("video: batched forward returned %d outputs for %d clips", len(logits), len(clips))
-		}
-		labels := make([]int, len(logits))
-		for i, l := range logits {
-			labels[i] = nn.Predict(l)
-		}
-		return labels, nil
-	}
-	labels := make([]int, len(clips))
-	for i, x := range clips {
-		logits, err := m.Forward(x)
-		if err != nil {
-			return nil, fmt.Errorf("video: batch clip %d: %w", i, err)
-		}
-		labels[i] = nn.Predict(logits)
-	}
-	return labels, nil
+	return infer.PredictBatch(Engine(m), clips, ws)
 }
 
 // splitLogits copies an [N,Classes] batched logit matrix into n fresh

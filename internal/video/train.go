@@ -178,33 +178,85 @@ func Train(m Classifier, clips []*dataset.Clip, cfg TrainConfig) (*TrainResult, 
 	return res, nil
 }
 
+// evalChunk caps how many clips one batched eval forward carries:
+// large enough to amortise the per-batch im2col/matmul setup, small
+// enough that eval peak memory stays close to the serving plane's.
+const evalChunk = 8
+
 // Evaluate runs the classifier over clips and returns the confusion
 // matrix, from which Top-1 and mean-class accuracy (the paper's
-// metrics) are read.
+// metrics) are read. Evaluation is batch-native: clips ride the
+// engine's batched forward in chunks, with one throwaway workspace
+// for the whole pass. Results are bit-identical to per-clip forwards.
 func Evaluate(m Classifier, clips []*dataset.Clip) (*nn.ConfusionMatrix, error) {
+	return EvaluateWS(m, clips, nn.NewWorkspace())
+}
+
+// EvaluateWS is Evaluate with caller-owned scratch: a long-lived
+// caller (the few-shot eval loop, a benchmark) passing the same
+// workspace keeps the whole evaluation allocation-pooled. Runs of
+// equally-shaped clips share one batched forward (up to evalChunk per
+// batch); a shape change just starts a new chunk. A nil ws is replaced
+// by a throwaway workspace.
+func EvaluateWS(m Classifier, clips []*dataset.Clip, ws *nn.Workspace) (*nn.ConfusionMatrix, error) {
 	if len(clips) == 0 {
 		return nil, fmt.Errorf("video: no evaluation clips")
 	}
-	m.SetTrain(false)
+	if ws == nil {
+		ws = nn.NewWorkspace()
+	}
 	cm := nn.NewConfusionMatrix(dataset.NumClasses)
-	for i, clip := range clips {
-		logits, err := m.Forward(clip.Input)
+	batch := make([]*tensor.Tensor, 0, evalChunk)
+	for start := 0; start < len(clips); {
+		end := start + 1
+		for end < len(clips) && end-start < evalChunk && sameShape(clips[end].Input, clips[start].Input) {
+			end++
+		}
+		batch = batch[:0]
+		for _, clip := range clips[start:end] {
+			batch = append(batch, clip.Input)
+		}
+		labels, err := PredictBatch(m, batch, ws)
 		if err != nil {
-			return nil, fmt.Errorf("video: eval clip %d: %w", i, err)
+			return nil, fmt.Errorf("video: eval clips %d..%d: %w", start, end-1, err)
 		}
-		if err := cm.Add(clip.Label, nn.Predict(logits)); err != nil {
-			return nil, fmt.Errorf("video: eval clip %d: %w", i, err)
+		for i, label := range labels {
+			if err := cm.Add(clips[start+i].Label, label); err != nil {
+				return nil, fmt.Errorf("video: eval clip %d: %w", start+i, err)
+			}
 		}
+		start = end
 	}
 	return cm, nil
 }
 
-// Predict classifies one clip, returning the predicted label.
+// sameShape reports whether two clip tensors share a shape; nil breaks
+// the run so validation reports the offending clip on its own.
+func sameShape(a, b *tensor.Tensor) bool {
+	if a == nil || b == nil || a.Rank() != b.Rank() {
+		return false
+	}
+	for i := range a.Shape {
+		if a.Shape[i] != b.Shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Predict classifies one clip, returning the predicted label. It is
+// the N=1 case of PredictBatch — there is no separate per-clip path.
 func Predict(m Classifier, input *tensor.Tensor) (int, error) {
-	m.SetTrain(false)
-	logits, err := m.Forward(input)
+	return PredictWS(m, input, nil)
+}
+
+// PredictWS is Predict with caller-owned scratch, for callers that
+// classify clip after clip and want the pooled steady state (the
+// Framework's per-frame path, throughput studies).
+func PredictWS(m Classifier, input *tensor.Tensor, ws *nn.Workspace) (int, error) {
+	labels, err := PredictBatch(m, []*tensor.Tensor{input}, ws)
 	if err != nil {
 		return 0, err
 	}
-	return nn.Predict(logits), nil
+	return labels[0], nil
 }
