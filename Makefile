@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet staticcheck test race bench bench-smoke bench-json obs-smoke fleet-smoke verify
+.PHONY: build vet staticcheck test race bench bench-smoke bench-json obs-smoke slo-smoke fleet-smoke verify
 
 build:
 	$(GO) build ./...
@@ -48,12 +48,21 @@ bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkFig8_SlowFastInference|BenchmarkServe|BenchmarkDetectEval|BenchmarkFewshotAdapt' -benchmem . | $(GO) run ./cmd/benchjson -out BENCH_infer.json -require 'BenchmarkFig8_SlowFastInference,BenchmarkServe_MultiIntersection,BenchmarkDetectEval,BenchmarkFewshotAdapt'
 
 # obs-smoke boots the RSU command with its debug listener
-# (-debug-addr), scrapes /metrics and /traces while the feeds run, and
-# asserts the key telemetry series (queue-wait, batch-size,
-# switch-cost, RSU broadcast latency) and a fully tiled per-request
-# trace are exported.
+# (-debug-addr) and a traced demo vehicle, scrapes /metrics and
+# /traces while the feeds run, and asserts the key telemetry series
+# (queue-wait, batch-size, switch-cost, RSU broadcast latency, SLO
+# burn-rate gauges), a fully tiled per-request trace, a cross-process
+# stitched trace (frame root + vehicle receive sharing one trace id),
+# and the bounded /traces?n=&terminal= query surface.
 obs-smoke:
 	$(GO) test -run TestObsSmoke -count=1 ./cmd/safecross-rsu/
+
+# slo-smoke is the SLO-focused alias: the same smoke suites exercise
+# the burn-rate engine end to end — obs-smoke asserts slo_burn_rate /
+# slo_alert_active series on a live /metrics, fleet-smoke kills a node
+# and asserts the fleet-reassign alert raises and clears through
+# failover (slo_alert_transitions_total reaching exactly 2).
+slo-smoke: obs-smoke fleet-smoke
 
 # fleet-smoke boots a three-node fleet (8 intersections, a replicated
 # coordinator — 1 primary + 2 standbys — and per-intersection retry
@@ -61,9 +70,12 @@ obs-smoke:
 # standby to promote itself, then crashes a node under the new
 # primary, and asserts every intersection keeps receiving advisories
 # (zero unserved) with exactly one promotion and one failover —
-# scraping fleet_promotions_total, fleet_coordinator_role,
-# fleet_replication_lag_seconds, fleet_failovers_total, and
-# fleet_nodes_live off the debug listener while degraded.
+# scraping the federated fleet::* per-node series (with exact
+# histogram-merge counts), fleet_promotions_total,
+# fleet_failovers_total, fleet_nodes_live, fleet_scrape_age_seconds,
+# the slo_burn_rate gauges (asserting the fleet-reassign alert raises
+# on the failover and clears after recovery), and a cross-node
+# stitched trace on /traces/fleet off the coordinator debug listener.
 fleet-smoke:
 	$(GO) test -run TestFleetSmoke -count=1 ./cmd/safecross-fleet/
 
@@ -71,5 +83,7 @@ fleet-smoke:
 # pass the full suite under the race detector (the serving and RSU
 # planes are concurrent by design; -race covers the sharded telemetry
 # counters too), plus a single-iteration pass over the serving
-# benchmarks and the observability and fleet-failover smoke tests.
-verify: build vet staticcheck race bench-smoke obs-smoke fleet-smoke
+# benchmarks and the observability / SLO / fleet-failover smoke tests
+# (slo-smoke folds obs-smoke and fleet-smoke in, so listing it here
+# covers all three without re-running any of them).
+verify: build vet staticcheck race bench-smoke slo-smoke

@@ -25,6 +25,7 @@ import (
 	"safecross/internal/safecross"
 	"safecross/internal/serve"
 	"safecross/internal/sim"
+	"safecross/internal/telemetry"
 	"safecross/internal/tensor"
 	"safecross/internal/video"
 	"safecross/internal/vision"
@@ -536,6 +537,22 @@ func BenchmarkServe_MultiIntersection(b *testing.B) {
 			if h := reg.FindHistogram("serve_switch_cost_seconds"); h != nil && h.Count() > 0 {
 				b.ReportMetric(float64(h.QuantileDuration(0.99).Microseconds()), "switch-cost-p99-µs")
 				b.ReportMetric(float64(h.Count())/float64(b.N), "switches/op")
+			}
+			// The SLO view of the same run: burn rate for a 250ms
+			// queue-wait objective at p99, computed from the identical
+			// histogram state the fleet's burn-rate engine evaluates. A
+			// burn of 0 means the whole run stayed inside the objective;
+			// anything ≥ 1 would be eating error budget faster than
+			// sustainable.
+			slos := telemetry.NewSLOEngine(telemetry.SLOEngineConfig{Metrics: reg})
+			if err := slos.Add(telemetry.SLO{
+				Name: "queue-wait", Series: "serve_queue_wait_seconds",
+				Objective: 250 * time.Millisecond, Target: 0.99,
+			}, reg); err == nil {
+				slos.Tick(time.Now())
+				if burn, _, ok := slos.BurnRates("queue-wait"); ok {
+					b.ReportMetric(burn, "slo-burn")
+				}
 			}
 		})
 	}

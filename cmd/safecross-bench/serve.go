@@ -18,9 +18,16 @@ import (
 
 	"safecross/internal/serve"
 	"safecross/internal/sim"
+	"safecross/internal/telemetry"
 	"safecross/internal/tensor"
 	"safecross/internal/video"
 )
+
+// serveQueueObjective is the queue-wait SLO judged on every serving
+// row: 99% of clips must wait under this threshold. The reported burn
+// rate is the run's error-budget consumption (0 = no clip over the
+// objective, ≥1 = unsustainable).
+const serveQueueObjective = 250 * time.Millisecond
 
 // serveClipsPerIntersection is the offered load per intersection in
 // one serving-study run.
@@ -44,25 +51,25 @@ func printServeBench(w io.Writer) error {
 	factory := serve.Replicas(builder, models)
 
 	fmt.Fprintln(w, "== Serving study: dynamic batching + warm routing vs per-clip single GPU ==")
-	fmt.Fprintf(w, "%-14s %-10s %-12s %-12s %-10s %-10s %s\n",
-		"config", "clips", "virt-clip/s", "virt-span", "p99", "batches", "warm/switch")
+	fmt.Fprintf(w, "%-14s %-10s %-12s %-12s %-10s %-10s %-12s %s\n",
+		"config", "clips", "virt-clip/s", "virt-span", "p99", "batches", "warm/switch", "slo-burn")
 
 	var speedup4 float64
 	for _, intersections := range []int{1, 2, 4} {
-		base, err := runServeLoad(serve.Config{
+		base, baseBurn, err := runServeLoad(serve.Config{
 			Workers: 1, MaxBatch: 1, QueueDepth: 256, SLO: time.Minute,
 		}, factory, intersections)
 		if err != nil {
 			return err
 		}
-		batched, err := runServeLoad(serve.Config{
+		batched, batchedBurn, err := runServeLoad(serve.Config{
 			Workers: 4, MaxBatch: 8, QueueDepth: 256, SLO: time.Minute,
 		}, factory, intersections)
 		if err != nil {
 			return err
 		}
-		printServeRow(w, fmt.Sprintf("%dx baseline", intersections), base)
-		printServeRow(w, fmt.Sprintf("%dx batched", intersections), batched)
+		printServeRow(w, fmt.Sprintf("%dx baseline", intersections), base, baseBurn)
+		printServeRow(w, fmt.Sprintf("%dx batched", intersections), batched, batchedBurn)
 		if intersections == 4 {
 			speedup4 = batched.VirtualThroughput() / base.VirtualThroughput()
 		}
@@ -86,7 +93,7 @@ func printServeBench(w io.Writer) error {
 		{"all-resident", 0},           // device default: every model stays
 		{"one-model", (75 + 1) << 20}, // fits a single SlowFast manifest
 	} {
-		st, err := runServeLoad(serve.Config{
+		st, _, err := runServeLoad(serve.Config{
 			Workers: 2, MaxBatch: 8, QueueDepth: 256, SLO: time.Minute,
 			WorkerMemory: row.budget,
 		}, factory, 4)
@@ -106,22 +113,25 @@ func printServeBench(w io.Writer) error {
 	return nil
 }
 
-func printServeRow(w io.Writer, name string, st serve.Stats) {
-	fmt.Fprintf(w, "%-14s %-10d %-12.1f %-12v %-10v %-10d %d/%d\n",
+func printServeRow(w io.Writer, name string, st serve.Stats, burn float64) {
+	fmt.Fprintf(w, "%-14s %-10d %-12.1f %-12v %-10v %-10d %-12s %.2f\n",
 		name, st.Completed, st.VirtualThroughput(),
 		st.VirtualMakespan.Round(10*time.Microsecond),
 		st.P99.Round(10*time.Microsecond),
-		st.Batches, st.WarmBatches, st.Switches)
+		st.Batches, fmt.Sprintf("%d/%d", st.WarmBatches, st.Switches), burn)
 }
 
 // runServeLoad drives one serving configuration with concurrent
 // per-intersection producers, each cycling through the weather scenes
 // at its own phase (so a single shared GPU must thrash between
-// models), and returns the plane's final stats.
-func runServeLoad(cfg serve.Config, factory serve.ModelFactory, intersections int) (serve.Stats, error) {
+// models), and returns the plane's final stats plus the queue-wait SLO
+// burn rate over the whole run.
+func runServeLoad(cfg serve.Config, factory serve.ModelFactory, intersections int) (serve.Stats, float64, error) {
+	reg := telemetry.NewRegistry()
+	cfg.Metrics = reg
 	s, err := serve.New(cfg, factory)
 	if err != nil {
-		return serve.Stats{}, err
+		return serve.Stats{}, 0, err
 	}
 	defer s.Close()
 
@@ -145,11 +155,25 @@ func runServeLoad(cfg serve.Config, factory serve.ModelFactory, intersections in
 	wg.Wait()
 	close(errs)
 	for err := range errs {
-		return serve.Stats{}, err
+		return serve.Stats{}, 0, err
 	}
 	st := s.Stats()
 	if want := intersections * serveClipsPerIntersection; st.Completed != want {
-		return serve.Stats{}, fmt.Errorf("serving study: %d of %d clips completed", st.Completed, want)
+		return serve.Stats{}, 0, fmt.Errorf("serving study: %d of %d clips completed", st.Completed, want)
 	}
-	return st, nil
+
+	// One burn-rate sample over the full run: every queue wait the plane
+	// recorded, judged against the p99 objective.
+	burn := 0.0
+	slos := telemetry.NewSLOEngine(telemetry.SLOEngineConfig{Metrics: reg})
+	if err := slos.Add(telemetry.SLO{
+		Name: "queue-wait", Series: "serve_queue_wait_seconds",
+		Objective: serveQueueObjective, Target: 0.99,
+	}, reg); err == nil {
+		slos.Tick(time.Now())
+		if short, _, ok := slos.BurnRates("queue-wait"); ok {
+			burn = short
+		}
+	}
+	return st, burn, nil
 }

@@ -21,6 +21,13 @@
 // re-heartbeat there without dropping a single running intersection.
 // The summary reports per-intersection delivery before and after the
 // kills.
+//
+// Observability is fleet-shaped: every node (and the vehicle plane)
+// runs its own registry, tracer, and debug listener, and the
+// coordinator's -debug-addr listener federates them — per-node
+// fleet::-prefixed series with exact histogram merges on /metrics,
+// cross-node stitched traces on /traces/fleet, and SLO burn-rate
+// gauges evaluated over both local and federated histograms.
 package main
 
 import (
@@ -54,14 +61,28 @@ func main() {
 	}
 }
 
-// node is one fleet member: its own serving plane, RSU listener, and
-// fleet agent. Crashing a node means tearing all three down at once.
+// node is one fleet member: its own serving plane, RSU listener,
+// fleet agent, and telemetry plane (registry + tracer + debug
+// listener — the federation scrape target). Crashing a node means
+// tearing all of them down at once.
 type node struct {
-	id    string
-	plane *serve.Server
-	srv   *rsu.Server
-	agent *fleet.Agent
-	sheds atomic.Int64
+	id     string
+	plane  *serve.Server
+	srv    *rsu.Server
+	agent  *fleet.Agent
+	reg    *telemetry.Registry
+	tracer *telemetry.Tracer
+	dbg    *telemetry.DebugServer
+	sheds  atomic.Int64
+}
+
+func (n *node) kill() {
+	n.agent.Close()
+	n.srv.Close()
+	n.plane.Close()
+	if n.dbg != nil {
+		n.dbg.Close()
+	}
 }
 
 func run(args []string, w io.Writer) error {
@@ -78,9 +99,13 @@ func run(args []string, w io.Writer) error {
 		perScene      = fs.Int("scene-frames", 60, "frames per weather scene in each feed")
 		gpus          = fs.Int("gpus", 1, "simulated GPUs per node's serving plane")
 		maxBatch      = fs.Int("max-batch", 8, "dynamic batcher's maximum clips per forward pass")
-		traceSample   = fs.Int("trace-sample", 8, "per-intersection frame-trace sampling rate (every Nth frame; 0 disables)")
+		traceSample   = fs.Int("trace-sample", 8, "frame-trace sampling rate (one in N frames, decided from the minted trace id so vehicles join the same traces; 0 disables)")
 		verbose       = fs.Bool("v", false, "log training progress, fleet membership, and runtime events")
-		debugAddr     = fs.String("debug-addr", "", "optional debug HTTP listener (Prometheus /metrics, /metrics.json, /traces, expvar, pprof)")
+		debugAddr     = fs.String("debug-addr", "", "coordinator debug HTTP listener: local /metrics plus the federated fleet:: view, /traces/fleet stitched across nodes")
+		scrapeEvery   = fs.Duration("scrape-every", 500*time.Millisecond, "federation scrape interval (how often the coordinator pulls each node's /metrics.fed)")
+		sloWindow     = fs.Duration("slo-window", 5*time.Minute, "SLO burn-rate short window (long window is 12x); shrink it so smoke runs see alerts clear")
+		sloReassign   = fs.Duration("slo-reassign-objective", 500*time.Millisecond, "fleet reassign-latency objective; tighten it to force the alert path in smoke runs")
+		sloQueueObj   = fs.Duration("slo-queue-objective", 250*time.Millisecond, "fleet-wide serve queue-wait objective, judged on the federated histogram")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -110,36 +135,23 @@ func run(args []string, w io.Writer) error {
 		*killCoord = 0
 	}
 
-	// One registry, tracer, and logger for the whole fleet: node series
-	// carry node labels, so a single debug listener shows every member.
-	reg := telemetry.NewRegistry()
-	tracer := telemetry.NewTracer(telemetry.DefaultTraceRetention)
+	// The control plane's own telemetry: shared by every coordinator
+	// replica (a promoted standby takes the gauges over in place), and
+	// the registry the federated fleet view and SLO gauges export
+	// through. Node and vehicle series live on their own per-process
+	// registries below and reach this listener only via federation —
+	// the same shape a real multi-host deployment has.
+	coordReg := telemetry.NewRegistry()
+	coordTracer := telemetry.NewTracer(telemetry.DefaultTraceRetention)
 	logLevel := telemetry.LevelWarn
 	if *verbose {
 		logLevel = telemetry.LevelDebug
 	}
 	logger := telemetry.NewLogger(w, logLevel)
-	if *debugAddr != "" {
-		dbg, err := telemetry.ListenDebug(*debugAddr, reg, tracer)
-		if err != nil {
-			return err
-		}
-		defer dbg.Close()
-		fmt.Fprintf(w, "debug endpoints on http://%s/metrics\n", dbg.Addr())
-	}
 
 	cfg := experiments.Quick()
 	if *verbose {
 		cfg.Log = w
-	}
-	fmt.Fprintln(w, "training scene models (quick profile)...")
-	tm, err := experiments.TrainSceneModels(cfg)
-	if err != nil {
-		return err
-	}
-	det, err := weather.FitFromSim(20, 12345)
-	if err != nil {
-		return err
 	}
 
 	keys := make([]int, *intersections)
@@ -154,7 +166,7 @@ func run(args []string, w io.Writer) error {
 		sb, err := fleet.NewCoordinator("127.0.0.1:0",
 			fleet.AsStandby(),
 			fleet.WithHeartbeat(*heartbeat, 0, 0),
-			fleet.WithMetrics(reg),
+			fleet.WithMetrics(coordReg),
 			fleet.WithLogger(logger))
 		if err != nil {
 			return err
@@ -167,7 +179,7 @@ func run(args []string, w io.Writer) error {
 		fleet.WithIntersections(keys...),
 		fleet.WithHeartbeat(*heartbeat, 0, 0),
 		fleet.WithStandbys(standbyAddrs...),
-		fleet.WithMetrics(reg),
+		fleet.WithMetrics(coordReg),
 		fleet.WithLogger(logger))
 	if err != nil {
 		return err
@@ -175,6 +187,85 @@ func run(args []string, w io.Writer) error {
 	defer coord.Close()
 	coords = append([]*fleet.Coordinator{coord}, coords...)
 	coordSeeds := append([]string{coord.Addr()}, standbyAddrs...)
+
+	// The vehicle plane: one registry/tracer/listener shared by every
+	// vehicle client, federated under the "vehicles" label so the
+	// vehicle end of each distributed trace is scrapeable like a node.
+	vehReg := telemetry.NewRegistry()
+	vehTracer := telemetry.NewTracer(telemetry.DefaultTraceRetention)
+	vehDbg, err := telemetry.ListenDebug("127.0.0.1:0", vehReg, vehTracer)
+	if err != nil {
+		return err
+	}
+	defer vehDbg.Close()
+
+	var fed *telemetry.Federator
+	if *debugAddr != "" {
+		// The federation scrape set: whichever coordinator currently
+		// leads knows the live nodes' debug listeners (heartbeats carry
+		// them, replication preserves them across promotions), plus the
+		// static vehicle plane.
+		fed, err = telemetry.NewFederator(telemetry.FederatorConfig{
+			Targets: telemetry.MergeTargets(
+				func() map[string]string {
+					if lead := leader(coords, nil); lead != nil {
+						return lead.DebugTargets()
+					}
+					return nil
+				},
+				telemetry.StaticTargets(map[string]string{"vehicles": "http://" + vehDbg.Addr()}),
+			),
+			Interval: *scrapeEvery,
+			Metrics:  coordReg,
+			Logger:   logger,
+		})
+		if err != nil {
+			return err
+		}
+		defer fed.Close()
+		dbg, err := telemetry.ListenDebug(*debugAddr, coordReg, coordTracer, telemetry.WithFederator(fed))
+		if err != nil {
+			return err
+		}
+		defer dbg.Close()
+		fmt.Fprintf(w, "debug endpoints on http://%s/metrics\n", dbg.Addr())
+	}
+
+	// The SLO engine runs beside the primary's registry: the reassign
+	// objective is judged on the coordinator's own failover histogram,
+	// and the queue-wait objective on the federated merge of every
+	// node's serving plane — a fleet-wide tail, not one process's.
+	slos := telemetry.NewSLOEngine(telemetry.SLOEngineConfig{
+		ShortWindow: *sloWindow,
+		Metrics:     coordReg,
+		Logger:      logger,
+	})
+	if err := slos.Add(telemetry.SLO{
+		Name: "fleet-reassign", Series: "fleet_reassign_seconds",
+		Objective: *sloReassign, Target: 0.9,
+	}, coordReg); err != nil {
+		return err
+	}
+	if fed != nil {
+		if err := slos.Add(telemetry.SLO{
+			Name: "fleet-queue-wait", Series: "serve_queue_wait_seconds",
+			Objective: *sloQueueObj, Target: 0.99,
+		}, fed); err != nil {
+			return err
+		}
+	}
+	slos.Start()
+	defer slos.Close()
+
+	fmt.Fprintln(w, "training scene models (quick profile)...")
+	tm, err := experiments.TrainSceneModels(cfg)
+	if err != nil {
+		return err
+	}
+	det, err := weather.FitFromSim(20, 12345)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(w, "fleet coordinator on %s", coord.Addr())
 	if len(standbyAddrs) > 0 {
 		fmt.Fprintf(w, " (standbys %v)", standbyAddrs)
@@ -186,16 +277,28 @@ func run(args []string, w io.Writer) error {
 	members := make([]*node, *nodes)
 	byID := make(map[string]*node, *nodes)
 	for i := range members {
-		n := &node{id: fmt.Sprintf("node-%d", i)}
+		n := &node{
+			id:     fmt.Sprintf("node-%d", i),
+			reg:    telemetry.NewRegistry(),
+			tracer: telemetry.NewTracer(telemetry.DefaultTraceRetention),
+		}
+		// Each node's telemetry plane is its own process boundary: a
+		// private registry and tracer exported on a private debug
+		// listener the coordinator federates.
+		n.dbg, err = telemetry.ListenDebug("127.0.0.1:0", n.reg, n.tracer)
+		if err != nil {
+			return err
+		}
 		n.plane, err = serve.New(serve.Config{
 			Workers:  *gpus,
 			MaxBatch: *maxBatch,
-			Metrics:  reg,
+			Metrics:  n.reg,
 		}, serve.Replicas(tm.Builder, tm.Models))
 		if err != nil {
 			return err
 		}
-		n.srv, err = rsu.Listen("127.0.0.1:0", rsu.WithMetrics(reg), rsu.WithLogger(logger))
+		n.srv, err = rsu.Listen("127.0.0.1:0",
+			rsu.WithMetrics(n.reg), rsu.WithLogger(logger), rsu.WithTracer(n.tracer))
 		if err != nil {
 			return err
 		}
@@ -220,38 +323,37 @@ func run(args []string, w io.Writer) error {
 			}
 		}
 		runner := func(ctx context.Context, intersection int) {
-			fw, err := safecross.NewServed(safecross.Config{ClipLen: cfg.ClipLen, Metrics: reg}, classify, det)
+			fw, err := safecross.NewServed(safecross.Config{ClipLen: cfg.ClipLen, Metrics: n.reg}, classify, det)
 			if err != nil {
 				logger.Warnf("%s: framework for intersection %d: %v", n.id, intersection, err)
 				return
 			}
-			serveIntersection(ctx, n, fw, intersection, scenes, *perScene, *frameEvery, *traceSample, tracer, logger, &frames)
+			serveIntersection(ctx, n, fw, intersection, scenes, *perScene, *frameEvery, *traceSample, logger, &frames)
 		}
 		n.agent, err = fleet.NewAgent(n.id, n.srv,
 			fleet.WithCoordinators(coordSeeds...),
 			fleet.WithHeartbeat(*heartbeat, 0, 0),
 			fleet.WithRunner(runner),
-			fleet.WithMetrics(reg),
+			fleet.WithDebugAddr(n.dbg.Addr()),
+			fleet.WithMetrics(n.reg),
 			fleet.WithLogger(logger))
 		if err != nil {
 			return err
 		}
 		members[i] = n
 		byID[n.id] = n
-		fmt.Fprintf(w, "node %s serving on %s\n", n.id, n.srv.Addr())
+		fmt.Fprintf(w, "node %s serving on %s (debug %s)\n", n.id, n.srv.Addr(), n.dbg.Addr())
 	}
 	// The injected crash closes its victim explicitly; every other
 	// member — including any the coordinator wrongly suspects — is
-	// closed here (all three closers are idempotent).
+	// closed here (all closers are idempotent).
 	var victim *node
 	defer func() {
 		for _, n := range members {
 			if n == victim {
 				continue
 			}
-			n.agent.Close()
-			n.srv.Close()
-			n.plane.Close()
+			n.kill()
 		}
 	}()
 
@@ -264,7 +366,8 @@ func run(args []string, w io.Writer) error {
 
 	// One retry vehicle per intersection, seeded with every node — any
 	// member can redirect it to the owner, and reconnect-with-backoff
-	// rides out failovers.
+	// rides out failovers. Vehicles share the vehicle-plane tracer, so
+	// their ends of sampled traces land where the federator scrapes.
 	seeds := make([]string, len(members))
 	for i, n := range members {
 		seeds[i] = n.srv.Addr()
@@ -281,6 +384,8 @@ func run(args []string, w io.Writer) error {
 			Intersection: k,
 			BackoffBase:  *heartbeat / 4,
 			Logger:       logger,
+			Tracer:       vehTracer,
+			TraceSample:  *traceSample,
 		})
 		if err != nil {
 			return fmt.Errorf("vehicle for intersection %d: %w", k, err)
@@ -333,9 +438,7 @@ func run(args []string, w io.Writer) error {
 		}
 		fmt.Fprintf(w, "killing %s (owner of intersection %d)\n", victim.id, keys[0])
 		killed.Store(true)
-		victim.agent.Close()
-		victim.srv.Close()
-		victim.plane.Close()
+		victim.kill()
 	}
 	time.Sleep(*runFor - elapsed)
 
@@ -348,8 +451,8 @@ func run(args []string, w io.Writer) error {
 
 	// Summary. The unserved counts are the acceptance criterion: a
 	// fleet that lost intersections to the kill failed its job.
-	failovers := reg.Counter("fleet_failovers_total", "").Value()
-	promotions := reg.Counter("fleet_promotions_total", "").Value()
+	failovers := coordReg.Counter("fleet_failovers_total", "").Value()
+	promotions := coordReg.Counter("fleet_promotions_total", "").Value()
 	unserved, unservedAfter := 0, 0
 	var reconnects, redirects int64
 	for i, k := range keys {
@@ -377,6 +480,9 @@ func run(args []string, w io.Writer) error {
 	sort.Strings(names)
 	fmt.Fprintf(w, "fleet: nodes=%d live=%d %v failovers=%d promotions=%d frames=%d vehicle-reconnects=%d vehicle-redirects=%d\n",
 		*nodes, len(names), names, failovers, promotions, frames.Load(), reconnects, redirects)
+	if short, long, ok := slos.BurnRates("fleet-reassign"); ok {
+		fmt.Fprintf(w, "slo fleet-reassign: burn %.2f/%.2f active=%v\n", short, long, slos.AlertActive("fleet-reassign"))
+	}
 	fmt.Fprintf(w, "unserved intersections: %d (after kill: %d)\n", unserved, unservedAfter)
 	if unserved > 0 || unservedAfter > 0 {
 		return fmt.Errorf("%d intersections unserved (%d after kill)", unserved, unservedAfter)
@@ -387,8 +493,10 @@ func run(args []string, w io.Writer) error {
 // serveIntersection runs one shard's camera feed until ctx is
 // cancelled: step the world, classify through the node's serving
 // plane, broadcast the advisory, cycling weather scenes every
-// perScene frames.
-func serveIntersection(ctx context.Context, n *node, fw *safecross.Framework, intersection int, scenes []sim.Weather, perScene int, frameEvery time.Duration, traceSample int, tracer *telemetry.Tracer, logger *telemetry.Logger, frames *atomic.Int64) {
+// perScene frames. Sampled frames (decided from the minted trace id)
+// carry a trace through the serving plane, stamp the advisory with
+// the id, and retire into the node's own tracer.
+func serveIntersection(ctx context.Context, n *node, fw *safecross.Framework, intersection int, scenes []sim.Weather, perScene int, frameEvery time.Duration, traceSample int, logger *telemetry.Logger, frames *atomic.Int64) {
 	tick := time.NewTicker(frameEvery)
 	defer tick.Stop()
 	frame := 0
@@ -414,8 +522,8 @@ func serveIntersection(ctx context.Context, n *node, fw *safecross.Framework, in
 		frame++
 		fctx := ctx
 		var tr *telemetry.Trace
-		if traceSample > 0 && frame%traceSample == 0 {
-			tr = tracer.Start(fmt.Sprintf("frame/intersection-%d/%d", intersection, frame))
+		if id := telemetry.NewTraceID(); id.Sampled(traceSample) {
+			tr = n.tracer.StartLinked(fmt.Sprintf("frame/intersection-%d/%d", intersection, frame), id, "")
 			fctx = telemetry.WithTrace(ctx, tr)
 		}
 		d, err := fw.ProcessFrameContext(fctx, world.Render())
@@ -428,7 +536,8 @@ func serveIntersection(ctx context.Context, n *node, fw *safecross.Framework, in
 		}
 		frames.Add(1)
 		bStart := time.Now()
-		n.srv.Broadcast(rsu.IntersectionAdvisory(intersection, frame, d))
+		n.srv.Broadcast(rsu.IntersectionAdvisory(intersection, frame, d).
+			WithTraceContext(tr.TraceID(), "broadcast"))
 		tr.Span("broadcast", bStart, time.Now())
 		tr.Finish()
 	}

@@ -11,15 +11,27 @@ package main
 // /metrics while the fleet was degraded, exactly as an operator's
 // dashboard would see them.
 //
+// On top of the failover plumbing this run exercises the whole
+// fleet observability plane: the coordinator's /metrics must carry
+// federated fleet:: series for every live node with exact counter
+// and histogram-count merges, the reassign SLO (its objective
+// tightened to an absurd 1ns so the failover burns the whole error
+// budget) must raise its alert on the node kill and clear it once
+// the observation ages out of the short window, and /traces/fleet
+// must stitch a node's frame trace and the vehicle's receive segment
+// into one cross-process trace.
+//
 // The timings below are deliberately loose (150ms heartbeats, 60ms
 // frames): the suite runs with -race on small machines, and a
 // failure detector tuned tighter than the scheduler's jitter would
 // declare healthy nodes dead.
 
 import (
+	"encoding/json"
 	"io"
 	"net/http"
 	"regexp"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -57,6 +69,92 @@ func scrape(base, path string) (string, error) {
 	return string(body), err
 }
 
+// pollMetrics scrapes /metrics until every want substring shows in a
+// single scrape, failing if run() finishes first. It returns that
+// scrape.
+func pollMetrics(t *testing.T, base, stage string, done <-chan error, wants []string) string {
+	t.Helper()
+	var last string
+	tick := time.NewTicker(100 * time.Millisecond)
+	defer tick.Stop()
+scraping:
+	for {
+		select {
+		case err := <-done:
+			t.Fatalf("run() finished (err=%v) before /metrics showed %s %v\nlast scrape:\n%s",
+				err, stage, wants, last)
+		case <-tick.C:
+		}
+		metrics, err := scrape(base, "/metrics")
+		if err != nil {
+			continue
+		}
+		last = metrics
+		for _, want := range wants {
+			if !strings.Contains(metrics, want) {
+				continue scraping
+			}
+		}
+		return last
+	}
+}
+
+// pollMetricsRE scrapes /metrics until the pattern matches, failing
+// if run() finishes first.
+func pollMetricsRE(t *testing.T, base, stage string, done <-chan error, want *regexp.Regexp) {
+	t.Helper()
+	var last string
+	tick := time.NewTicker(100 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case err := <-done:
+			t.Fatalf("run() finished (err=%v) before /metrics matched %s %v\nlast scrape:\n%s",
+				err, stage, want, last)
+		case <-tick.C:
+		}
+		metrics, err := scrape(base, "/metrics")
+		if err != nil {
+			continue
+		}
+		last = metrics
+		if want.MatchString(metrics) {
+			return
+		}
+	}
+}
+
+// assertExactMerge parses per-node federated series and the
+// fleet-wide aggregate for one base name out of a single scrape and
+// requires the aggregate to be the exact sum — the federation
+// contract: merged counters and histogram counts are integer sums,
+// never approximations.
+func assertExactMerge(t *testing.T, metrics, series string) {
+	t.Helper()
+	perNode := regexp.MustCompile(`(?m)^fleet::` + series + `\{node="(node-\d+)"\} (\d+)$`)
+	agg := regexp.MustCompile(`(?m)^fleet::` + series + ` (\d+)$`)
+	nodes := perNode.FindAllStringSubmatch(metrics, -1)
+	if len(nodes) < 2 {
+		t.Fatalf("want ≥2 per-node fleet::%s series, got %d:\n%s", series, len(nodes), metrics)
+	}
+	var sum int64
+	for _, m := range nodes {
+		v, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			t.Fatalf("bad per-node value %q for %s: %v", m[2], m[1], err)
+		}
+		sum += v
+	}
+	am := agg.FindStringSubmatch(metrics)
+	if am == nil {
+		t.Fatalf("no fleet-wide aggregate for fleet::%s:\n%s", series, metrics)
+	}
+	got, _ := strconv.ParseInt(am[1], 10, 64)
+	if got != sum {
+		t.Fatalf("fleet::%s aggregate %d != per-node sum %d", series, got, sum)
+	}
+}
+
 func TestFleetSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("end-to-end fleet run skipped in -short mode")
@@ -68,12 +166,19 @@ func TestFleetSmoke(t *testing.T) {
 			"-nodes", "3",
 			"-intersections", "8",
 			"-coordinators", "3",
-			"-run", "7s",
+			"-run", "8s",
 			"-kill-coordinator-after", "1200ms",
 			"-kill-after", "3s",
 			"-heartbeat", "150ms",
 			"-frame-every", "60ms",
 			"-debug-addr", "127.0.0.1:0",
+			"-scrape-every", "300ms",
+			// Shrink the SLO windows and tighten the reassign objective
+			// so the single failover observation provably burns the
+			// budget (alert raises) and then ages out within the run
+			// (alert clears).
+			"-slo-window", "1500ms",
+			"-slo-reassign-objective", "1ns",
 		}, out)
 	}()
 
@@ -94,32 +199,14 @@ func TestFleetSmoke(t *testing.T) {
 	// standby's promotion counted, the node failover counted, and the
 	// live gauge down to two survivors. The run finishing first means
 	// the metrics never reflected the kills.
-	var lastMetrics string
-	wantLines := []string{"fleet_promotions_total 1", "fleet_failovers_total 1", "fleet_nodes_live 2"}
-	tick := time.NewTicker(100 * time.Millisecond)
-	defer tick.Stop()
-scraping:
-	for {
-		select {
-		case err := <-done:
-			t.Fatalf("run() finished (err=%v) before /metrics showed %v\nlast scrape:\n%s",
-				err, wantLines, lastMetrics)
-		case <-tick.C:
-		}
-		metrics, err := scrape(base, "/metrics")
-		if err != nil {
-			continue
-		}
-		lastMetrics = metrics
-		for _, want := range wantLines {
-			if !strings.Contains(metrics, want) {
-				continue scraping
-			}
-		}
-		break
-	}
+	lastMetrics := pollMetrics(t, base, "degraded fleet", done,
+		[]string{"fleet_promotions_total 1", "fleet_failovers_total 1", "fleet_nodes_live 2"})
 	// While degraded, the rest of the fleet plane must be exporting
 	// too: per-node liveness, heartbeat RTTs, and reassignment latency.
+	// The data-plane series (heartbeat RTTs, serve requests) now live
+	// on per-node registries and reach this listener only through the
+	// coordinator's federation scraper, as fleet:: series labelled per
+	// node, alongside scrape staleness and the SLO burn-rate gauges.
 	for _, series := range []string{
 		`fleet_node_live{node="node-`,
 		`fleet_coordinator_role{coordinator=`,
@@ -128,11 +215,85 @@ scraping:
 		"fleet_heartbeat_rtt_seconds_count",
 		"fleet_reassign_seconds_count",
 		`serve_requests_total{scene=`,
+		`fleet::serve_queue_wait_seconds_count{node="node-`,
+		`fleet::rsu_broadcasts_total{node="node-`,
+		`fleet_scrape_age_seconds{node="node-`,
+		`slo_burn_rate{slo="fleet-reassign"`,
+		`slo_burn_rate{slo="fleet-queue-wait"`,
 	} {
 		if !strings.Contains(lastMetrics, series) {
 			t.Fatalf("missing %s in /metrics:\n%s", series, lastMetrics)
 		}
 	}
+	// Federation is exact: within one scrape the fleet-wide aggregate
+	// of a counter and of a histogram's count is the integer sum of
+	// the per-node series.
+	assertExactMerge(t, lastMetrics, "rsu_broadcasts_total")
+	assertExactMerge(t, lastMetrics, "serve_queue_wait_seconds_count")
+
+	// The node kill burned the (deliberately unmeetable) reassign
+	// objective: the alert must raise on both windows, then clear once
+	// the short window no longer spans the failover. The transitions
+	// counter is the witness — the active gauge is only up for about
+	// one short window, which a slow race-instrumented scrape can
+	// sail straight past.
+	pollMetricsRE(t, base, "SLO alert raised", done,
+		regexp.MustCompile(`slo_alert_transitions_total\{slo="fleet-reassign"\} [12]\b`))
+
+	// A sampled frame's trace must stitch across processes: the
+	// owning node's frame segment and the subscribed vehicle's receive
+	// segment, under one trace ID, on the coordinator's /traces/fleet.
+	stitched := false
+	tick := time.NewTicker(150 * time.Millisecond)
+	defer tick.Stop()
+stitching:
+	for !stitched {
+		select {
+		case err := <-done:
+			t.Fatalf("run() finished (err=%v) before /traces/fleet stitched a cross-node trace", err)
+		case <-tick.C:
+		}
+		body, err := scrape(base, "/traces/fleet")
+		if err != nil {
+			continue
+		}
+		var traces []struct {
+			TraceID  string `json:"traceId"`
+			Segments []struct {
+				Node string `json:"node"`
+				Name string `json:"name"`
+			} `json:"segments"`
+		}
+		if err := json.Unmarshal([]byte(body), &traces); err != nil {
+			t.Fatalf("bad /traces/fleet JSON: %v\n%s", err, body)
+		}
+		for _, tr := range traces {
+			nodeFrame, vehicleRecv := false, false
+			for _, seg := range tr.Segments {
+				if strings.HasPrefix(seg.Node, "node-") && strings.HasPrefix(seg.Name, "frame/intersection-") {
+					nodeFrame = true
+				}
+				if seg.Node == "vehicles" && seg.Name == "vehicle/recv/advisory" {
+					vehicleRecv = true
+				}
+			}
+			if nodeFrame && vehicleRecv {
+				if tr.TraceID == "" {
+					t.Fatalf("stitched trace missing trace id: %+v", tr)
+				}
+				stitched = true
+				break stitching
+			}
+		}
+	}
+
+	// Hysteresis: the alert clears before shutdown, leaving exactly
+	// one raise/clear pair on the transition counter and the gauge
+	// back at zero.
+	pollMetrics(t, base, "SLO alert cleared", done, []string{
+		`slo_alert_transitions_total{slo="fleet-reassign"} 2`,
+		`slo_alert_active{slo="fleet-reassign"} 0`,
+	})
 
 	if err := <-done; err != nil {
 		t.Fatalf("fleet run failed: %v\noutput:\n%s", err, out.String())
@@ -145,6 +306,7 @@ scraping:
 		"failovers=1",
 		"promotions=1",
 		"live=2",
+		"slo fleet-reassign:",
 	} {
 		if !strings.Contains(final, want) {
 			t.Fatalf("missing %q in summary:\n%s", want, final)

@@ -43,7 +43,22 @@ func main() {
 	}
 }
 
+// lockedWriter serializes output: with -demo the vehicle's receive
+// goroutine prints advisories while the main goroutine prints the
+// serving summary, and both land on the same stream.
+type lockedWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (l *lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
+}
+
 func run(args []string, w io.Writer) error {
+	w = &lockedWriter{w: w}
 	fs := flag.NewFlagSet("safecross-rsu", flag.ContinueOnError)
 	var (
 		addr          = fs.String("addr", "127.0.0.1:7447", "listen address")
@@ -55,8 +70,11 @@ func run(args []string, w io.Writer) error {
 		workerMem     = fs.Int("worker-mem", 0, "per-GPU memory budget in MiB (0 = device default; small budgets force LRU model eviction)")
 		demo          = fs.Bool("demo", false, "attach an in-process vehicle client and print advisories")
 		verbose       = fs.Bool("v", false, "log training progress and runtime events")
-		debugAddr     = fs.String("debug-addr", "", "optional debug HTTP listener (Prometheus /metrics, /metrics.json, /traces, expvar, pprof)")
-		traceSample   = fs.Int("trace-sample", 8, "per-intersection frame-trace sampling rate: every Nth frame rides a full trace (queue → batch-wait → switch → compute → deliver → broadcast) into the /traces retention ring; 0 disables tracing")
+		debugAddr     = fs.String("debug-addr", "", "optional debug HTTP listener (Prometheus /metrics, /metrics.json, /metrics.fed, /traces, expvar, pprof)")
+		traceSample   = fs.Int("trace-sample", 8, "frame-trace sampling rate: one in N frames rides a full trace (queue → batch-wait → switch → compute → deliver → broadcast) into the /traces retention ring; the decision is derived from the minted trace id, so every process carrying the id agrees on it; 0 disables tracing")
+		sloWindow     = fs.Duration("slo-window", 5*time.Minute, "SLO burn-rate short window (the long window is 12x); shrink it to make smoke runs exercise alerts")
+		sloQueueObj   = fs.Duration("slo-queue-objective", 250*time.Millisecond, "serve queue-wait latency objective (p99 must stay under it)")
+		sloVerdictObj = fs.Duration("slo-verdict-objective", time.Second, "end-to-end frame-to-verdict latency objective (p95 must stay under it)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -87,6 +105,30 @@ func run(args []string, w io.Writer) error {
 		defer dbg.Close()
 		fmt.Fprintf(w, "debug endpoints on http://%s/metrics\n", dbg.Addr())
 	}
+
+	// The SLO engine turns the histograms above into burn-rate gauges:
+	// one objective on the serving plane's queue wait, one on the
+	// end-to-end frame→verdict path. Both evaluate from this process's
+	// registry; the gauges land on the same /metrics export.
+	slos := telemetry.NewSLOEngine(telemetry.SLOEngineConfig{
+		ShortWindow: *sloWindow,
+		Metrics:     reg,
+		Logger:      logger,
+	})
+	if err := slos.Add(telemetry.SLO{
+		Name: "serve-queue-wait", Series: "serve_queue_wait_seconds",
+		Objective: *sloQueueObj, Target: 0.99,
+	}, reg); err != nil {
+		return err
+	}
+	if err := slos.Add(telemetry.SLO{
+		Name: "frame-verdict", Series: "safecross_frame_verdict_seconds",
+		Objective: *sloVerdictObj, Target: 0.95,
+	}, reg); err != nil {
+		return err
+	}
+	slos.Start()
+	defer slos.Close()
 
 	cfg := experiments.Quick()
 	if *verbose {
@@ -147,7 +189,7 @@ func run(args []string, w io.Writer) error {
 		}
 	}
 
-	srv, err := rsu.Listen(*addr, rsu.WithMetrics(reg), rsu.WithLogger(logger))
+	srv, err := rsu.Listen(*addr, rsu.WithMetrics(reg), rsu.WithLogger(logger), rsu.WithTracer(tracer))
 	if err != nil {
 		return err
 	}
@@ -155,11 +197,23 @@ func run(args []string, w io.Writer) error {
 	fmt.Fprintf(w, "RSU listening on %s\n", srv.Addr())
 
 	var wg sync.WaitGroup
+	var demoCli *rsu.Client
 	if *demo {
-		cli, err := rsu.Dial(srv.Addr(), "demo-vehicle")
+		// The demo vehicle shares the process tracer, so its side of
+		// every sampled trace — the subscribe handshake and each
+		// advisory it receives — lands in the same /traces ring as the
+		// node's spans, under the same trace IDs.
+		cli, err := rsu.DialRetry(rsu.RetryConfig{
+			Seeds:       []string{srv.Addr()},
+			Vehicle:     "demo-vehicle",
+			Logger:      logger,
+			Tracer:      tracer,
+			TraceSample: 1,
+		})
 		if err != nil {
 			return err
 		}
+		demoCli = cli
 		defer cli.Close()
 		wg.Add(1)
 		go func() {
@@ -208,11 +262,14 @@ func run(args []string, w io.Writer) error {
 					// Sampled frames carry a trace through the whole
 					// pipeline: the serving plane records its stage spans
 					// into it, this loop adds the broadcast span, and
-					// Finish retires it into the dump ring.
+					// Finish retires it into the dump ring. The sampling
+					// decision is derived from the minted trace id — not a
+					// frame counter — so a vehicle holding the id reaches
+					// the same verdict and can join the trace.
 					ctx := context.Background()
 					var tr *telemetry.Trace
-					if *traceSample > 0 && frame%*traceSample == 0 {
-						tr = tracer.Start(fmt.Sprintf("frame/intersection-%d/%d", idx, frame))
+					if id := telemetry.NewTraceID(); id.Sampled(*traceSample) {
+						tr = tracer.StartLinked(fmt.Sprintf("frame/intersection-%d/%d", idx, frame), id, "")
 						ctx = telemetry.WithTrace(ctx, tr)
 					}
 					d, err := fw.ProcessFrameContext(ctx, world.Render())
@@ -223,7 +280,11 @@ func run(args []string, w io.Writer) error {
 					}
 					served.Add(1)
 					bStart := time.Now()
-					srv.Broadcast(rsu.IntersectionAdvisory(idx, frame, d))
+					// A traced frame's advisory carries the trace id on the
+					// wire, hung under the broadcast span — subscribed
+					// vehicles join the trace from it.
+					srv.Broadcast(rsu.IntersectionAdvisory(idx, frame, d).
+						WithTraceContext(tr.TraceID(), "broadcast"))
 					tr.Span("broadcast", bStart, time.Now())
 					tr.Finish()
 					logger.Debugf("intersection %d frame %d scene=%v ready=%v safe=%v",
@@ -247,9 +308,12 @@ func run(args []string, w io.Writer) error {
 		st.Evictions, st.Reloads, st.Shed, st.Cancelled, st.Aged, st.CriticalQueueP95, st.RoutineQueueP95)
 
 	if *demo {
-		// Give the demo client a moment to drain, then shut down.
+		// Give the demo client a moment to drain, then shut down. The
+		// retry client must be closed explicitly — its message channel
+		// stays open across reconnect attempts otherwise.
 		time.Sleep(100 * time.Millisecond)
 		srv.Close()
+		demoCli.Close()
 		wg.Wait()
 	}
 	return nil

@@ -52,8 +52,12 @@ var wantSeries = []string{
 	"serve_completed_total",
 	"rsu_broadcast_seconds_count",
 	"safecross_frames_total",
+	"safecross_frame_verdict_seconds_count",
 	"safecross_vp_seconds_count",
 	`pipeswitch_load_seconds_count{method="pipeswitch"}`,
+	`slo_burn_rate{slo="serve-queue-wait"`,
+	`slo_burn_rate{slo="frame-verdict"`,
+	`slo_alert_active{slo="serve-queue-wait"}`,
 }
 
 // frameTraceStages is the span tiling a completed sampled frame must
@@ -111,6 +115,10 @@ func TestObsSmoke(t *testing.T) {
 			"-frames", "200",
 			"-scene-frames", "50",
 			"-intersections", "2",
+			// The demo vehicle shares the process tracer, so sampled
+			// frames produce both a serve-side trace and the vehicle's
+			// receive segment under the same trace id.
+			"-demo",
 		}, out)
 	}()
 
@@ -128,19 +136,22 @@ func TestObsSmoke(t *testing.T) {
 		t.Fatalf("no debug banner in output:\n%s", out.String())
 	}
 
-	// Scrape until every series has appeared and a sampled frame has
-	// retired a fully tiled trace. run() ending first means the
-	// endpoints never showed the data — that is a failure.
+	// Scrape until every series has appeared, a sampled frame has
+	// retired a fully tiled trace, and that trace's id also shows on a
+	// vehicle receive segment — the distributed-trace contract in one
+	// process: the node's frame trace and the demo vehicle's segment
+	// share one trace id. run() ending first means the endpoints never
+	// showed the data — that is a failure.
 	var lastMetrics string
 	var missing []string
-	var traceOK bool
+	var traceOK, stitchOK bool
 	tick := time.NewTicker(50 * time.Millisecond)
 	defer tick.Stop()
 	for {
 		select {
 		case err := <-done:
-			t.Fatalf("run() finished (err=%v) before the debug endpoints showed all series; missing %v traceOK=%v\nlast scrape:\n%s",
-				err, missing, traceOK, lastMetrics)
+			t.Fatalf("run() finished (err=%v) before the debug endpoints showed all series; missing %v traceOK=%v stitchOK=%v\nlast scrape:\n%s",
+				err, missing, traceOK, stitchOK, lastMetrics)
 		case <-tick.C:
 		}
 		metrics, err := scrape(base, "/metrics")
@@ -154,23 +165,67 @@ func TestObsSmoke(t *testing.T) {
 				missing = append(missing, s)
 			}
 		}
-		if !traceOK {
+		if !traceOK || !stitchOK {
 			body, err := scrape(base, "/traces")
 			if err != nil {
 				continue
 			}
 			var traces []telemetry.TraceSnapshot
-			if json.Unmarshal([]byte(body), &traces) == nil && fullFrameTrace(traces) != nil {
-				traceOK = true
+			if json.Unmarshal([]byte(body), &traces) == nil {
+				if fullFrameTrace(traces) != nil {
+					traceOK = true
+				}
+				frameIDs := make(map[string]bool)
+				for _, tr := range traces {
+					if strings.HasPrefix(tr.Name, "frame/") && tr.TraceID != "" {
+						frameIDs[tr.TraceID] = true
+					}
+				}
+				for _, tr := range traces {
+					if tr.Name == "vehicle/recv/advisory" && tr.Parent == "broadcast" && frameIDs[tr.TraceID] {
+						stitchOK = true
+						break
+					}
+				}
 			}
 		}
-		if len(missing) == 0 && traceOK {
+		if len(missing) == 0 && traceOK && stitchOK {
 			break
 		}
 	}
 
+	// /traces honors bounded, validated query parameters: n caps the
+	// dump, terminal filters it, and garbage is a 400 — not a panic,
+	// not an unbounded dump.
+	body, err := scrape(base, "/traces?n=3&terminal=completed")
+	if err != nil {
+		t.Fatalf("filtered /traces: %v", err)
+	}
+	var filtered []telemetry.TraceSnapshot
+	if err := json.Unmarshal([]byte(body), &filtered); err != nil {
+		t.Fatalf("filtered /traces not JSON: %v\n%s", err, body)
+	}
+	if len(filtered) > 3 {
+		t.Fatalf("/traces?n=3 returned %d traces", len(filtered))
+	}
+	for _, tr := range filtered {
+		if tr.Terminal != "completed" {
+			t.Fatalf("/traces?terminal=completed returned terminal %q", tr.Terminal)
+		}
+	}
+	for _, bad := range []string{"/traces?n=0", "/traces?n=zap", "/traces?n=999999999", "/traces?terminal=sp%20ace"} {
+		resp, err := http.Get(base + bad)
+		if err != nil {
+			t.Fatalf("GET %s: %v", bad, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("GET %s: want 400, got %d", bad, resp.StatusCode)
+		}
+	}
+
 	// The JSON snapshot must agree that work completed.
-	body, err := scrape(base, "/metrics.json")
+	body, err = scrape(base, "/metrics.json")
 	if err == nil {
 		var snap map[string]any
 		if jerr := json.Unmarshal([]byte(body), &snap); jerr != nil {

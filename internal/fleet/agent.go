@@ -33,6 +33,11 @@ type AgentConfig struct {
 	// Advertise is the node's rsu.Server address as vehicles should
 	// dial it; it travels in heartbeats and assignment tables.
 	Advertise string
+	// DebugAddr is the node's telemetry debug-listener address. It
+	// travels in heartbeats so the coordinator's federator knows where
+	// to scrape this node's metrics and traces. Empty opts the node out
+	// of federation.
+	DebugAddr string
 	// Timings must match the coordinator's clock (only HeartbeatEvery
 	// and SuspectAfter are used on the agent side).
 	Timings Timings
@@ -357,6 +362,7 @@ func (a *Agent) sendHeartbeat() error {
 	}
 	msg := rsu.HeartbeatMessage(a.cfg.ID, a.cfg.Advertise, a.Epoch())
 	msg.Draining = draining
+	msg.DebugAddr = a.cfg.DebugAddr
 	a.sendMu.Lock()
 	defer a.sendMu.Unlock()
 	_ = conn.SetWriteDeadline(time.Now().Add(a.cfg.DialTimeout))

@@ -45,10 +45,11 @@ type Config struct {
 // from a partitioned-but-alive node can be rejected with a redirect
 // instead of silently re-admitting a node whose shards moved.
 type member struct {
-	id    string
-	addr  string
-	state NodeState
-	last  time.Time
+	id        string
+	addr      string
+	debugAddr string // node's telemetry debug listener (federation scrape target)
+	state     NodeState
+	last      time.Time
 
 	// conn/enc are written under Coordinator.mu; sendMu serialises
 	// actual writes (heartbeat acks from the connection handler race
@@ -259,6 +260,23 @@ func (c *Coordinator) Assignments() map[int]string {
 	return out
 }
 
+// DebugTargets returns the federation scrape set: every non-dead
+// node that advertised a debug listener, as node-id → base URL. This
+// is what a coordinator-side telemetry.Federator's Targets func reads
+// — killing a node drops it from the scrape set at the same instant
+// the failure detector rules on it.
+func (c *Coordinator) DebugTargets() map[string]string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]string, len(c.members))
+	for id, m := range c.members {
+		if m.state != Dead && m.debugAddr != "" {
+			out[id] = "http://" + m.debugAddr
+		}
+	}
+	return out
+}
+
 // States returns every known node's liveness state (including dead
 // tombstones).
 func (c *Coordinator) States() map[string]NodeState {
@@ -393,6 +411,9 @@ func (c *Coordinator) onHeartbeat(pm **member, conn net.Conn, enc *json.Encoder,
 			if msg.Addr != "" {
 				existing.addr = msg.Addr
 			}
+			if msg.DebugAddr != "" {
+				existing.debugAddr = msg.DebugAddr
+			}
 			existing.last = now
 			if existing.state == Suspect {
 				existing.state = Live
@@ -404,13 +425,14 @@ func (c *Coordinator) onHeartbeat(pm **member, conn net.Conn, enc *json.Encoder,
 		// A brand-new node, or a dead tombstone rejoining under its old
 		// id: either way it enters as a newcomer and the ring rebalances.
 		m = &member{
-			id:    msg.Node,
-			addr:  msg.Addr,
-			state: Live,
-			last:  now,
-			conn:  conn,
-			enc:   enc,
-			live:  c.reg.Gauge(fmt.Sprintf("fleet_node_live{node=%q}", msg.Node), "1 while the node is not declared dead"),
+			id:        msg.Node,
+			addr:      msg.Addr,
+			debugAddr: msg.DebugAddr,
+			state:     Live,
+			last:      now,
+			conn:      conn,
+			enc:       enc,
+			live:      c.reg.Gauge(fmt.Sprintf("fleet_node_live{node=%q}", msg.Node), "1 while the node is not declared dead"),
 		}
 		c.members[msg.Node] = m
 		m.live.Set(1)

@@ -116,6 +116,13 @@ func WithAdvertise(addr string) AgentOption {
 	return agentOption(func(a *AgentConfig) { a.Advertise = addr })
 }
 
+// WithDebugAddr advertises the node's telemetry debug-listener
+// address in heartbeats, opting the node into coordinator-side
+// federation (metric scraping and fleet trace stitching).
+func WithDebugAddr(addr string) AgentOption {
+	return agentOption(func(a *AgentConfig) { a.DebugAddr = addr })
+}
+
 // WithRunner installs the per-intersection serving loop the agent
 // starts for each owned shard. Without it the agent only maintains
 // routing state.

@@ -219,7 +219,7 @@ func (c *Coordinator) replicateMsg() (rsu.Message, bool) {
 	}
 	members := make([]rsu.FleetMember, 0, len(c.members))
 	for _, m := range c.members {
-		members = append(members, rsu.FleetMember{Node: m.id, Addr: m.addr, State: m.state.String()})
+		members = append(members, rsu.FleetMember{Node: m.id, Addr: m.addr, DebugAddr: m.debugAddr, State: m.state.String()})
 	}
 	sort.Slice(members, func(i, j int) bool { return members[i].Node < members[j].Node })
 	owners := make(map[int]string, len(c.owners))
@@ -306,6 +306,7 @@ func (c *Coordinator) onReplicate(msg rsu.Message) (reply rsu.Message, drop bool
 			c.members[fm.Node] = m
 		}
 		m.addr = fm.Addr
+		m.debugAddr = fm.DebugAddr
 		m.state = stateFromString(fm.State)
 		m.last = now
 		if m.state == Dead {

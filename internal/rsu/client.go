@@ -66,6 +66,18 @@ type RetryConfig struct {
 	MaxAttempts int
 	// Logger, when set, records attach/redirect/backoff events.
 	Logger *telemetry.Logger
+	// Tracer, when set, records the vehicle's side of distributed
+	// traces: advisories arriving with trace context get a linked
+	// vehicle/recv segment (joining the frame's fleet-wide trace), and
+	// sampled subscribe handshakes get a vehicle/attach segment whose
+	// trace id travels on the wire so the node's join segment shares it.
+	Tracer *telemetry.Tracer
+	// TraceSample is the "one in N" subscribe-handshake sampling rate.
+	// The decision is derived from the minted trace id (not a local
+	// counter), so every process that sees the id agrees on it. 0
+	// disables handshake traces; advisory joins are driven by the
+	// sender's sampling decision instead.
+	TraceSample int
 }
 
 // withDefaults fills zero fields.
@@ -148,7 +160,7 @@ func DialTimeout(addr, vehicle string, timeout time.Duration) (*Client, error) {
 	if vehicle == "" {
 		return nil, fmt.Errorf("rsu: empty vehicle id")
 	}
-	conn, dec, _, _, err := dialSubscribe(addr, vehicle, 0, timeout)
+	conn, dec, _, _, err := dialSubscribe(addr, Message{Type: TypeSubscribe, Vehicle: vehicle}, timeout)
 	if err != nil {
 		return nil, err
 	}
@@ -188,11 +200,13 @@ func DialRetry(cfg RetryConfig) (*Client, error) {
 	return c, nil
 }
 
-// dialSubscribe performs one connect-plus-subscribe exchange. On a
-// welcome it returns the live connection with its decoder and the
-// welcome message; on a redirect reply it returns the target address
-// with a non-nil error wrapping ErrHandshake.
-func dialSubscribe(addr, vehicle string, intersection int, timeout time.Duration) (net.Conn, *json.Decoder, Message, string, error) {
+// dialSubscribe performs one connect-plus-subscribe exchange with the
+// given subscribe message (callers stamp trace context onto it when
+// the handshake is sampled). On a welcome it returns the live
+// connection with its decoder and the welcome message; on a redirect
+// reply it returns the target address with a non-nil error wrapping
+// ErrHandshake.
+func dialSubscribe(addr string, sub Message, timeout time.Duration) (net.Conn, *json.Decoder, Message, string, error) {
 	var none Message
 	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
@@ -205,7 +219,7 @@ func dialSubscribe(addr, vehicle string, intersection int, timeout time.Duration
 		}
 	}
 	enc := json.NewEncoder(conn)
-	if err := enc.Encode(Message{Type: TypeSubscribe, Vehicle: vehicle, Intersection: intersection}); err != nil {
+	if err := enc.Encode(sub); err != nil {
 		_ = conn.Close()
 		return nil, nil, none, "", fmt.Errorf("rsu: subscribe: %w", err)
 	}
@@ -261,12 +275,30 @@ func (c *Client) connect(preferred string) (net.Conn, *json.Decoder, Message, er
 			addr = cfg.Seeds[seedIdx%len(cfg.Seeds)]
 			seedIdx++
 		}
-		conn, dec, welcome, redirect, err := dialSubscribe(addr, cfg.Vehicle, cfg.Intersection, cfg.HandshakeTimeout)
+		sub := Message{Type: TypeSubscribe, Vehicle: cfg.Vehicle, Intersection: cfg.Intersection}
+		var attachTrace *telemetry.Trace
+		if cfg.Tracer != nil && cfg.TraceSample > 0 {
+			// The sampling decision belongs to the minted id, not this
+			// process: the node receiving the stamped subscribe reaches
+			// the same verdict from the same id.
+			if id := telemetry.NewTraceID(); id.Sampled(cfg.TraceSample) {
+				attachTrace = cfg.Tracer.StartLinked("vehicle/attach", id, "")
+				sub = sub.WithTraceContext(id, "attach")
+			}
+		}
+		attachStart := time.Now()
+		conn, dec, welcome, redirect, err := dialSubscribe(addr, sub, cfg.HandshakeTimeout)
+		attachNow := time.Now()
+		attachTrace.Span("attach", attachStart, attachNow)
 		if err == nil {
+			attachTrace.Terminal("attached", attachNow)
+			attachTrace.Finish()
 			c.attaches.Add(1)
 			cfg.Logger.Infof("rsu: vehicle %q attached to %s (intersection %d)", cfg.Vehicle, addr, cfg.Intersection)
 			return conn, dec, welcome, nil
 		}
+		attachTrace.Terminal("error", attachNow)
+		attachTrace.Finish()
 		lastErr = err
 		if redirect != "" {
 			c.redirects.Add(1)
@@ -334,12 +366,29 @@ func (c *Client) manage(conn net.Conn, dec *json.Decoder) {
 // or "" when the stream just ended.
 func (c *Client) stream(conn net.Conn, dec *json.Decoder) string {
 	c.setConn(conn)
+	var tracer *telemetry.Tracer
+	if c.retry != nil {
+		tracer = c.retry.Tracer
+	}
 	for {
 		var msg Message
 		if err := dec.Decode(&msg); err != nil {
 			return ""
 		}
+		recvAt := time.Now()
 		c.deliver(msg)
+		if tracer != nil {
+			// A message stamped with trace context joins the sender's
+			// distributed trace: this segment is the vehicle end of the
+			// frame's journey, hung under the remote parent span.
+			if id, parentSpan := msg.TraceContext(); id != 0 {
+				done := time.Now()
+				tr := tracer.StartLinked("vehicle/recv/"+msg.Type, id, parentSpan)
+				tr.Span("recv", recvAt, done)
+				tr.Terminal("delivered", done)
+				tr.Finish()
+			}
+		}
 		if c.retry != nil && msg.Type == TypeRedirect && msg.Addr != "" {
 			return msg.Addr
 		}

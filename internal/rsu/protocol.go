@@ -13,6 +13,7 @@ import (
 	"safecross/internal/pipeswitch"
 	"safecross/internal/safecross"
 	"safecross/internal/serve"
+	"safecross/internal/telemetry"
 )
 
 // Message types exchanged between RSU and vehicles.
@@ -68,6 +69,9 @@ type FleetMember struct {
 	Node string `json:"node"`
 	// Addr is the member's advertised RSU address.
 	Addr string `json:"addr,omitempty"`
+	// DebugAddr is the member's telemetry debug-listener address, so a
+	// promoted standby can keep federating the fleet's metrics.
+	DebugAddr string `json:"debug_addr,omitempty"`
 	// State is the primary's liveness verdict: "live", "suspect", or
 	// "dead" (dead tombstones replicate too, so a new primary keeps
 	// rejecting late heartbeats from reassigned nodes).
@@ -148,6 +152,47 @@ type Message struct {
 	// coordinator should move the node's shards now and expect it to
 	// disappear.
 	Draining bool `json:"draining,omitempty"`
+	// TraceID carries distributed trace context: the fleet-wide trace
+	// identity in telemetry.TraceID wire form (16 hex digits). A
+	// subscribe stamped with it lets the node trace the join; an
+	// advisory stamped with it lets the vehicle join the frame's trace;
+	// a heartbeat stamped with it traces the control-plane round trip.
+	// Optional everywhere.
+	TraceID string `json:"trace_id,omitempty"`
+	// ParentSpan names the sender-side span this message hangs under
+	// (e.g. "broadcast" on an advisory), so the receiver's trace
+	// segment records where in the remote tree it belongs. Only
+	// meaningful alongside TraceID.
+	ParentSpan string `json:"parent_span,omitempty"`
+	// DebugAddr is the sender's debug listener address (heartbeat
+	// messages): the coordinator federates each live node's metrics and
+	// traces by scraping this endpoint.
+	DebugAddr string `json:"debug_addr,omitempty"`
+}
+
+// TraceContext decodes the message's trace fields into a trace ID and
+// remote parent, for telemetry.Tracer.StartLinked. A message without
+// trace context yields (0, ""); a malformed trace_id also yields zero
+// (Validate is where malformed context is rejected — receivers that
+// skipped validation degrade to an untraced message).
+func (m Message) TraceContext() (telemetry.TraceID, string) {
+	id, err := telemetry.ParseTraceID(m.TraceID)
+	if err != nil || id == 0 {
+		return 0, ""
+	}
+	return id, m.ParentSpan
+}
+
+// WithTraceContext returns a copy of the message stamped with trace
+// context; a zero id strips any context (the message travels
+// untraced).
+func (m Message) WithTraceContext(id telemetry.TraceID, parentSpan string) Message {
+	if id == 0 {
+		m.TraceID, m.ParentSpan = "", ""
+		return m
+	}
+	m.TraceID, m.ParentSpan = id.String(), parentSpan
+	return m
 }
 
 // AdvisoryMessage builds the advisory message for a decision.
@@ -237,6 +282,20 @@ func PromoteMessage(addr string, term, epoch int64) Message {
 
 // Validate checks well-formedness of an inbound message.
 func (m Message) Validate() error {
+	// Trace context is optional on every type but must be well-formed
+	// when present: a parseable non-zero trace id, and a parent span
+	// only in the company of an id (an orphaned parent cannot be
+	// attached to any trace).
+	if m.TraceID != "" {
+		if _, err := telemetry.ParseTraceID(m.TraceID); err != nil {
+			return fmt.Errorf("rsu: %s with malformed trace id: %w", m.Type, err)
+		}
+	} else if m.ParentSpan != "" {
+		return fmt.Errorf("rsu: %s with parent span %q but no trace id", m.Type, m.ParentSpan)
+	}
+	if len(m.ParentSpan) > 128 {
+		return fmt.Errorf("rsu: %s with oversized parent span", m.Type)
+	}
 	switch m.Type {
 	case TypeSubscribe:
 		if m.Vehicle == "" {

@@ -32,6 +32,7 @@ type Server struct {
 
 	log     *telemetry.Logger
 	reg     *telemetry.Registry
+	tracer  *telemetry.Tracer
 	metrics serverMetrics
 
 	wg sync.WaitGroup
@@ -88,6 +89,16 @@ func (o serverLoggerOption) apply(s *Server) { s.log = o.log }
 // discards everything, so tests and embedders stay quiet unless they
 // opt in.
 func WithLogger(log *telemetry.Logger) ServerOption { return serverLoggerOption{log: log} }
+
+type serverTracerOption struct{ tracer *telemetry.Tracer }
+
+func (o serverTracerOption) apply(s *Server) { s.tracer = o.tracer }
+
+// WithTracer lets the server join distributed traces: a subscribe
+// stamped with trace context records an rsu/subscribe segment under
+// the vehicle's trace ID, so the fleet stitcher sees the handshake
+// land on this node.
+func WithTracer(tracer *telemetry.Tracer) ServerOption { return serverTracerOption{tracer: tracer} }
 
 // Stats counts server activity since start.
 type Stats struct {
@@ -221,6 +232,14 @@ func (s *Server) handle(conn net.Conn) {
 		_ = conn.Close()
 		return
 	}
+	// A subscribe carrying trace context gets a node-side segment: the
+	// handshake joins the vehicle's distributed trace, so the fleet
+	// stitcher sees the join land on this node.
+	var joinTrace *telemetry.Trace
+	if id, parentSpan := sub.TraceContext(); id != 0 {
+		joinTrace = s.tracer.StartLinked("rsu/subscribe", id, parentSpan)
+	}
+	joinStart := time.Now()
 	enc := json.NewEncoder(conn)
 	if addr, epoch, ok := s.routeFor(sub.Intersection); !ok {
 		// Wrong node: point the vehicle at the owner and hang up. An
@@ -231,6 +250,10 @@ func (s *Server) handle(conn net.Conn) {
 			_ = enc.Encode(RedirectMessage(sub.Intersection, addr, epoch))
 		}
 		s.log.Infof("rsu: redirecting vehicle %q (intersection %d) to %q", sub.Vehicle, sub.Intersection, addr)
+		now := time.Now()
+		joinTrace.Span("redirect", joinStart, now)
+		joinTrace.Terminal("redirected", now)
+		joinTrace.Finish()
 		_ = conn.Close()
 		return
 	}
@@ -253,9 +276,17 @@ func (s *Server) handle(conn net.Conn) {
 	s.log.Infof("rsu: vehicle %q subscribed from %s", c.vehicle, conn.RemoteAddr())
 
 	if err := enc.Encode(Message{Type: TypeWelcome, Vehicle: c.vehicle, Intersection: c.watch, Addr: s.Addr()}); err != nil {
+		now := time.Now()
+		joinTrace.Span("welcome", joinStart, now)
+		joinTrace.Terminal("error", now)
+		joinTrace.Finish()
 		s.drop(c)
 		return
 	}
+	now := time.Now()
+	joinTrace.Span("welcome", joinStart, now)
+	joinTrace.Terminal("subscribed", now)
+	joinTrace.Finish()
 	for {
 		select {
 		case m := <-c.out:

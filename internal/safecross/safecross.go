@@ -144,10 +144,11 @@ type Framework struct {
 // ProcessFrameContext. All handles are nil-safe, so a framework built
 // without Config.Metrics records nowhere.
 type frameMetrics struct {
-	frames      *telemetry.Counter
-	sceneDetect *telemetry.Histogram
-	vp          *telemetry.Histogram
-	classify    *telemetry.Histogram
+	frames       *telemetry.Counter
+	sceneDetect  *telemetry.Histogram
+	vp           *telemetry.Histogram
+	classify     *telemetry.Histogram
+	frameVerdict *telemetry.Histogram
 }
 
 func newFrameMetrics(reg *telemetry.Registry) frameMetrics {
@@ -159,6 +160,9 @@ func newFrameMetrics(reg *telemetry.Registry) frameMetrics {
 		sceneDetect: reg.Histogram("safecross_scene_detect_seconds", "per-frame weather scene detection", telemetry.UnitSeconds),
 		vp:          reg.Histogram("safecross_vp_seconds", "per-frame VP pre-processing into the clip ring", telemetry.UnitSeconds),
 		classify:    reg.Histogram("safecross_classify_seconds", "per-clip classification (local forward or serving-plane round trip)", telemetry.UnitSeconds),
+		frameVerdict: reg.Histogram("safecross_frame_verdict_seconds",
+			"whole frame ingest to verdict: detection, switching, VP, and classification end to end — the latency the warning-path SLO is judged on",
+			telemetry.UnitSeconds),
 	}
 }
 
@@ -283,7 +287,8 @@ func (f *Framework) ProcessFrameContext(ctx context.Context, frame *vision.Image
 
 	d := &Decision{}
 	f.metrics.frames.Inc()
-	detectStart := time.Now()
+	frameStart := time.Now()
+	detectStart := frameStart
 	scene, changed := f.monitor.Observe(frame)
 	f.metrics.sceneDetect.ObserveDuration(time.Since(detectStart))
 	d.Scene = scene
@@ -338,6 +343,10 @@ func (f *Framework) ProcessFrameContext(ctx context.Context, frame *vision.Image
 		}
 	}
 	f.metrics.classify.ObserveDuration(time.Since(classifyStart))
+	// The verdict histogram only counts frames that produced one: the
+	// warning-path SLO judges how fast a verdict arrives, and ring-fill
+	// frames that cannot yield a verdict would only dilute the tail.
+	f.metrics.frameVerdict.ObserveDuration(time.Since(frameStart))
 	d.Ready = true
 	// Fail-safe hysteresis: danger verdicts take effect immediately;
 	// TURN is only advised after SafeStreak consecutive safe verdicts.

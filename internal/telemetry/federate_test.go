@@ -1,0 +1,274 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fedHistOf records the given durations into a fresh histogram and
+// returns its federation wire form.
+func fedHistOf(t *testing.T, durations ...time.Duration) FedHistogram {
+	t.Helper()
+	reg := NewRegistry()
+	h := reg.Histogram("lat", "", UnitSeconds)
+	for _, d := range durations {
+		h.ObserveDuration(d)
+	}
+	fh, ok := reg.Snapshot().Fed().Hists["lat"]
+	if !ok {
+		t.Fatal("histogram missing from Fed snapshot")
+	}
+	return fh
+}
+
+func sameFedHist(a, b FedHistogram) bool {
+	if a.Count != b.Count || a.Sum != b.Sum || a.Max != b.Max || a.Unit != b.Unit {
+		return false
+	}
+	if len(a.Buckets) != len(b.Buckets) {
+		return false
+	}
+	for i, n := range a.Buckets {
+		if b.Buckets[i] != n {
+			return false
+		}
+	}
+	return true
+}
+
+// The federation contract: merging per-node histograms is EXACT — the
+// merge of two nodes' wire forms has identical bucket counts to one
+// histogram that observed both nodes' values, and the operation is
+// commutative and associative, so scrape order cannot change the
+// fleet view.
+func TestFedHistogramMergeExact(t *testing.T) {
+	aVals := []time.Duration{time.Millisecond, 3 * time.Millisecond, 90 * time.Millisecond, 2 * time.Second}
+	bVals := []time.Duration{2 * time.Millisecond, 40 * time.Millisecond, 40 * time.Millisecond, 7 * time.Second}
+
+	a := fedHistOf(t, aVals...)
+	b := fedHistOf(t, bVals...)
+	union := fedHistOf(t, append(append([]time.Duration{}, aVals...), bVals...)...)
+
+	merged := a.Merge(b)
+	if !sameFedHist(merged, union) {
+		t.Fatalf("merge is not exact:\nmerged=%+v\nunion =%+v", merged, union)
+	}
+	if !sameFedHist(a.Merge(b), b.Merge(a)) {
+		t.Fatal("merge is not commutative")
+	}
+	if got := merged.Quantile(1.0); got != union.Max {
+		t.Fatalf("merged max quantile %d != union max %d", got, union.Max)
+	}
+}
+
+func TestFedHistogramMergeAssociative(t *testing.T) {
+	a := fedHistOf(t, time.Millisecond, 5*time.Millisecond)
+	b := fedHistOf(t, 20*time.Millisecond)
+	c := fedHistOf(t, 300*time.Millisecond, 4*time.Second)
+	left := a.Merge(b).Merge(c)
+	right := a.Merge(b.Merge(c))
+	if !sameFedHist(left, right) {
+		t.Fatalf("merge is not associative:\n(a·b)·c=%+v\na·(b·c)=%+v", left, right)
+	}
+	if left.Count != 5 {
+		t.Fatalf("merged count = %d, want 5", left.Count)
+	}
+}
+
+func TestFedHistogramMergeEmptyAndUnits(t *testing.T) {
+	var zero FedHistogram
+	h := fedHistOf(t, time.Millisecond)
+	merged := zero.Merge(h)
+	if merged.Unit != UnitSeconds {
+		t.Fatalf("empty-side merge lost the unit: %v", merged.Unit)
+	}
+	if !sameFedHist(merged, h.Merge(zero)) {
+		t.Fatal("merge with empty is not commutative")
+	}
+	if merged.Count != 1 {
+		t.Fatalf("count %d after empty merge, want 1", merged.Count)
+	}
+}
+
+// Corrupt wire peers cannot crash the quantile machinery: bucket
+// indices outside the fixed array are dropped, not trusted.
+func TestFedHistogramDenseDropsOutOfRange(t *testing.T) {
+	h := FedHistogram{Count: 2, Buckets: map[int]int64{-3: 1, histBuckets + 10: 1, 4: 2}}
+	buckets := h.dense()
+	var total int64
+	for _, n := range buckets {
+		total += n
+	}
+	if total != 2 {
+		t.Fatalf("dense kept out-of-range buckets: total %d", total)
+	}
+}
+
+func TestFedName(t *testing.T) {
+	cases := []struct{ name, node, want string }{
+		{"serve_completed_total", "node-1", `fleet::serve_completed_total{node="node-1"}`},
+		{`serve_requests_total{scene="rain"}`, "node-0", `fleet::serve_requests_total{scene="rain",node="node-0"}`},
+		{"serve_completed_total", "", "fleet::serve_completed_total"},
+		{`serve_requests_total{scene="rain"}`, "", `fleet::serve_requests_total{scene="rain"}`},
+		// Already node-labelled series (the fleet agent's own metrics)
+		// must not gain a second node label.
+		{`fleet_heartbeat_rtt_seconds{node="node-2"}`, "node-2", `fleet::fleet_heartbeat_rtt_seconds{node="node-2"}`},
+	}
+	for _, c := range cases {
+		if got := fedName(c.name, c.node); got != c.want {
+			t.Errorf("fedName(%q, %q) = %q, want %q", c.name, c.node, got, c.want)
+		}
+	}
+}
+
+func TestStitchTraces(t *testing.T) {
+	base := time.Now()
+	byNode := map[string][]TraceSnapshot{
+		"node-0": {
+			{TraceID: "00000000000000aa", Name: "frame/intersection-1/7", Start: base, End: base.Add(time.Millisecond)},
+			{Name: "untraced", Start: base}, // no trace id: dropped
+		},
+		"vehicles": {
+			{TraceID: "00000000000000aa", Parent: "broadcast", Name: "vehicle/recv/advisory", Start: base.Add(time.Millisecond), End: base.Add(2 * time.Millisecond)},
+			{TraceID: "00000000000000bb", Parent: "attach", Name: "vehicle/attach", Start: base.Add(-time.Second), End: base.Add(-time.Second + time.Millisecond)},
+		},
+	}
+	traces := StitchTraces(byNode)
+	if len(traces) != 2 {
+		t.Fatalf("stitched %d traces, want 2", len(traces))
+	}
+	// Oldest trace first.
+	if traces[0].TraceID != "00000000000000bb" {
+		t.Fatalf("traces not oldest-first: %q first", traces[0].TraceID)
+	}
+	ft := traces[1]
+	if len(ft.Segments) != 2 {
+		t.Fatalf("trace aa has %d segments, want 2", len(ft.Segments))
+	}
+	// Root segment (no remote parent) leads and names the trace.
+	if ft.Segments[0].Node != "node-0" || ft.Root != "frame/intersection-1/7" {
+		t.Fatalf("root segment wrong: %+v (root %q)", ft.Segments[0], ft.Root)
+	}
+	if ft.Segments[1].Node != "vehicles" {
+		t.Fatalf("child segment wrong: %+v", ft.Segments[1])
+	}
+	if !ft.Start.Equal(base) || !ft.End.Equal(base.Add(2*time.Millisecond)) {
+		t.Fatalf("trace envelope [%v, %v] does not span its segments", ft.Start, ft.End)
+	}
+}
+
+func TestMergeTargets(t *testing.T) {
+	dynamic := func() map[string]string {
+		return map[string]string{"node-0": "http://dynamic", "shared": "http://dynamic-wins-not"}
+	}
+	static := StaticTargets(map[string]string{"vehicles": "http://static", "shared": "http://static-wins"})
+	got := MergeTargets(dynamic, static)()
+	if got["node-0"] != "http://dynamic" || got["vehicles"] != "http://static" {
+		t.Fatalf("merge lost a source: %v", got)
+	}
+	if got["shared"] != "http://static-wins" {
+		t.Fatalf("later source must win: %v", got["shared"])
+	}
+}
+
+// End-to-end federation over real debug listeners: two "node"
+// registries scraped into one view, rendered with per-node labels,
+// exact aggregates, and staleness; a departed target's view is
+// dropped on the next scrape.
+func TestFederatorScrapeAndWrite(t *testing.T) {
+	regA, regB := NewRegistry(), NewRegistry()
+	regA.Counter("work_total", "").Add(3)
+	regB.Counter("work_total", "").Add(4)
+	regA.Histogram("lat", "", UnitSeconds).ObserveDuration(2 * time.Millisecond)
+	regB.Histogram("lat", "", UnitSeconds).ObserveDuration(3 * time.Second)
+
+	dbgA, err := ListenDebug("127.0.0.1:0", regA, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dbgA.Close()
+	dbgB, err := ListenDebug("127.0.0.1:0", regB, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dbgB.Close()
+
+	// The startup scrape inside NewFederator runs concurrently with the
+	// test's own ScrapeOnce calls, so the target set is handed out as a
+	// copy under a lock — mutating the map bare would race with the
+	// loop's iteration.
+	var tmu sync.Mutex
+	targets := map[string]string{
+		"node-a": "http://" + dbgA.Addr(),
+		"node-b": "http://" + dbgB.Addr(),
+	}
+	currentTargets := func() map[string]string {
+		tmu.Lock()
+		defer tmu.Unlock()
+		out := make(map[string]string, len(targets))
+		for k, v := range targets {
+			out[k] = v
+		}
+		return out
+	}
+	fed, err := NewFederator(FederatorConfig{
+		Targets:  currentTargets,
+		Interval: time.Hour, // the test drives ScrapeOnce directly
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fed.Close()
+
+	fed.ScrapeOnce()
+	if nodes := fed.Nodes(); len(nodes) != 2 {
+		t.Fatalf("scraped %v, want both nodes", nodes)
+	}
+	var buf bytes.Buffer
+	if err := fed.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		`fleet::work_total{node="node-a"} 3`,
+		`fleet::work_total{node="node-b"} 4`,
+		"fleet::work_total 7", // exact aggregate
+		`fleet::lat_count{node="node-a"} 1`,
+		"fleet::lat_count 2",
+		`fleet_scrape_age_seconds{node="node-a"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("missing %q in federated render:\n%s", want, text)
+		}
+	}
+
+	// The merged histogram is exact and feeds SLO evaluation.
+	merged, ok := fed.MergedHistogram("lat")
+	if !ok || merged.Count != 2 {
+		t.Fatalf("merged lat count %d ok=%v, want 2", merged.Count, ok)
+	}
+	total, bad, ok := fed.SLOSample("lat", (100 * time.Millisecond).Nanoseconds())
+	if !ok || total != 2 || bad != 1 {
+		t.Fatalf("SLOSample = (%d, %d, %v), want (2, 1, true)", total, bad, ok)
+	}
+
+	// A target leaving the fleet leaves the view on the next scrape.
+	tmu.Lock()
+	delete(targets, "node-b")
+	tmu.Unlock()
+	fed.ScrapeOnce()
+	if nodes := fed.Nodes(); len(nodes) != 1 || nodes[0] != "node-a" {
+		t.Fatalf("departed target still in view: %v", nodes)
+	}
+
+	// A dead target counts a scrape error but keeps the rest scraping.
+	dbgA.Close()
+	fed.ScrapeOnce()
+	snap := fed.reg.Snapshot()
+	if snap.Value(`fleet_scrape_errors_total{node="node-a"}`) == 0 {
+		t.Fatal("no scrape error counted for dead target")
+	}
+}

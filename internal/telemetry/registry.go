@@ -125,6 +125,29 @@ func (g *Gauge) Value() int64 {
 	return g.v.Load()
 }
 
+// FloatGauge is an instantaneous float64 value (burn rates, ratios) —
+// stored as atomic bits, so Set/Value never lock. A nil *FloatGauge
+// is a valid no-op.
+type FloatGauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *FloatGauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the current value.
+func (g *FloatGauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
 // Histogram bucket layout: values 0..15 get exact unit buckets (so
 // small integer distributions such as batch sizes are loss-free), and
 // larger values land in log-linear buckets — four linear sub-buckets
@@ -238,6 +261,32 @@ func (h *Histogram) Sum() int64 {
 // Max returns the largest observation so far (0 when empty).
 func (h *Histogram) Max() int64 { return h.max.Value() }
 
+// CountOver returns how many observations exceeded threshold, resolved
+// from the bucket layout: every bucket whose upper bound lies above the
+// threshold counts in full, so the answer can overstate by at most one
+// bucket's population when the threshold falls inside a bucket — a
+// deterministic, conservative error for SLO accounting.
+func (h *Histogram) CountOver(threshold int64) int64 {
+	if h == nil {
+		return 0
+	}
+	buckets, count, _ := h.snapshot()
+	return countOverFromBuckets(&buckets, count, threshold)
+}
+
+// countOverFromBuckets is CountOver over a merged bucket array —
+// shared between live histograms and frozen snapshot state.
+func countOverFromBuckets(buckets *[histBuckets]int64, count, threshold int64) int64 {
+	var within int64
+	for i := range buckets {
+		if bucketUpper(i) > threshold {
+			break
+		}
+		within += buckets[i]
+	}
+	return count - within
+}
+
 // snapshot merges the shards into one bucket array.
 func (h *Histogram) snapshot() (buckets [histBuckets]int64, count, sum int64) {
 	for i := range h.shards {
@@ -313,6 +362,7 @@ type metric struct {
 	help string
 	c    *Counter
 	g    *Gauge
+	fg   *FloatGauge
 	gf   func() int64
 	h    *Histogram
 }
@@ -364,6 +414,16 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 		panic(fmt.Sprintf("telemetry: %q already registered as a different kind", name))
 	}
 	return m.g
+}
+
+// FloatGauge returns the float gauge registered under name, creating
+// it if absent.
+func (r *Registry) FloatGauge(name, help string) *FloatGauge {
+	m := r.register(name, help, func() *metric { return &metric{fg: &FloatGauge{}} })
+	if m.fg == nil {
+		panic(fmt.Sprintf("telemetry: %q already registered as a different kind", name))
+	}
+	return m.fg
 }
 
 // GaugeFunc registers a computed gauge whose value is read at export
@@ -436,7 +496,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		base, labels := splitName(m.name)
 		kind := "counter"
 		switch {
-		case m.g != nil || m.gf != nil:
+		case m.g != nil || m.fg != nil || m.gf != nil:
 			kind = "gauge"
 		case m.h != nil:
 			kind = "histogram"
@@ -458,6 +518,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			_, err = fmt.Fprintf(w, "%s %d\n", m.name, m.c.Value())
 		case m.g != nil:
 			_, err = fmt.Fprintf(w, "%s %d\n", m.name, m.g.Value())
+		case m.fg != nil:
+			_, err = fmt.Fprintf(w, "%s %g\n", m.name, m.fg.Value())
 		case m.gf != nil:
 			_, err = fmt.Fprintf(w, "%s %d\n", m.name, m.gf())
 		case m.h != nil:
@@ -473,6 +535,12 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 // writePromHistogram renders one histogram's bucket/sum/count lines.
 func writePromHistogram(w io.Writer, base, labels string, h *Histogram) error {
 	buckets, count, sum := h.snapshot()
+	return writePromHistogramData(w, base, labels, &buckets, count, sum, h.unit)
+}
+
+// writePromHistogramData renders bucket/sum/count lines from a merged
+// bucket array — shared between live histograms and federated views.
+func writePromHistogramData(w io.Writer, base, labels string, buckets *[histBuckets]int64, count, sum int64, unit Unit) error {
 	joint := func(le string) string {
 		if labels == "" {
 			return fmt.Sprintf(`{le=%q}`, le)
@@ -485,14 +553,14 @@ func writePromHistogram(w io.Writer, base, labels string, h *Histogram) error {
 			continue
 		}
 		cum += buckets[i]
-		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", base, joint(promValue(bucketUpper(i), h.unit)), cum); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", base, joint(promValue(bucketUpper(i), unit)), cum); err != nil {
 			return err
 		}
 	}
 	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", base, joint("+Inf"), count); err != nil {
 		return err
 	}
-	sumStr := promValue(sum, h.unit)
+	sumStr := promValue(sum, unit)
 	suffix := ""
 	if labels != "" {
 		suffix = "{" + labels + "}"

@@ -1,0 +1,338 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SLOSource supplies the raw material an SLO is judged on: for one
+// histogram series, the total observation count and how many exceeded
+// the latency threshold. *Registry implements it over its own
+// histograms; *Federator implements it over the merged fleet view, so
+// the same engine evaluates local and fleet-wide objectives.
+type SLOSource interface {
+	SLOSample(series string, threshold int64) (total, bad int64, ok bool)
+}
+
+// SLOSample implements SLOSource over the registry's own histograms.
+func (r *Registry) SLOSample(series string, threshold int64) (total, bad int64, ok bool) {
+	h := r.FindHistogram(series)
+	if h == nil {
+		return 0, 0, false
+	}
+	return h.Count(), h.CountOver(threshold), true
+}
+
+// SLO is one latency objective: at least Target fraction of a
+// series' observations should complete within Objective. The classic
+// "p99 queue wait under 5ms" reads as Target 0.99, Objective 5ms —
+// the p99 is under the threshold exactly when at most 1% of requests
+// exceed it.
+type SLO struct {
+	// Name labels the exported series (slo_burn_rate{slo=Name,…}).
+	Name string
+	// Series is the histogram the objective is judged on.
+	Series string
+	// Objective is the latency threshold (compared against the
+	// histogram's raw nanosecond observations).
+	Objective time.Duration
+	// Target is the fraction of observations that must land within
+	// Objective, in (0, 1). The error budget is 1 − Target.
+	Target float64
+}
+
+// validate rejects unusable objectives at wiring time.
+func (s SLO) validate() error {
+	if s.Name == "" || s.Series == "" {
+		return fmt.Errorf("telemetry: SLO needs a name and a series")
+	}
+	if s.Objective <= 0 {
+		return fmt.Errorf("telemetry: SLO %q needs a positive objective", s.Name)
+	}
+	if s.Target <= 0 || s.Target >= 1 {
+		return fmt.Errorf("telemetry: SLO %q target %v must be in (0, 1)", s.Name, s.Target)
+	}
+	return nil
+}
+
+// SLOEngineConfig wires an SLOEngine.
+type SLOEngineConfig struct {
+	// ShortWindow is the fast burn-rate window (default 5m). The long
+	// window is scaled from it (12×, the 5m/1h ratio), so shrinking
+	// ShortWindow for a smoke run shrinks the whole evaluation.
+	ShortWindow time.Duration
+	// LongWindow overrides the scaled long window when positive.
+	LongWindow time.Duration
+	// Interval is the evaluation cadence (default ShortWindow/10,
+	// floored at 10ms).
+	Interval time.Duration
+	// ActivateAt is the burn rate both windows must reach to raise the
+	// alert (default 1: burning budget exactly at the sustainable
+	// rate).
+	ActivateAt float64
+	// ClearBelow is the short-window burn under which an active alert
+	// clears (default ActivateAt/2) — the hysteresis gap keeps a burn
+	// hovering at the threshold from flapping.
+	ClearBelow float64
+	// Metrics receives the exported gauges; nil keeps a private
+	// registry.
+	Metrics *Registry
+	// Logger records alert transitions (nil discards).
+	Logger *Logger
+}
+
+// sloSample is one evaluation tick's cumulative view of a series.
+type sloSample struct {
+	at         time.Time
+	total, bad int64
+}
+
+// sloState is one objective's evaluation state.
+type sloState struct {
+	slo SLO
+	src SLOSource
+
+	ring []sloSample // time-ordered cumulative samples
+
+	burnShort, burnLong *FloatGauge
+	activeGauge         *Gauge
+	transitions         *Counter
+	active              bool
+}
+
+// SLOEngine evaluates latency objectives from histogram state on a
+// fixed cadence using the multi-window burn-rate method: the burn rate
+// is the fraction of the error budget consumed per unit of budgeted
+// time — bad-fraction ÷ (1 − Target) — measured over a short and a
+// long window. The alert raises only when BOTH windows burn hot (the
+// long window proves it is sustained, the short window proves it is
+// still happening) and clears with hysteresis once the short window
+// cools, so recovery is visible as a 1→0 transition of
+// slo_alert_active.
+//
+// Exported series, per objective:
+//
+//	slo_burn_rate{slo=…,window=…}   burn rate per window (float)
+//	slo_alert_active{slo=…}          1 while the alert is raised
+//	slo_alert_transitions_total{slo=…} raise/clear edges
+type SLOEngine struct {
+	cfg SLOEngineConfig
+	reg *Registry
+	log *Logger
+
+	stop    chan struct{}
+	once    sync.Once
+	started bool
+	wg      sync.WaitGroup
+
+	mu   sync.Mutex
+	slos []*sloState
+}
+
+// NewSLOEngine builds an engine; Add objectives, then Start it (or
+// drive Tick directly in tests).
+func NewSLOEngine(cfg SLOEngineConfig) *SLOEngine {
+	if cfg.ShortWindow <= 0 {
+		cfg.ShortWindow = 5 * time.Minute
+	}
+	if cfg.LongWindow <= 0 {
+		cfg.LongWindow = 12 * cfg.ShortWindow // the canonical 5m→1h scaling
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = cfg.ShortWindow / 10
+	}
+	if cfg.Interval < 10*time.Millisecond {
+		cfg.Interval = 10 * time.Millisecond
+	}
+	if cfg.ActivateAt <= 0 {
+		cfg.ActivateAt = 1
+	}
+	if cfg.ClearBelow <= 0 || cfg.ClearBelow >= cfg.ActivateAt {
+		cfg.ClearBelow = cfg.ActivateAt / 2
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	return &SLOEngine{
+		cfg:  cfg,
+		reg:  reg,
+		log:  cfg.Logger,
+		stop: make(chan struct{}),
+	}
+}
+
+// windowLabel renders a duration as a compact label value ("5m", not
+// "5m0s").
+func windowLabel(d time.Duration) string {
+	s := d.String()
+	for _, suffix := range []string{"0s", "0m"} {
+		s = strings.TrimSuffix(s, suffix)
+	}
+	if s == "" {
+		s = d.String()
+	}
+	return s
+}
+
+// Add registers one objective against a source. Call before Start.
+func (e *SLOEngine) Add(slo SLO, src SLOSource) error {
+	if err := slo.validate(); err != nil {
+		return err
+	}
+	if src == nil {
+		return fmt.Errorf("telemetry: SLO %q needs a source", slo.Name)
+	}
+	st := &sloState{
+		slo: slo,
+		src: src,
+		burnShort: e.reg.FloatGauge(
+			fmt.Sprintf("slo_burn_rate{slo=%q,window=%q}", slo.Name, windowLabel(e.cfg.ShortWindow)),
+			"error-budget burn rate over the short window"),
+		burnLong: e.reg.FloatGauge(
+			fmt.Sprintf("slo_burn_rate{slo=%q,window=%q}", slo.Name, windowLabel(e.cfg.LongWindow)),
+			"error-budget burn rate over the long window"),
+		activeGauge: e.reg.Gauge(
+			fmt.Sprintf("slo_alert_active{slo=%q}", slo.Name),
+			"1 while the SLO's burn-rate alert is raised"),
+		transitions: e.reg.Counter(
+			fmt.Sprintf("slo_alert_transitions_total{slo=%q}", slo.Name),
+			"SLO alert raise/clear edges"),
+	}
+	e.mu.Lock()
+	e.slos = append(e.slos, st)
+	e.mu.Unlock()
+	return nil
+}
+
+// Start launches the evaluation loop; Close stops it.
+func (e *SLOEngine) Start() {
+	e.mu.Lock()
+	if e.started {
+		e.mu.Unlock()
+		return
+	}
+	e.started = true
+	e.mu.Unlock()
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		tick := time.NewTicker(e.cfg.Interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-e.stop:
+				return
+			case <-tick.C:
+				e.Tick(time.Now())
+			}
+		}
+	}()
+}
+
+// Close stops the evaluation loop.
+func (e *SLOEngine) Close() error {
+	e.once.Do(func() { close(e.stop) })
+	e.wg.Wait()
+	return nil
+}
+
+// Tick evaluates every objective at the given instant. The loop calls
+// it on the interval; tests call it directly with synthetic clocks.
+func (e *SLOEngine) Tick(now time.Time) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, st := range e.slos {
+		e.evaluate(st, now)
+	}
+}
+
+// evaluate samples one objective's series and updates its burn rates
+// and alert state.
+func (e *SLOEngine) evaluate(st *sloState, now time.Time) {
+	total, bad, ok := st.src.SLOSample(st.slo.Series, st.slo.Objective.Nanoseconds())
+	if !ok {
+		total, bad = 0, 0 // series not recorded yet: nothing burned
+	}
+	st.ring = append(st.ring, sloSample{at: now, total: total, bad: bad})
+	// Keep one sample beyond the long window so window deltas always
+	// have an anchor at (or just before) the boundary.
+	cutoff := now.Add(-e.cfg.LongWindow - 2*e.cfg.Interval)
+	for len(st.ring) > 1 && st.ring[1].at.Before(cutoff) {
+		st.ring = st.ring[1:]
+	}
+
+	short := e.burnOver(st, now, e.cfg.ShortWindow)
+	long := e.burnOver(st, now, e.cfg.LongWindow)
+	st.burnShort.Set(short)
+	st.burnLong.Set(long)
+
+	switch {
+	case !st.active && short >= e.cfg.ActivateAt && long >= e.cfg.ActivateAt:
+		st.active = true
+		st.activeGauge.Set(1)
+		st.transitions.Inc()
+		e.log.Warnf("telemetry: SLO %q alert RAISED (burn %.2f/%.2f over %s/%s)",
+			st.slo.Name, short, long,
+			windowLabel(e.cfg.ShortWindow), windowLabel(e.cfg.LongWindow))
+	case st.active && short < e.cfg.ClearBelow:
+		st.active = false
+		st.activeGauge.Set(0)
+		st.transitions.Inc()
+		e.log.Infof("telemetry: SLO %q alert cleared (short-window burn %.2f)",
+			st.slo.Name, short)
+	}
+}
+
+// burnOver computes the burn rate over the trailing window: the
+// fraction of window observations that missed the objective, divided
+// by the error budget. An empty window burns nothing.
+func (e *SLOEngine) burnOver(st *sloState, now time.Time, window time.Duration) float64 {
+	cur := st.ring[len(st.ring)-1]
+	boundary := now.Add(-window)
+	// Anchor at the newest sample taken at or before the window
+	// boundary; a ring younger than the window anchors at a zero
+	// origin (everything observed so far is "in window").
+	anchor := sloSample{}
+	for i := len(st.ring) - 1; i >= 0; i-- {
+		if !st.ring[i].at.After(boundary) {
+			anchor = st.ring[i]
+			break
+		}
+	}
+	dTotal := cur.total - anchor.total
+	dBad := cur.bad - anchor.bad
+	if dTotal <= 0 || dBad <= 0 {
+		return 0
+	}
+	badFrac := float64(dBad) / float64(dTotal)
+	return badFrac / (1 - st.slo.Target)
+}
+
+// BurnRates returns one objective's current short/long burn rates
+// (ok=false for unknown names).
+func (e *SLOEngine) BurnRates(name string) (short, long float64, ok bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, st := range e.slos {
+		if st.slo.Name == name {
+			return st.burnShort.Value(), st.burnLong.Value(), true
+		}
+	}
+	return 0, 0, false
+}
+
+// AlertActive reports whether one objective's alert is currently
+// raised.
+func (e *SLOEngine) AlertActive(name string) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, st := range e.slos {
+		if st.slo.Name == name {
+			return st.active
+		}
+	}
+	return false
+}

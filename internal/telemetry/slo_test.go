@@ -1,0 +1,191 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSLOValidate(t *testing.T) {
+	reg := NewRegistry()
+	e := NewSLOEngine(SLOEngineConfig{Metrics: reg})
+	bad := []SLO{
+		{Series: "s", Objective: time.Second, Target: 0.9},               // no name
+		{Name: "n", Objective: time.Second, Target: 0.9},                 // no series
+		{Name: "n", Series: "s", Target: 0.9},                            // no objective
+		{Name: "n", Series: "s", Objective: time.Second, Target: 0},      // target out of range
+		{Name: "n", Series: "s", Objective: time.Second, Target: 1},      // target out of range
+		{Name: "n", Series: "s", Objective: time.Second, Target: 1.5},    // target out of range
+	}
+	for _, slo := range bad {
+		if err := e.Add(slo, reg); err == nil {
+			t.Errorf("Add(%+v) accepted an invalid SLO", slo)
+		}
+	}
+	if err := e.Add(SLO{Name: "n", Series: "s", Objective: time.Second, Target: 0.9}, nil); err == nil {
+		t.Error("Add with nil source accepted")
+	}
+	if err := e.Add(SLO{Name: "n", Series: "s", Objective: time.Second, Target: 0.9}, reg); err != nil {
+		t.Errorf("valid SLO rejected: %v", err)
+	}
+}
+
+func TestRegistrySLOSampleMissingSeries(t *testing.T) {
+	reg := NewRegistry()
+	if _, _, ok := reg.SLOSample("never_recorded", 1); ok {
+		t.Fatal("SLOSample claimed a missing series exists")
+	}
+	reg.Histogram("lat", "", UnitSeconds).ObserveDuration(time.Second)
+	total, bad, ok := reg.SLOSample("lat", (100 * time.Millisecond).Nanoseconds())
+	if !ok || total != 1 || bad != 1 {
+		t.Fatalf("SLOSample = (%d, %d, %v), want (1, 1, true)", total, bad, ok)
+	}
+}
+
+// The full alert lifecycle under a synthetic clock: no burn while the
+// objective holds, both windows hot when bad observations land, raise
+// exactly once, clear with hysteresis once the short window no longer
+// spans the burn, and never flap back up.
+func TestSLOBurnRatesAndHysteresis(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat", "", UnitSeconds)
+	e := NewSLOEngine(SLOEngineConfig{
+		ShortWindow: 10 * time.Second, // long window scales to 2m
+		Metrics:     reg,
+	})
+	if err := e.Add(SLO{Name: "lat-slo", Series: "lat", Objective: 100 * time.Millisecond, Target: 0.9}, reg); err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Now()
+
+	// Healthy traffic: budget untouched.
+	for i := 0; i < 10; i++ {
+		h.ObserveDuration(time.Millisecond)
+	}
+	e.Tick(t0)
+	if short, long, _ := e.BurnRates("lat-slo"); short != 0 || long != 0 {
+		t.Fatalf("burn (%v, %v) on healthy traffic, want zero", short, long)
+	}
+	if e.AlertActive("lat-slo") {
+		t.Fatal("alert raised with zero burn")
+	}
+
+	// A burst of objective misses: 5 bad of 15 total → bad fraction
+	// 1/3, budget 0.1 → burn 10/3 on both windows (the ring is younger
+	// than both, so both anchor at the zero origin).
+	for i := 0; i < 5; i++ {
+		h.ObserveDuration(time.Second)
+	}
+	e.Tick(t0.Add(time.Second))
+	short, long, ok := e.BurnRates("lat-slo")
+	if !ok || short < 3.3 || short > 3.4 || long != short {
+		t.Fatalf("burn (%v, %v, %v), want ~3.33 on both windows", short, long, ok)
+	}
+	if !e.AlertActive("lat-slo") {
+		t.Fatal("alert not raised with both windows hot")
+	}
+
+	// Still inside the short window: the alert holds.
+	e.Tick(t0.Add(5 * time.Second))
+	if !e.AlertActive("lat-slo") {
+		t.Fatal("alert dropped while the short window still spans the burn")
+	}
+
+	// Once the short window slides past the burst, the short burn goes
+	// to zero and the alert clears — even though the long window still
+	// remembers it (hysteresis is one-sided on the short window).
+	e.Tick(t0.Add(15 * time.Second))
+	if e.AlertActive("lat-slo") {
+		t.Fatal("alert did not clear after the short window cooled")
+	}
+	short, long, _ = e.BurnRates("lat-slo")
+	if short != 0 {
+		t.Fatalf("short burn %v after cooldown, want 0", short)
+	}
+	if long == 0 {
+		t.Fatal("long window forgot the burn too early")
+	}
+
+	// No flapping: a cooled short window cannot re-raise on the long
+	// window's memory alone.
+	e.Tick(t0.Add(20 * time.Second))
+	if e.AlertActive("lat-slo") {
+		t.Fatal("alert re-raised without fresh burn")
+	}
+	snap := reg.Snapshot()
+	if got := snap.Value(`slo_alert_transitions_total{slo="lat-slo"}`); got != 2 {
+		t.Fatalf("transitions %d, want exactly one raise/clear pair", got)
+	}
+	if got := snap.Value(`slo_alert_active{slo="lat-slo"}`); got != 0 {
+		t.Fatalf("active gauge %d after clear, want 0", got)
+	}
+}
+
+// A sustained burn holds the alert up across many windows.
+func TestSLOSustainedBurnHoldsAlert(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat", "", UnitSeconds)
+	e := NewSLOEngine(SLOEngineConfig{ShortWindow: 10 * time.Second, Metrics: reg})
+	if err := e.Add(SLO{Name: "lat-slo", Series: "lat", Objective: 100 * time.Millisecond, Target: 0.9}, reg); err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Now()
+	for i := 0; i < 30; i++ {
+		h.ObserveDuration(time.Second) // every observation misses
+		e.Tick(t0.Add(time.Duration(i) * 2 * time.Second))
+		if i >= 1 && !e.AlertActive("lat-slo") {
+			t.Fatalf("alert down at tick %d during sustained burn", i)
+		}
+	}
+	if got := reg.Snapshot().Value(`slo_alert_transitions_total{slo="lat-slo"}`); got != 1 {
+		t.Fatalf("transitions %d during sustained burn, want 1 (raise only)", got)
+	}
+}
+
+// An SLO on a series nothing records yet burns nothing and never
+// alerts — wiring objectives before traffic exists must be safe.
+func TestSLOUnknownSeriesIsQuiet(t *testing.T) {
+	reg := NewRegistry()
+	e := NewSLOEngine(SLOEngineConfig{ShortWindow: time.Second, Metrics: reg})
+	if err := e.Add(SLO{Name: "ghost", Series: "never_recorded", Objective: time.Millisecond, Target: 0.5}, reg); err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Now()
+	for i := 0; i < 5; i++ {
+		e.Tick(t0.Add(time.Duration(i) * time.Second))
+	}
+	if e.AlertActive("ghost") {
+		t.Fatal("alert raised for a series that does not exist")
+	}
+	if short, long, ok := e.BurnRates("ghost"); !ok || short != 0 || long != 0 {
+		t.Fatalf("burn (%v, %v, %v) for ghost series", short, long, ok)
+	}
+	if _, _, ok := e.BurnRates("no-such-slo"); ok {
+		t.Fatal("BurnRates invented an unknown SLO")
+	}
+}
+
+// The exported series carry compact window labels and land on the
+// wired registry.
+func TestSLOExportedSeriesShape(t *testing.T) {
+	reg := NewRegistry()
+	reg.Histogram("lat", "", UnitSeconds).ObserveDuration(time.Millisecond)
+	e := NewSLOEngine(SLOEngineConfig{ShortWindow: 5 * time.Minute, Metrics: reg})
+	if err := e.Add(SLO{Name: "q", Series: "lat", Objective: time.Second, Target: 0.99}, reg); err != nil {
+		t.Fatal(err)
+	}
+	e.Tick(time.Now())
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`slo_burn_rate{slo="q",window="5m"} 0`,
+		`slo_burn_rate{slo="q",window="1h"} 0`,
+		`slo_alert_active{slo="q"} 0`,
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("missing %q in export:\n%s", want, buf.String())
+		}
+	}
+}

@@ -24,6 +24,7 @@ type histSnapshot struct {
 // as the live metric would.
 type Snapshot struct {
 	values map[string]int64
+	floats map[string]float64
 	hists  map[string]*histSnapshot
 }
 
@@ -34,6 +35,7 @@ type Snapshot struct {
 func (r *Registry) Snapshot() *Snapshot {
 	s := &Snapshot{
 		values: make(map[string]int64),
+		floats: make(map[string]float64),
 		hists:  make(map[string]*histSnapshot),
 	}
 	for _, m := range r.snapshotMetrics() {
@@ -42,6 +44,8 @@ func (r *Registry) Snapshot() *Snapshot {
 			s.values[m.name] = m.c.Value()
 		case m.g != nil:
 			s.values[m.name] = m.g.Value()
+		case m.fg != nil:
+			s.floats[m.name] = m.fg.Value()
 		case m.gf != nil:
 			s.values[m.name] = m.gf()
 		case m.h != nil:
@@ -60,6 +64,9 @@ func (r *Registry) Snapshot() *Snapshot {
 
 // Value returns a counter's or gauge's value (0 for unknown names).
 func (s *Snapshot) Value(name string) int64 { return s.values[name] }
+
+// Float returns a float gauge's value (0 for unknown names).
+func (s *Snapshot) Float(name string) float64 { return s.floats[name] }
 
 // Int is Value narrowed to int, for façade structs with int fields.
 func (s *Snapshot) Int(name string) int { return int(s.values[name]) }
@@ -126,9 +133,23 @@ func (s *Snapshot) QuantileDuration(name string, q float64) time.Duration {
 	return time.Duration(s.Quantile(name, q))
 }
 
+// CountOver returns how many of a histogram's observations exceeded
+// threshold, with Histogram.CountOver's bucket-boundary semantics
+// (0 for unknown names).
+func (s *Snapshot) CountOver(name string, threshold int64) int64 {
+	h := s.hists[name]
+	if h == nil {
+		return 0
+	}
+	return countOverFromBuckets(&h.buckets, h.count, threshold)
+}
+
 // Has reports whether any series was captured under name.
 func (s *Snapshot) Has(name string) bool {
 	if _, ok := s.values[name]; ok {
+		return true
+	}
+	if _, ok := s.floats[name]; ok {
 		return true
 	}
 	_, ok := s.hists[name]
@@ -140,6 +161,11 @@ func (s *Snapshot) Has(name string) bool {
 func (s *Snapshot) Names(substr string) []string {
 	var out []string
 	for name := range s.values {
+		if strings.Contains(name, substr) {
+			out = append(out, name)
+		}
+	}
+	for name := range s.floats {
 		if strings.Contains(name, substr) {
 			out = append(out, name)
 		}
@@ -157,8 +183,11 @@ func (s *Snapshot) Names(substr string) []string {
 // gauges as numbers, histograms as HistogramSnapshot. This is what the
 // debug listener's /metrics.json serves.
 func (s *Snapshot) Values() map[string]any {
-	out := make(map[string]any, len(s.values)+len(s.hists))
+	out := make(map[string]any, len(s.values)+len(s.floats)+len(s.hists))
 	for name, v := range s.values {
+		out[name] = v
+	}
+	for name, v := range s.floats {
 		out[name] = v
 	}
 	for name, h := range s.hists {

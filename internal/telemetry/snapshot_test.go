@@ -1,0 +1,77 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// Snapshot accessors must degrade to zero values on missing series
+// AND on mistyped lookups (asking for a counter as a histogram, a
+// histogram as a counter, …) — the façade pattern reads series by
+// name, so a renamed metric must read as zero, never panic or
+// cross-read another type's storage.
+func TestSnapshotAccessorsMissingAndMistyped(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("jobs_total", "").Add(7)
+	reg.FloatGauge("load", "").Set(1.5)
+	reg.Histogram("lat", "", UnitSeconds).ObserveDuration(50 * time.Millisecond)
+	s := reg.Snapshot()
+
+	// Missing names: zero everywhere.
+	if s.Value("nope") != 0 || s.Int("nope") != 0 || s.Float("nope") != 0 {
+		t.Fatal("missing scalar series read non-zero")
+	}
+	if s.Count("nope") != 0 || s.Sum("nope") != 0 || s.Max("nope") != 0 {
+		t.Fatal("missing histogram series read non-zero")
+	}
+	if s.Quantile("nope", 0.99) != 0 || s.SumDuration("nope") != 0 {
+		t.Fatal("missing histogram quantile/sum read non-zero")
+	}
+	if s.CountOver("nope", 1) != 0 {
+		t.Fatal("missing histogram CountOver read non-zero")
+	}
+	if s.Has("nope") {
+		t.Fatal("Has invented a series")
+	}
+	if s.Total("nope") != 0 {
+		t.Fatal("Total invented observations")
+	}
+
+	// Mistyped lookups: a name of one type reads zero through another
+	// type's accessor.
+	if s.Value("lat") != 0 {
+		t.Fatal("histogram read through Value returned non-zero")
+	}
+	if s.Value("load") != 0 {
+		t.Fatal("float gauge read through Value returned non-zero")
+	}
+	if s.Count("jobs_total") != 0 || s.Quantile("jobs_total", 0.5) != 0 {
+		t.Fatal("counter read through histogram accessors returned non-zero")
+	}
+	if s.Float("jobs_total") != 0 {
+		t.Fatal("counter read through Float returned non-zero")
+	}
+	if s.CountOver("jobs_total", 0) != 0 {
+		t.Fatal("counter read through CountOver returned non-zero")
+	}
+
+	// Correctly-typed reads still work, including the float map.
+	if s.Value("jobs_total") != 7 {
+		t.Fatalf("Value(jobs_total) = %d", s.Value("jobs_total"))
+	}
+	if s.Float("load") != 1.5 {
+		t.Fatalf("Float(load) = %v", s.Float("load"))
+	}
+	if s.Count("lat") != 1 {
+		t.Fatalf("Count(lat) = %d", s.Count("lat"))
+	}
+	for _, name := range []string{"jobs_total", "load", "lat"} {
+		if !s.Has(name) {
+			t.Fatalf("Has(%q) = false", name)
+		}
+	}
+	names := s.Names("")
+	if len(names) != 3 {
+		t.Fatalf("Names() = %v, want all three series", names)
+	}
+}

@@ -2,10 +2,67 @@ package telemetry
 
 import (
 	"context"
+	"fmt"
+	randv2 "math/rand/v2"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 )
+
+// TraceID identifies one request's journey across every process it
+// touches: the originating frame loop mints it, the rsu protocol
+// carries it on the wire, and every process that joins the trace
+// records its spans under the same ID, so a fleet-wide stitcher can
+// reassemble the whole tree. Zero means "no trace".
+type TraceID uint64
+
+// NewTraceID mints a random non-zero trace ID.
+func NewTraceID() TraceID {
+	for {
+		if id := TraceID(randv2.Uint64()); id != 0 {
+			return id
+		}
+	}
+}
+
+// String renders the ID as fixed-width lowercase hex — the wire form.
+func (id TraceID) String() string {
+	if id == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%016x", uint64(id))
+}
+
+// ParseTraceID parses the wire form ("" parses to zero: no trace).
+func ParseTraceID(s string) (TraceID, error) {
+	if s == "" {
+		return 0, nil
+	}
+	if len(s) != 16 {
+		return 0, fmt.Errorf("telemetry: trace id %q is not 16 hex digits", s)
+	}
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("telemetry: trace id %q: %w", s, err)
+	}
+	if v == 0 {
+		return 0, fmt.Errorf("telemetry: trace id %q is the zero id", s)
+	}
+	return TraceID(v), nil
+}
+
+// Sampled is the fleet-wide sampling decision, derived from the ID
+// alone: every process holding the same ID reaches the same verdict,
+// so a request is sampled everywhere or nowhere. rate is "one in N"
+// (a random ID passes with probability 1/N); rate ≤ 0 never samples,
+// rate 1 always does.
+func (id TraceID) Sampled(rate int) bool {
+	if id == 0 || rate <= 0 {
+		return false
+	}
+	return uint64(id)%uint64(rate) == 0
+}
 
 // Tracer collects per-request traces with bounded in-memory
 // retention: the most recent Capacity finished traces are kept in a
@@ -32,17 +89,32 @@ func NewTracer(capacity int) *Tracer {
 	return &Tracer{capacity: capacity}
 }
 
-// Start opens a new trace. On a nil tracer it returns nil, which
-// every Trace method accepts as a no-op.
+// Start opens a new root trace under a freshly minted trace ID. On a
+// nil tracer it returns nil, which every Trace method accepts as a
+// no-op.
 func (t *Tracer) Start(name string) *Trace {
+	return t.StartLinked(name, NewTraceID(), "")
+}
+
+// StartLinked opens a trace that joins an existing distributed trace:
+// traceID is the fleet-wide identity (as carried on the wire) and
+// parent names the remote span this segment hangs under ("" for a
+// root segment). A zero traceID mints a fresh one, so StartLinked
+// degrades to Start for callers that propagate unconditionally.
+func (t *Tracer) StartLinked(name string, traceID TraceID, parent string) *Trace {
 	if t == nil {
 		return nil
 	}
+	if traceID == 0 {
+		traceID = NewTraceID()
+	}
 	return &Trace{
-		tracer: t,
-		id:     t.nextID.Add(1),
-		name:   name,
-		start:  time.Now(),
+		tracer:  t,
+		id:      t.nextID.Add(1),
+		traceID: traceID,
+		parent:  parent,
+		name:    name,
+		start:   time.Now(),
 	}
 }
 
@@ -61,14 +133,29 @@ func (t *Tracer) retire(snap *TraceSnapshot) {
 
 // Dump returns the retained finished traces, oldest first.
 func (t *Tracer) Dump() []TraceSnapshot {
+	return t.DumpFiltered(0, "")
+}
+
+// DumpFiltered returns retained finished traces, oldest first,
+// optionally narrowed: terminal != "" keeps only traces that ended
+// with that terminal status, and n > 0 keeps only the n most recent
+// matches. n ≤ 0 means no count bound. This is what the /traces
+// debug endpoint's ?n= and ?terminal= query params resolve to.
+func (t *Tracer) DumpFiltered(n int, terminal string) []TraceSnapshot {
 	if t == nil {
 		return nil
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	out := make([]TraceSnapshot, len(t.ring))
-	for i, s := range t.ring {
-		out[i] = *s
+	out := make([]TraceSnapshot, 0, len(t.ring))
+	for _, s := range t.ring {
+		if terminal != "" && s.Terminal != terminal {
+			continue
+		}
+		out = append(out, *s)
+	}
+	if n > 0 && len(out) > n {
+		out = out[len(out)-n:]
 	}
 	return out
 }
@@ -91,9 +178,14 @@ type Span struct {
 	End   time.Time `json:"end"`
 }
 
-// TraceSnapshot is the immutable dump form of a finished trace.
+// TraceSnapshot is the immutable dump form of a finished trace. One
+// snapshot is one process-local segment of a distributed trace:
+// TraceID groups segments across processes, and Parent names the
+// remote span this segment hangs under ("" for the root segment).
 type TraceSnapshot struct {
 	ID       uint64    `json:"id"`
+	TraceID  string    `json:"traceId,omitempty"`
+	Parent   string    `json:"parent,omitempty"`
 	Name     string    `json:"name"`
 	Start    time.Time `json:"start"`
 	End      time.Time `json:"end"`
@@ -111,10 +203,12 @@ type TraceSnapshot struct {
 // (dispatch vs cancellation vs shedding), only the winner's status
 // sticks — mirroring the CAS settle states of the serving plane.
 type Trace struct {
-	tracer *Tracer
-	id     uint64
-	name   string
-	start  time.Time
+	tracer  *Tracer
+	id      uint64
+	traceID TraceID
+	parent  string
+	name    string
+	start   time.Time
 
 	terminalSet atomic.Bool
 	finished    atomic.Bool
@@ -131,6 +225,16 @@ func (tr *Trace) ID() uint64 {
 		return 0
 	}
 	return tr.id
+}
+
+// TraceID returns the fleet-wide trace identity (0 for a nil trace).
+// Stamp it onto outbound wire messages so downstream processes can
+// join the trace with StartLinked.
+func (tr *Trace) TraceID() TraceID {
+	if tr == nil {
+		return 0
+	}
+	return tr.traceID
 }
 
 // Start returns when the trace was opened.
@@ -190,6 +294,8 @@ func (tr *Trace) Finish() {
 	tr.mu.Lock()
 	snap := &TraceSnapshot{
 		ID:       tr.id,
+		TraceID:  tr.traceID.String(),
+		Parent:   tr.parent,
 		Name:     tr.name,
 		Start:    tr.start,
 		End:      tr.end,

@@ -1,0 +1,121 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTraceIDWireRoundTrip(t *testing.T) {
+	for _, id := range []TraceID{1, 0xdeadbeef, ^TraceID(0)} {
+		s := id.String()
+		if len(s) != 16 {
+			t.Fatalf("wire form %q is not 16 hex digits", s)
+		}
+		back, err := ParseTraceID(s)
+		if err != nil || back != id {
+			t.Fatalf("round trip %v -> %q -> (%v, %v)", id, s, back, err)
+		}
+	}
+	if TraceID(0).String() != "" {
+		t.Fatal("zero id must render empty (no trace)")
+	}
+	if id, err := ParseTraceID(""); err != nil || id != 0 {
+		t.Fatalf("empty wire form = (%v, %v), want (0, nil)", id, err)
+	}
+	for _, bad := range []string{"xyz", "00000000000000", "000000000000000g", "0000000000000000", "00000000000000aa0"} {
+		if _, err := ParseTraceID(bad); err == nil {
+			t.Errorf("ParseTraceID(%q) accepted garbage", bad)
+		}
+	}
+}
+
+// Sampling is a pure function of the ID: every process holding the
+// same ID reaches the same verdict, so a request is traced everywhere
+// or nowhere.
+func TestTraceIDSampledDeterministic(t *testing.T) {
+	id := NewTraceID()
+	for rate := 1; rate <= 16; rate *= 2 {
+		want := uint64(id)%uint64(rate) == 0
+		for i := 0; i < 3; i++ {
+			if id.Sampled(rate) != want {
+				t.Fatalf("Sampled(%d) not deterministic", rate)
+			}
+		}
+	}
+	if id.Sampled(0) || id.Sampled(-1) {
+		t.Fatal("non-positive rate must never sample")
+	}
+	if TraceID(0).Sampled(1) {
+		t.Fatal("the zero id must never sample")
+	}
+	if !TraceID(8).Sampled(1) {
+		t.Fatal("rate 1 must always sample")
+	}
+}
+
+func TestStartLinkedCarriesRemoteContext(t *testing.T) {
+	tr := NewTracer(4)
+	id := TraceID(0xabc)
+	linked := tr.StartLinked("rsu/subscribe", id, "attach")
+	if linked.TraceID() != id {
+		t.Fatalf("TraceID() = %v, want %v", linked.TraceID(), id)
+	}
+	linked.Terminal("subscribed", time.Now())
+	linked.Finish()
+
+	// A zero trace id mints a fresh one: StartLinked degrades to Start.
+	minted := tr.StartLinked("root", 0, "")
+	if minted.TraceID() == 0 {
+		t.Fatal("zero trace id was not replaced with a minted one")
+	}
+	minted.Terminal("completed", time.Now())
+	minted.Finish()
+
+	dump := tr.Dump()
+	if len(dump) != 2 {
+		t.Fatalf("dump has %d traces, want 2", len(dump))
+	}
+	if dump[0].TraceID != id.String() || dump[0].Parent != "attach" {
+		t.Fatalf("linked snapshot lost its context: %+v", dump[0])
+	}
+	if dump[1].Parent != "" || dump[1].TraceID == "" {
+		t.Fatalf("root snapshot context wrong: %+v", dump[1])
+	}
+}
+
+func TestDumpFiltered(t *testing.T) {
+	tr := NewTracer(16)
+	for i := 0; i < 6; i++ {
+		trace := tr.Start("work")
+		if i%2 == 0 {
+			trace.Terminal("completed", time.Now())
+		} else {
+			trace.Terminal("error", time.Now())
+		}
+		trace.Finish()
+	}
+	if got := len(tr.DumpFiltered(0, "")); got != 6 {
+		t.Fatalf("unfiltered dump has %d traces, want 6", got)
+	}
+	completed := tr.DumpFiltered(0, "completed")
+	if len(completed) != 3 {
+		t.Fatalf("terminal filter kept %d, want 3", len(completed))
+	}
+	for _, s := range completed {
+		if s.Terminal != "completed" {
+			t.Fatalf("filter leaked terminal %q", s.Terminal)
+		}
+	}
+	// n keeps the MOST RECENT matches, not the oldest.
+	bounded := tr.DumpFiltered(2, "completed")
+	if len(bounded) != 2 {
+		t.Fatalf("n bound kept %d, want 2", len(bounded))
+	}
+	if len(tr.DumpFiltered(100, "")) != 6 {
+		t.Fatal("n larger than the ring must return everything")
+	}
+	var nilTracer *Tracer
+	if nilTracer.DumpFiltered(5, "x") != nil {
+		t.Fatal("nil tracer must dump nil")
+	}
+}
