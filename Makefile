@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet staticcheck test race bench bench-smoke bench-json obs-smoke slo-smoke fleet-smoke verify
+.PHONY: build vet staticcheck test race bench bench-smoke bench-json obs-smoke slo-smoke fleet-smoke fuzz-smoke verify
 
 build:
 	$(GO) build ./...
@@ -65,13 +65,17 @@ obs-smoke:
 slo-smoke: obs-smoke fleet-smoke
 
 # fleet-smoke boots a three-node fleet (8 intersections, a replicated
-# coordinator — 1 primary + 2 standbys — and per-intersection retry
-# vehicles), kills the primary coordinator mid-run, waits for a
-# standby to promote itself, then crashes a node under the new
-# primary, and asserts every intersection keeps receiving advisories
+# coordinator — 1 primary + 2 standbys, WAL-backed — and
+# per-intersection retry vehicles), kills the primary coordinator
+# mid-run (the takeover must happen by QUORUM election, not timeout),
+# crashes a node under the new primary, then kills primary AND both
+# standbys at once and restarts them from their write-ahead logs
+# (epochs must resume above the pre-crash stamp with zero runner
+# churn), and asserts every intersection keeps receiving advisories
 # (zero unserved) with exactly one promotion and one failover —
 # scraping the federated fleet::* per-node series (with exact
-# histogram-merge counts), fleet_promotions_total,
+# histogram-merge counts), fleet_promotions_total /
+# fleet_quorum_{votes,promotions}_total, fleet_wal_replays_total,
 # fleet_failovers_total, fleet_nodes_live, fleet_scrape_age_seconds,
 # the slo_burn_rate gauges (asserting the fleet-reassign alert raises
 # on the failover and clears after recovery), and a cross-node
@@ -79,11 +83,23 @@ slo-smoke: obs-smoke fleet-smoke
 fleet-smoke:
 	$(GO) test -run TestFleetSmoke -count=1 ./cmd/safecross-fleet/
 
+# fuzz-smoke runs every native fuzz target for a short bounded burst:
+# the rsu wire-message decode/validate/re-encode round trip (seeded by
+# the committed corpus under internal/rsu/testdata/fuzz) and the
+# control-plane WAL replayer (arbitrary byte soup must never panic and
+# recovery must be idempotent). Seconds, not minutes — enough to catch
+# a property regression; leave the fuzzer running longer by hand to
+# hunt new inputs.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzMessageRoundTrip -fuzztime 5s ./internal/rsu/
+	$(GO) test -run '^$$' -fuzz FuzzWALReplay -fuzztime 5s ./internal/fleet/
+
 # verify is the extended gate: everything must compile, lint clean, and
 # pass the full suite under the race detector (the serving and RSU
 # planes are concurrent by design; -race covers the sharded telemetry
 # counters too), plus a single-iteration pass over the serving
-# benchmarks and the observability / SLO / fleet-failover smoke tests
+# benchmarks, the observability / SLO / fleet-failover smoke tests
 # (slo-smoke folds obs-smoke and fleet-smoke in, so listing it here
-# covers all three without re-running any of them).
-verify: build vet staticcheck race bench-smoke slo-smoke
+# covers all three without re-running any of them), and a short burst
+# of every fuzz target.
+verify: build vet staticcheck race bench-smoke slo-smoke fuzz-smoke

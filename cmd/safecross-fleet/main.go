@@ -94,6 +94,8 @@ func run(args []string, w io.Writer) error {
 		killAfter     = fs.Duration("kill-after", 0, "crash the node owning intersection 1 this long into the run (0 = no fault injection)")
 		coordinators  = fs.Int("coordinators", 1, "coordinator replicas (1 primary + N-1 standbys)")
 		killCoord     = fs.Duration("kill-coordinator-after", 0, "crash the primary coordinator this long into the run (0 = no fault injection; needs -coordinators ≥ 2)")
+		restartWorld  = fs.Duration("restart-world-after", 0, "crash the ENTIRE control plane (every coordinator at once) this long into the run and restart it from the write-ahead logs (0 = no fault injection; forces a temp -data-dir when none is set)")
+		dataDir       = fs.String("data-dir", "", "coordinator write-ahead-log directory: every committed control-plane state change is persisted here and replayed on restart (empty = memory-only)")
 		heartbeat     = fs.Duration("heartbeat", 250*time.Millisecond, "fleet heartbeat interval (suspect at 3×, dead at 6×); keep dead-time well above scheduling jitter on loaded hosts")
 		frameEvery    = fs.Duration("frame-every", 25*time.Millisecond, "camera frame cadence per intersection")
 		perScene      = fs.Int("scene-frames", 60, "frames per weather scene in each feed")
@@ -134,6 +136,17 @@ func run(args []string, w io.Writer) error {
 	if *killCoord >= *runFor {
 		*killCoord = 0
 	}
+	if *restartWorld >= *runFor {
+		*restartWorld = 0
+	}
+	if *restartWorld > 0 && *dataDir == "" {
+		tmp, err := os.MkdirTemp("", "safecross-wal-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		*dataDir = tmp
+	}
 
 	// The control plane's own telemetry: shared by every coordinator
 	// replica (a promoted standby takes the gauges over in place), and
@@ -158,34 +171,44 @@ func run(args []string, w io.Writer) error {
 	for i := range keys {
 		keys[i] = i + 1 // 1-based: intersection 0 means "all" on the wire
 	}
-	// Standbys first: they listen passively, so the primary can be born
-	// knowing every replica address and start streaming immediately.
-	standbyAddrs := make([]string, 0, *coordinators-1)
-	coords := make([]*fleet.Coordinator, 0, *coordinators)
-	for i := 1; i < *coordinators; i++ {
-		sb, err := fleet.NewCoordinator("127.0.0.1:0",
-			fleet.AsStandby(),
+	// Shared coordinator options; with -data-dir each coordinator keeps
+	// a write-ahead log so the whole control plane can be killed and
+	// restarted mid-run.
+	sharedCoordOpts := func() []fleet.CoordinatorOption {
+		opts := []fleet.CoordinatorOption{
 			fleet.WithHeartbeat(*heartbeat, 0, 0),
 			fleet.WithMetrics(coordReg),
-			fleet.WithLogger(logger))
+			fleet.WithLogger(logger),
+		}
+		if *dataDir != "" {
+			opts = append(opts, fleet.WithDataDir(*dataDir))
+		}
+		return opts
+	}
+	// Standbys first: they listen passively, so the primary can be born
+	// knowing every replica address and start streaming immediately.
+	// The set lives behind a holder because restart-the-world swaps
+	// every instance mid-run while the federator and summary read it.
+	cs := &coordSet{}
+	defer cs.closeAll()
+	standbyAddrs := make([]string, 0, *coordinators-1)
+	for i := 1; i < *coordinators; i++ {
+		sb, err := fleet.NewCoordinator("127.0.0.1:0",
+			append(sharedCoordOpts(), fleet.AsStandby())...)
 		if err != nil {
 			return err
 		}
-		defer sb.Close()
-		coords = append(coords, sb)
+		cs.append(sb)
 		standbyAddrs = append(standbyAddrs, sb.Addr())
 	}
 	coord, err := fleet.NewCoordinator("127.0.0.1:0",
-		fleet.WithIntersections(keys...),
-		fleet.WithHeartbeat(*heartbeat, 0, 0),
-		fleet.WithStandbys(standbyAddrs...),
-		fleet.WithMetrics(coordReg),
-		fleet.WithLogger(logger))
+		append(sharedCoordOpts(),
+			fleet.WithIntersections(keys...),
+			fleet.WithStandbys(standbyAddrs...))...)
 	if err != nil {
 		return err
 	}
-	defer coord.Close()
-	coords = append([]*fleet.Coordinator{coord}, coords...)
+	cs.prepend(coord)
 	coordSeeds := append([]string{coord.Addr()}, standbyAddrs...)
 
 	// The vehicle plane: one registry/tracer/listener shared by every
@@ -208,7 +231,7 @@ func run(args []string, w io.Writer) error {
 		fed, err = telemetry.NewFederator(telemetry.FederatorConfig{
 			Targets: telemetry.MergeTargets(
 				func() map[string]string {
-					if lead := leader(coords, nil); lead != nil {
+					if lead := cs.leader(); lead != nil {
 						return lead.DebugTargets()
 					}
 					return nil
@@ -406,39 +429,59 @@ func run(args []string, w io.Writer) error {
 		}(i, cli)
 	}
 
-	// The run: serve, optionally crash the primary coordinator and/or a
-	// node partway, keep serving.
-	var elapsed time.Duration
-	var deadCoord *fleet.Coordinator
-	if *killCoord > 0 && (*killAfter == 0 || *killCoord <= *killAfter) {
-		time.Sleep(*killCoord)
-		elapsed = *killCoord
-		deadCoord = coord
-		fmt.Fprintf(w, "killing primary coordinator %s\n", coord.Addr())
-		coord.Close()
-		promoted, err := waitPromotion(coords, deadCoord, 10*time.Second)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(w, "standby %s promoted to primary (term %d)\n", promoted.Addr(), promoted.Term())
+	// The run: serve, injecting faults at their scheduled offsets —
+	// primary-coordinator kill, node kill, restart-the-world — in
+	// whatever order the flags put them.
+	var events []faultEvent
+	if *killCoord > 0 {
+		events = append(events, faultEvent{at: *killCoord, fn: func() error {
+			lead := cs.leader()
+			if lead == nil {
+				return fmt.Errorf("no live primary coordinator to kill")
+			}
+			fmt.Fprintf(w, "killing primary coordinator %s\n", lead.Addr())
+			cs.setSkip(lead)
+			lead.Close()
+			promoted, err := waitPromotion(cs, 10*time.Second)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "standby %s promoted to primary (term %d)\n", promoted.Addr(), promoted.Term())
+			return nil
+		}})
 	}
 	if *killAfter > 0 {
-		if d := *killAfter - elapsed; d > 0 {
+		events = append(events, faultEvent{at: *killAfter, fn: func() error {
+			lead := cs.leader()
+			if lead == nil {
+				return fmt.Errorf("no live primary coordinator to pick a victim from")
+			}
+			victimID := lead.Assignments()[keys[0]]
+			victim = byID[victimID]
+			if victim == nil {
+				return fmt.Errorf("intersection %d owned by unknown node %q", keys[0], victimID)
+			}
+			fmt.Fprintf(w, "killing %s (owner of intersection %d)\n", victim.id, keys[0])
+			killed.Store(true)
+			victim.kill()
+			return nil
+		}})
+	}
+	if *restartWorld > 0 {
+		events = append(events, faultEvent{at: *restartWorld, fn: func() error {
+			return restartTheWorld(w, cs, keys, *heartbeat, *dataDir, coordReg, logger)
+		}})
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].at < events[j].at })
+	var elapsed time.Duration
+	for _, ev := range events {
+		if d := ev.at - elapsed; d > 0 {
 			time.Sleep(d)
-			elapsed = *killAfter
+			elapsed = ev.at
 		}
-		lead := leader(coords, deadCoord)
-		if lead == nil {
-			return fmt.Errorf("no live primary coordinator to pick a victim from")
+		if err := ev.fn(); err != nil {
+			return err
 		}
-		victimID := lead.Assignments()[keys[0]]
-		victim = byID[victimID]
-		if victim == nil {
-			return fmt.Errorf("intersection %d owned by unknown node %q", keys[0], victimID)
-		}
-		fmt.Fprintf(w, "killing %s (owner of intersection %d)\n", victim.id, keys[0])
-		killed.Store(true)
-		victim.kill()
 	}
 	time.Sleep(*runFor - elapsed)
 
@@ -453,6 +496,9 @@ func run(args []string, w io.Writer) error {
 	// fleet that lost intersections to the kill failed its job.
 	failovers := coordReg.Counter("fleet_failovers_total", "").Value()
 	promotions := coordReg.Counter("fleet_promotions_total", "").Value()
+	quorumPromotions := coordReg.Counter("fleet_quorum_promotions_total", "").Value()
+	quorumVotes := coordReg.Counter("fleet_quorum_votes_total", "").Value()
+	walReplays := coordReg.Counter("fleet_wal_replays_total", "").Value()
 	unserved, unservedAfter := 0, 0
 	var reconnects, redirects int64
 	for i, k := range keys {
@@ -468,7 +514,7 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprintf(w, "intersection %d: advisories=%d after-kill=%d\n", k, tot, post)
 	}
 	statesFrom := coord
-	if lead := leader(coords, deadCoord); lead != nil {
+	if lead := cs.leader(); lead != nil {
 		statesFrom = lead
 	}
 	var names []string
@@ -478,8 +524,8 @@ func run(args []string, w io.Writer) error {
 		}
 	}
 	sort.Strings(names)
-	fmt.Fprintf(w, "fleet: nodes=%d live=%d %v failovers=%d promotions=%d frames=%d vehicle-reconnects=%d vehicle-redirects=%d\n",
-		*nodes, len(names), names, failovers, promotions, frames.Load(), reconnects, redirects)
+	fmt.Fprintf(w, "fleet: nodes=%d live=%d %v failovers=%d promotions=%d quorum-promotions=%d quorum-votes=%d wal-replays=%d frames=%d vehicle-reconnects=%d vehicle-redirects=%d\n",
+		*nodes, len(names), names, failovers, promotions, quorumPromotions, quorumVotes, walReplays, frames.Load(), reconnects, redirects)
 	if short, long, ok := slos.BurnRates("fleet-reassign"); ok {
 		fmt.Fprintf(w, "slo fleet-reassign: burn %.2f/%.2f active=%v\n", short, long, slos.AlertActive("fleet-reassign"))
 	}
@@ -543,10 +589,60 @@ func serveIntersection(ctx context.Context, n *node, fw *safecross.Framework, in
 	}
 }
 
-// leader returns the first coordinator (skipping the killed one) that
-// currently holds the primary role, or nil when none does.
-func leader(coords []*fleet.Coordinator, skip *fleet.Coordinator) *fleet.Coordinator {
-	for _, c := range coords {
+// faultEvent is one scheduled mid-run fault injection.
+type faultEvent struct {
+	at time.Duration
+	fn func() error
+}
+
+// coordSet holds the live coordinator replicas behind a lock: fault
+// injection kills members (and restart-the-world replaces the whole
+// set) while the federator's target func and the summary read it.
+type coordSet struct {
+	mu   sync.Mutex
+	all  []*fleet.Coordinator
+	skip *fleet.Coordinator // deliberately killed; never reported as leader
+}
+
+func (s *coordSet) append(c *fleet.Coordinator) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.all = append(s.all, c)
+}
+
+func (s *coordSet) prepend(c *fleet.Coordinator) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.all = append([]*fleet.Coordinator{c}, s.all...)
+}
+
+func (s *coordSet) list() []*fleet.Coordinator {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*fleet.Coordinator(nil), s.all...)
+}
+
+func (s *coordSet) setSkip(c *fleet.Coordinator) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.skip = c
+}
+
+// replace swaps in a freshly restarted replica set.
+func (s *coordSet) replace(coords []*fleet.Coordinator) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.all = append([]*fleet.Coordinator(nil), coords...)
+	s.skip = nil
+}
+
+// leader returns the first live coordinator currently holding the
+// primary role, or nil when none does.
+func (s *coordSet) leader() *fleet.Coordinator {
+	s.mu.Lock()
+	all, skip := s.all, s.skip
+	s.mu.Unlock()
+	for _, c := range all {
 		if c == skip {
 			continue
 		}
@@ -557,12 +653,81 @@ func leader(coords []*fleet.Coordinator, skip *fleet.Coordinator) *fleet.Coordin
 	return nil
 }
 
+// closeAll closes every coordinator in the current set (closers are
+// idempotent, so deliberately killed members are fine).
+func (s *coordSet) closeAll() {
+	for _, c := range s.list() {
+		c.Close()
+	}
+}
+
+// restartTheWorld is the harshest control-plane fault: close EVERY
+// coordinator at once — primary and all standbys — then restart the
+// whole replica set at the same addresses from their write-ahead logs.
+// The last-known leader's address is reborn as the primary (its log
+// carries the newest committed stamp) under a strictly larger term;
+// the rest come back as standbys. Node agents re-bind within their
+// redial backoff and keep every shard — the resumed assignment is
+// byte-identical, so re-binding starts and stops nothing.
+func restartTheWorld(w io.Writer, cs *coordSet, keys []int, heartbeat time.Duration, dataDir string, coordReg *telemetry.Registry, logger *telemetry.Logger) error {
+	lead := cs.leader()
+	if lead == nil {
+		return fmt.Errorf("no live primary coordinator to restart from")
+	}
+	preTerm, preEpoch := lead.Term(), lead.Epoch()
+	leadAddr := lead.Addr()
+	old := cs.list()
+	addrs := make([]string, 0, len(old))
+	for _, c := range old {
+		addrs = append(addrs, c.Addr())
+	}
+	fmt.Fprintf(w, "restarting the world: killing all %d coordinators (term %d, epoch %d)\n", len(old), preTerm, preEpoch)
+	for _, c := range old {
+		c.Close()
+	}
+	shared := []fleet.CoordinatorOption{
+		fleet.WithHeartbeat(heartbeat, 0, 0),
+		fleet.WithDataDir(dataDir),
+		fleet.WithMetrics(coordReg),
+		fleet.WithLogger(logger),
+	}
+	var standbys []string
+	for _, a := range addrs {
+		if a != leadAddr {
+			standbys = append(standbys, a)
+		}
+	}
+	reborn := make([]*fleet.Coordinator, 0, len(addrs))
+	for _, a := range standbys {
+		sb, err := fleet.NewCoordinator(a, append(append([]fleet.CoordinatorOption(nil), shared...), fleet.AsStandby())...)
+		if err != nil {
+			return fmt.Errorf("restart standby %s: %w", a, err)
+		}
+		reborn = append(reborn, sb)
+	}
+	np, err := fleet.NewCoordinator(leadAddr, append(append([]fleet.CoordinatorOption(nil), shared...),
+		fleet.WithIntersections(keys...),
+		fleet.WithStandbys(standbys...))...)
+	if err != nil {
+		return fmt.Errorf("restart primary %s: %w", leadAddr, err)
+	}
+	reborn = append([]*fleet.Coordinator{np}, reborn...)
+	cs.replace(reborn)
+	if np.Term() <= preTerm || np.Epoch() < preEpoch {
+		return fmt.Errorf("restart did not resume durable state: term %d→%d, epoch %d→%d",
+			preTerm, np.Term(), preEpoch, np.Epoch())
+	}
+	fmt.Fprintf(w, "control plane restarted from wal: term %d→%d, epoch resumed at %d\n",
+		preTerm, np.Term(), np.Epoch())
+	return nil
+}
+
 // waitPromotion blocks until a surviving coordinator promotes itself
 // to primary after the old primary's death.
-func waitPromotion(coords []*fleet.Coordinator, dead *fleet.Coordinator, timeout time.Duration) (*fleet.Coordinator, error) {
+func waitPromotion(cs *coordSet, timeout time.Duration) (*fleet.Coordinator, error) {
 	deadline := time.Now().Add(timeout)
 	for time.Now().Before(deadline) {
-		if c := leader(coords, dead); c != nil {
+		if c := cs.leader(); c != nil {
 			return c, nil
 		}
 		time.Sleep(5 * time.Millisecond)

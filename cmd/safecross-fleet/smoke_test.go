@@ -2,14 +2,19 @@ package main
 
 // Fleet smoke test (`make fleet-smoke`): boot a three-node fleet
 // under a replicated coordinator (1 primary + 2 standbys) with a
-// debug listener, crash the PRIMARY COORDINATOR mid-run, then crash a
-// node under the freshly promoted primary, and assert (a) the summary
-// shows every intersection still served with exactly one promotion
-// and one failover, and (b) the control-plane series — promotions
-// counter, coordinator-role gauge, replication-lag histogram,
-// nodes-live gauge, and failover counter — were observable on
-// /metrics while the fleet was degraded, exactly as an operator's
-// dashboard would see them.
+// debug listener, crash the PRIMARY COORDINATOR mid-run (the standby
+// must win promotion by QUORUM — three coordinators are configured,
+// so the timeout path is off), crash a node under the freshly
+// promoted primary, then RESTART THE WORLD: every coordinator killed
+// at once and reborn at the same addresses from their write-ahead
+// logs, resuming the committed (term, epoch) without churning a
+// single runner. Assert (a) the summary shows every intersection
+// still served with exactly one promotion (via quorum) and one
+// failover, and (b) the control-plane series — promotions counter,
+// quorum vote/promotion counters, WAL replay counter, coordinator-
+// role gauge, replication-lag histogram, nodes-live gauge, and
+// failover counter — were observable on /metrics while the fleet was
+// degraded, exactly as an operator's dashboard would see them.
 //
 // On top of the failover plumbing this run exercises the whole
 // fleet observability plane: the coordinator's /metrics must carry
@@ -169,6 +174,7 @@ func TestFleetSmoke(t *testing.T) {
 			"-run", "8s",
 			"-kill-coordinator-after", "1200ms",
 			"-kill-after", "3s",
+			"-restart-world-after", "5s",
 			"-heartbeat", "150ms",
 			"-frame-every", "60ms",
 			"-debug-addr", "127.0.0.1:0",
@@ -200,7 +206,13 @@ func TestFleetSmoke(t *testing.T) {
 	// live gauge down to two survivors. The run finishing first means
 	// the metrics never reflected the kills.
 	lastMetrics := pollMetrics(t, base, "degraded fleet", done,
-		[]string{"fleet_promotions_total 1", "fleet_failovers_total 1", "fleet_nodes_live 2"})
+		[]string{"fleet_promotions_total 1", "fleet_quorum_promotions_total 1",
+			"fleet_failovers_total 1", "fleet_nodes_live 2"})
+	// In a 3-coordinator fleet promotion goes through the quorum path:
+	// the candidate standby collected at least one remote vote.
+	if !regexp.MustCompile(`(?m)^fleet_quorum_votes_total [1-9]`).MatchString(lastMetrics) {
+		t.Fatalf("promotion won without any quorum votes on /metrics:\n%s", lastMetrics)
+	}
 	// While degraded, the rest of the fleet plane must be exporting
 	// too: per-node liveness, heartbeat RTTs, and reassignment latency.
 	// The data-plane series (heartbeat RTTs, serve requests) now live
@@ -287,6 +299,15 @@ stitching:
 		}
 	}
 
+	// Restart-the-world: all three coordinators die at 5s and come back
+	// from their write-ahead logs — each reborn instance counts one
+	// replay on the shared registry.
+	pollMetrics(t, base, "control-plane restart", done, []string{
+		"fleet_wal_replays_total 3",
+		"fleet_wal_appends_total",
+		"fleet_wal_syncs_total",
+	})
+
 	// Hysteresis: the alert clears before shutdown, leaving exactly
 	// one raise/clear pair on the transition counter and the gauge
 	// back at zero.
@@ -301,10 +322,14 @@ stitching:
 	final := out.String()
 	for _, want := range []string{
 		"killing primary coordinator",
-		"promoted to primary (term 2)",
+		"promoted to primary (term ",
+		"restarting the world: killing all 3 coordinators",
+		"control plane restarted from wal: term ",
 		"unserved intersections: 0 (after kill: 0)",
 		"failovers=1",
 		"promotions=1",
+		"quorum-promotions=1",
+		"wal-replays=3",
 		"live=2",
 		"slo fleet-reassign:",
 	} {

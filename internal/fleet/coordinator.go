@@ -5,7 +5,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"net"
+	"os"
+	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -33,6 +36,15 @@ type Config struct {
 	// Standby starts the coordinator as a passive replica that waits
 	// for the primary's replication stream.
 	Standby bool
+	// DataDir, when set, makes the coordinator durable: every committed
+	// state change is appended to a write-ahead log under this
+	// directory (one file per control address) and replayed on start,
+	// so a full control-plane restart resumes with the last committed
+	// (term, epoch) instead of epoch 0.
+	DataDir string
+	// WALSyncEvery overrides the write-ahead log's fsync batching
+	// interval (default 5ms).
+	WALSyncEvery time.Duration
 	// Metrics receives the fleet series (nil keeps a private
 	// registry).
 	Metrics *telemetry.Registry
@@ -69,14 +81,17 @@ type push struct {
 }
 
 type coordMetrics struct {
-	heartbeats     *telemetry.Counter
-	lateHeartbeats *telemetry.Counter
-	failovers      *telemetry.Counter
-	reassignments  *telemetry.Counter
-	joins          *telemetry.Counter
-	drains         *telemetry.Counter
-	promotions     *telemetry.Counter
-	reassignLat    *telemetry.Histogram
+	heartbeats       *telemetry.Counter
+	lateHeartbeats   *telemetry.Counter
+	failovers        *telemetry.Counter
+	reassignments    *telemetry.Counter
+	joins            *telemetry.Counter
+	drains           *telemetry.Counter
+	promotions       *telemetry.Counter
+	quorumVotes      *telemetry.Counter
+	quorumElections  *telemetry.Counter
+	quorumPromotions *telemetry.Counter
+	reassignLat      *telemetry.Histogram
 }
 
 // Coordinator owns the intersection→node assignment for one fleet —
@@ -93,6 +108,8 @@ type Coordinator struct {
 	stop chan struct{}
 	wg   sync.WaitGroup
 
+	wal *wal // durable state log; nil without DataDir
+
 	mu          sync.Mutex
 	closed      bool
 	role        Role
@@ -104,6 +121,13 @@ type Coordinator struct {
 	replStop    chan struct{}
 	members     map[string]*member
 	owners      map[int]string // intersection → owning node id
+
+	// Quorum election state (standby side, see quorum.go).
+	electing      bool      // an election goroutine is in flight
+	votedTerm     int64     // highest term this coordinator pledged a vote in
+	votedFor      string    // candidate pledged in votedTerm
+	lastGrant     time.Time // last vote granted — defers own candidacy
+	campaignAfter time.Time // randomized backoff after a lost election
 }
 
 // NewCoordinator starts a coordinator listening for node agents (and
@@ -162,18 +186,32 @@ func newCoordinator(addr string, cfg Config) (*Coordinator, error) {
 		members: make(map[string]*member),
 		owners:  make(map[int]string),
 		metrics: coordMetrics{
-			heartbeats:     reg.Counter("fleet_heartbeats_total", "heartbeats received from node agents"),
-			lateHeartbeats: reg.Counter("fleet_late_heartbeats_total", "heartbeats rejected because the node was already declared dead"),
-			failovers:      reg.Counter("fleet_failovers_total", "nodes declared dead by heartbeat timeout"),
-			reassignments:  reg.Counter("fleet_reassignments_total", "assignment epochs pushed (joins, drains, failovers)"),
-			joins:          reg.Counter("fleet_joins_total", "nodes that registered with the coordinator"),
-			drains:         reg.Counter("fleet_drains_total", "nodes that left gracefully via drain"),
-			promotions:     reg.Counter("fleet_promotions_total", "standby coordinators promoted to primary"),
-			reassignLat:    reg.Histogram("fleet_reassign_seconds", "death detection to all assignments pushed", telemetry.UnitSeconds),
+			heartbeats:       reg.Counter("fleet_heartbeats_total", "heartbeats received from node agents"),
+			lateHeartbeats:   reg.Counter("fleet_late_heartbeats_total", "heartbeats rejected because the node was already declared dead"),
+			failovers:        reg.Counter("fleet_failovers_total", "nodes declared dead by heartbeat timeout"),
+			reassignments:    reg.Counter("fleet_reassignments_total", "assignment epochs pushed (joins, drains, failovers)"),
+			joins:            reg.Counter("fleet_joins_total", "nodes that registered with the coordinator"),
+			drains:           reg.Counter("fleet_drains_total", "nodes that left gracefully via drain"),
+			promotions:       reg.Counter("fleet_promotions_total", "standby coordinators promoted to primary"),
+			quorumVotes:      reg.Counter("fleet_quorum_votes_total", "promotion votes granted to candidate standbys"),
+			quorumElections:  reg.Counter("fleet_quorum_elections_total", "quorum elections started by candidate standbys"),
+			quorumPromotions: reg.Counter("fleet_quorum_promotions_total", "standby promotions won by quorum acknowledgment"),
+			reassignLat:      reg.Histogram("fleet_reassign_seconds", "death detection to all assignments pushed", telemetry.UnitSeconds),
 		},
+	}
+	rec, err := c.openDataDir()
+	if err != nil {
+		_ = ln.Close()
+		return nil, err
 	}
 	if cfg.Standby {
 		c.role = RoleStandby
+		if rec != nil {
+			// Adopt the durable state verbatim and wait: if the whole
+			// control plane restarted, the restarted primary's stream (or
+			// a quorum election) takes it from here.
+			c.adoptWALLocked(rec, rec.Term)
+		}
 	} else {
 		// A birth primary opens term 1; every promotion opens a later
 		// term, so (term, epoch) orders coordinators across failovers.
@@ -181,7 +219,21 @@ func newCoordinator(addr string, cfg Config) (*Coordinator, error) {
 		c.term = 1
 		c.primaryAddr = c.Addr()
 		c.seeds = append([]string{c.Addr()}, cfg.Standbys...)
+		if rec != nil {
+			// Restart incarnation: resume the durable epoch under a
+			// strictly larger term — promotion-like, so this instance's
+			// pushes outrank anything agents saw before the crash even if
+			// the very last epoch missed its fsync window.
+			c.adoptWALLocked(rec, rec.Term+1)
+			c.primaryAddr = c.Addr()
+		}
 		c.registerMembershipGauges()
+		if c.wal != nil {
+			// The (possibly bumped) birth stamp must be durable before
+			// anything replicates under it.
+			c.persistLocked()
+			c.wal.Sync()
+		}
 	}
 	reg.GaugeFunc(fmt.Sprintf("fleet_coordinator_role{coordinator=%q}", c.Addr()),
 		"1 while this coordinator is the primary", func() int64 {
@@ -201,6 +253,122 @@ func newCoordinator(addr string, cfg Config) (*Coordinator, error) {
 	go c.acceptLoop()
 	go c.monitor()
 	return c, nil
+}
+
+// openDataDir opens and replays this coordinator's write-ahead log
+// when DataDir is configured, returning the last committed state (nil
+// for a fresh log or no data dir). Runs before the coordinator's
+// loops start.
+func (c *Coordinator) openDataDir() (*walRecord, error) {
+	if c.cfg.DataDir == "" {
+		return nil, nil
+	}
+	if err := os.MkdirAll(c.cfg.DataDir, 0o755); err != nil {
+		return nil, fmt.Errorf("fleet: data dir: %w", err)
+	}
+	name := "coord-" + strings.NewReplacer(":", "_", "/", "_").Replace(c.Addr()) + ".wal"
+	w, rec, err := openWAL(filepath.Join(c.cfg.DataDir, name), walOptions{
+		SyncEvery: c.cfg.WALSyncEvery,
+		Metrics:   c.cfg.Metrics,
+		Logger:    c.cfg.Logger,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.wal = w
+	return rec, nil
+}
+
+// adoptWALLocked resumes the durable state under the given term:
+// epoch, seeds, key set, assignment, and membership all come back, and
+// members re-enter with a fresh liveness stamp (conn == nil) so
+// redialing agents get a full DeadAfter grace to re-bind — the re-bind
+// path resends the identical owned set under the new term, which the
+// agent applies without starting or stopping a single runner. Runs
+// during construction, before any loop can race it.
+func (c *Coordinator) adoptWALLocked(rec *walRecord, term int64) {
+	c.term = term
+	c.epoch = rec.Epoch
+	c.primaryAddr = rec.Primary
+	if c.cfg.Standby && rec.Primary == c.Addr() {
+		// This instance crashed as the primary but is reborn a standby:
+		// redirecting agents to "the primary" would point them straight
+		// back here in a loop. Claim ignorance until the real reborn
+		// primary's replication stream names itself.
+		c.primaryAddr = ""
+	}
+	if len(rec.Seeds) > 0 {
+		c.seeds = append([]string(nil), rec.Seeds...)
+	}
+	if len(rec.Keys) > 0 {
+		c.cfg.Intersections = append([]int(nil), rec.Keys...)
+	}
+	c.owners = make(map[int]string, len(rec.Owners))
+	for k, v := range rec.Owners {
+		c.owners[k] = v
+	}
+	now := time.Now()
+	// Restart grace: a re-binding agent first has to notice its control
+	// connection died, then sweep the seed list with capped backoff
+	// until it finds the reborn primary — easily a couple of backoff
+	// rounds on a loaded host. Restarted members get two extra
+	// DeadAfters before the failure detector may rule on them; a
+	// genuinely dead node just takes one restart-length beat longer to
+	// be caught, which a control plane that itself just died can afford.
+	grace := now.Add(2 * c.cfg.Timings.DeadAfter)
+	for _, fm := range rec.Members {
+		m := &member{
+			id:        fm.Node,
+			addr:      fm.Addr,
+			debugAddr: fm.DebugAddr,
+			state:     stateFromString(fm.State),
+			last:      grace,
+			live:      c.reg.Gauge(fmt.Sprintf("fleet_node_live{node=%q}", fm.Node), "1 while the node is not declared dead"),
+		}
+		if m.state == Dead {
+			m.live.Set(0)
+		} else {
+			m.live.Set(1)
+		}
+		c.members[fm.Node] = m
+	}
+	c.lastRepl = now
+	c.log.Infof("fleet: coordinator %s resumed from wal (term %d, epoch %d, %d members, %d keys)",
+		c.Addr(), c.term, c.epoch, len(c.members), len(c.cfg.Intersections))
+}
+
+// walRecordLocked snapshots the committed state for the log — the
+// same fleet view a replicate frame carries. Callers hold c.mu.
+func (c *Coordinator) walRecordLocked() walRecord {
+	members := make([]rsu.FleetMember, 0, len(c.members))
+	for _, m := range c.members {
+		members = append(members, rsu.FleetMember{Node: m.id, Addr: m.addr, DebugAddr: m.debugAddr, State: m.state.String()})
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i].Node < members[j].Node })
+	owners := make(map[int]string, len(c.owners))
+	for k, v := range c.owners {
+		owners[k] = v
+	}
+	return walRecord{
+		Term:    c.term,
+		Epoch:   c.epoch,
+		Primary: c.primaryAddr,
+		Seeds:   append([]string(nil), c.seeds...),
+		Keys:    append([]int(nil), c.cfg.Intersections...),
+		Owners:  owners,
+		Members: members,
+	}
+}
+
+// persistLocked appends the current committed state to the write-ahead
+// log (no-op without one). Durability is batched — the background
+// flusher advances the commit watermark; transitions that cannot wait
+// call wal.Sync explicitly. Callers hold c.mu.
+func (c *Coordinator) persistLocked() {
+	if c.wal == nil {
+		return
+	}
+	c.wal.Append(c.walRecordLocked())
 }
 
 // registerMembershipGauges (re-)binds the fleet-wide membership
@@ -344,6 +512,13 @@ func (c *Coordinator) handleNode(conn net.Conn) {
 		}
 		if first && msg.Type == rsu.TypeReplicate {
 			c.replicaSession(conn, dec, enc, msg)
+			return
+		}
+		if first && msg.Type == rsu.TypeVote {
+			// A candidate standby asking whether we also find the
+			// primary silent: one ballot, one reply, done.
+			_ = conn.SetWriteDeadline(time.Now().Add(c.cfg.PushTimeout))
+			_ = enc.Encode(c.onVoteRequest(msg))
 			return
 		}
 		first = false
@@ -511,6 +686,7 @@ func (c *Coordinator) reassignLocked(reason string) []push {
 	}
 	sort.Strings(live)
 	c.owners = Assignments(live, c.cfg.Intersections)
+	c.persistLocked()
 	c.metrics.reassignments.Inc()
 	c.log.Infof("fleet: term %d epoch %d (%s): %d intersections over %d nodes", c.term, c.epoch, reason, len(c.cfg.Intersections), len(live))
 	var pushes []push
@@ -651,5 +827,10 @@ func (c *Coordinator) Close() error {
 		_ = conn.Close()
 	}
 	c.wg.Wait()
+	if c.wal != nil {
+		if werr := c.wal.Close(); err == nil {
+			err = werr
+		}
+	}
 	return err
 }

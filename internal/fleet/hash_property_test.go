@@ -1,0 +1,139 @@
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Property-style checks of the rendezvous placement over randomized
+// memberships. Seeded generators keep every run reproducible: a
+// failure prints the trial seed so the exact membership can be
+// replayed.
+
+// randomFleet draws a membership of n distinct node ids with
+// rng-chosen suffixes, mimicking real fleets where ids share a common
+// prefix (the weak-avalanche case the score finalizer exists for).
+func randomFleet(rng *rand.Rand, n int) []string {
+	nodes := make([]string, 0, n)
+	seen := map[string]bool{}
+	for len(nodes) < n {
+		id := fmt.Sprintf("node-%d", rng.Intn(10*n))
+		if !seen[id] {
+			seen[id] = true
+			nodes = append(nodes, id)
+		}
+	}
+	return nodes
+}
+
+// TestAssignmentsMinimalMovementProperty removes one random node from
+// a random membership and asserts rendezvous hashing's defining
+// property: ONLY the dead node's intersections change owner. Any
+// other movement would churn runners fleet-wide on every failure.
+func TestAssignmentsMinimalMovementProperty(t *testing.T) {
+	keys := make([]int, 64)
+	for i := range keys {
+		keys[i] = i
+	}
+	for trial := 0; trial < 200; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		nodes := randomFleet(rng, 2+rng.Intn(9)) // 2..10 nodes
+		before := Assignments(nodes, keys)
+		dead := nodes[rng.Intn(len(nodes))]
+		var survivors []string
+		for _, n := range nodes {
+			if n != dead {
+				survivors = append(survivors, n)
+			}
+		}
+		after := Assignments(survivors, keys)
+		for _, k := range keys {
+			if before[k] != dead && after[k] != before[k] {
+				t.Fatalf("trial %d: key %d moved %s→%s though %s died (membership %v)",
+					trial, k, before[k], after[k], dead, nodes)
+			}
+			if before[k] == dead && after[k] == dead {
+				t.Fatalf("trial %d: key %d still owned by dead node %s", trial, k, dead)
+			}
+		}
+	}
+}
+
+// TestAssignmentsJoinMovementProperty is the join-side mirror: adding
+// a node may only move keys TO the newcomer — no key shuffles between
+// incumbent nodes.
+func TestAssignmentsJoinMovementProperty(t *testing.T) {
+	keys := make([]int, 64)
+	for i := range keys {
+		keys[i] = i
+	}
+	for trial := 0; trial < 200; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		nodes := randomFleet(rng, 2+rng.Intn(9))
+		joiner := fmt.Sprintf("joiner-%d", rng.Intn(1000))
+		before := Assignments(nodes, keys)
+		after := Assignments(append(append([]string{}, nodes...), joiner), keys)
+		for _, k := range keys {
+			if after[k] != before[k] && after[k] != joiner {
+				t.Fatalf("trial %d: key %d moved %s→%s though only %s joined (membership %v)",
+					trial, k, before[k], after[k], joiner, nodes)
+			}
+		}
+	}
+}
+
+// TestAssignmentsSpreadProperty bounds load skew over randomized
+// memberships: with K keys over N nodes, no node may own more than
+// ~3× its fair share (and with N ≤ K every node must own something
+// close to it). Rendezvous over a hash with decent avalanche keeps
+// well inside this; the bound catches a regression to lopsided
+// scoring, not statistical noise.
+func TestAssignmentsSpreadProperty(t *testing.T) {
+	const numKeys = 128
+	keys := make([]int, numKeys)
+	for i := range keys {
+		keys[i] = i * 3 // non-contiguous ids, as real deployments have
+	}
+	for trial := 0; trial < 100; trial++ {
+		rng := rand.New(rand.NewSource(int64(2000 + trial)))
+		nodes := randomFleet(rng, 2+rng.Intn(15)) // 2..16 nodes
+		counts := map[string]int{}
+		for _, owner := range Assignments(nodes, keys) {
+			counts[owner]++
+		}
+		fair := float64(numKeys) / float64(len(nodes))
+		for _, n := range nodes {
+			if got := counts[n]; float64(got) > 3*fair {
+				t.Fatalf("trial %d: node %s owns %d of %d keys (fair share %.1f, membership %v)",
+					trial, n, got, numKeys, fair, nodes)
+			}
+		}
+		if len(counts) != len(nodes) {
+			t.Fatalf("trial %d: only %d of %d nodes own any keys (membership %v)",
+				trial, len(counts), len(nodes), nodes)
+		}
+	}
+}
+
+// TestOwnerPermutationInvariance shuffles the membership order many
+// times and asserts the owner never depends on it — the property that
+// lets every coordinator compute assignments independently.
+func TestOwnerPermutationInvariance(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		rng := rand.New(rand.NewSource(int64(3000 + trial)))
+		nodes := randomFleet(rng, 3+rng.Intn(6))
+		key := rng.Intn(1 << 16)
+		want, ok := Owner(nodes, key)
+		if !ok {
+			t.Fatalf("trial %d: no owner for key %d among %v", trial, key, nodes)
+		}
+		for p := 0; p < 10; p++ {
+			rng.Shuffle(len(nodes), func(i, j int) { nodes[i], nodes[j] = nodes[j], nodes[i] })
+			if got, _ := Owner(nodes, key); got != want {
+				t.Fatalf("trial %d: owner of key %d changed %s→%s under permutation %v",
+					trial, key, want, got, nodes)
+			}
+		}
+	}
+}

@@ -102,6 +102,25 @@ func WithPushTimeout(d time.Duration) CoordinatorOption {
 	return coordOption(func(c *Config) { c.PushTimeout = d })
 }
 
+// WithDataDir makes the coordinator durable: every committed state
+// change (membership, assignment, seeds, term/epoch) is appended to a
+// write-ahead log under dir and replayed on start, so a full
+// control-plane restart resumes with the last committed (term, epoch)
+// instead of epoch 0. Standbys persist the same log as the primary's
+// commit watermark advances, so any surviving directory can seed the
+// restarted fleet.
+func WithDataDir(dir string) CoordinatorOption {
+	return coordOption(func(c *Config) { c.DataDir = dir })
+}
+
+// WithWALSyncEvery overrides the write-ahead log's fsync batching
+// interval (default 5ms). Shorter narrows the window of acknowledged-
+// but-not-durable state on crash; longer batches more appends per
+// fsync.
+func WithWALSyncEvery(d time.Duration) CoordinatorOption {
+	return coordOption(func(c *Config) { c.WALSyncEvery = d })
+}
+
 // WithCoordinators gives the agent the coordinator seed list. The
 // agent sweeps the seeds until one accepts it as primary, and follows
 // promote redirects to whichever seed currently holds the role.

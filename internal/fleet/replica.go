@@ -228,7 +228,19 @@ func (c *Coordinator) replicateMsg() (rsu.Message, bool) {
 	}
 	keys := append([]int(nil), c.cfg.Intersections...)
 	seeds := append([]string(nil), c.seeds...)
-	return rsu.ReplicateMessage(c.term, c.epoch, c.Addr(), seeds, keys, owners, members), true
+	msg := rsu.ReplicateMessage(c.term, c.epoch, c.Addr(), seeds, keys, owners, members)
+	// The commit watermark: how far durability has caught up with this
+	// term. Standbys persist a replicated state only once the primary
+	// has it on disk, so the fleet's logs never run ahead of the
+	// primary's. A memory-only primary commits instantly.
+	if c.wal != nil {
+		if dt, de := c.wal.Durable(); dt == c.term {
+			msg.Commit = de
+		}
+	} else {
+		msg.Commit = c.epoch
+	}
+	return msg, true
 }
 
 // replicaSession handles an inbound replication stream (the receiving
@@ -320,6 +332,12 @@ func (c *Coordinator) onReplicate(msg rsu.Message) (reply rsu.Message, drop bool
 			delete(c.members, id)
 		}
 	}
+	if msg.Commit >= msg.Epoch {
+		// The primary has this state on disk — mirror it into our own
+		// log so a full control-plane restart can resume from any
+		// surviving coordinator's directory.
+		c.persistLocked()
+	}
 	return rsu.HeartbeatMessage(c.Addr(), "", c.epoch), false
 }
 
@@ -367,13 +385,18 @@ func (c *Coordinator) stepDownLocked(newPrimary string) {
 	c.log.Warnf("fleet: coordinator %s stepping down; %q leads", c.Addr(), newPrimary)
 }
 
-// standbyTickLocked is the standby half of the failure detector: when
-// the primary's replication stream has been silent past this
-// standby's rank-staggered deadline, promote. The stagger —
-// DeadAfter × (1 + rank) — makes the lowest-ranked live standby win
-// without standby-to-standby heartbeats: by the time a later rank's
-// timer fires, the earlier rank's replicate stream has already reset
-// its clock. Callers hold c.mu.
+// standbyTickLocked is the standby half of the failure detector. In a
+// fleet of three or more coordinators, replicate-silence past DeadAfter
+// makes this standby a CANDIDATE: it asks every other seed for a vote
+// and promotes only on majority acknowledgment (quorum.go) — one
+// partitioned standby's local clock cannot split the brain. Rank still
+// staggers candidacy (by heartbeat intervals, not DeadAfter multiples)
+// so the lowest live rank usually runs the first, uncontested election.
+// Fleets of one or two coordinators cannot form a meaningful majority
+// that excludes the candidate's own delusion, so they keep the
+// rank-staggered timeout path: DeadAfter × (1 + rank), by which time an
+// earlier rank's replicate stream would have reset our clock. Callers
+// hold c.mu.
 func (c *Coordinator) standbyTickLocked(now time.Time) {
 	if c.primaryAddr == "" || c.term < 1 || len(c.seeds) == 0 {
 		return // never fed: nothing to promote over
@@ -382,33 +405,57 @@ func (c *Coordinator) standbyTickLocked(now time.Time) {
 	if p < 0 {
 		return
 	}
-	if now.Sub(c.lastRepl) < c.cfg.Timings.DeadAfter*time.Duration(1+p) {
+	if len(c.seeds) < 3 {
+		if now.Sub(c.lastRepl) < c.cfg.Timings.DeadAfter*time.Duration(1+p) {
+			return
+		}
+		c.promoteLocked(now, c.term+1, promoteViaTimeout)
 		return
 	}
-	c.promoteLocked(now)
+	c.maybeCampaignLocked(now, p)
 }
 
-// promoteLocked turns this standby into the primary: a strictly
-// larger term, the SAME epoch (the sequence resumes, never regresses),
-// the replicated membership adopted with a fresh grace stamp so
-// re-heartbeating agents are not instantly declared dead, the
-// fleet-wide membership gauges taken over, and replication streams
-// started toward every other seed. Callers hold c.mu.
-func (c *Coordinator) promoteLocked(now time.Time) {
+const (
+	promoteViaTimeout = "timeout"
+	promoteViaQuorum  = "quorum"
+)
+
+// promoteLocked turns this standby into the primary under the given
+// strictly larger term and the SAME epoch (the sequence resumes, never
+// regresses): the replicated membership is adopted with a fresh grace
+// stamp so re-heartbeating agents are not instantly declared dead, the
+// promotion is forced onto disk before anything can replicate under
+// the new term, the fleet-wide membership gauges are taken over, and
+// replication streams started toward every other seed. Callers hold
+// c.mu.
+func (c *Coordinator) promoteLocked(now time.Time, term int64, via string) {
 	c.role = RolePrimary
-	c.term++
+	c.term = term
 	c.primaryAddr = c.Addr()
 	c.lastRepl = now
+	// Promotion grace: agents have been sweeping the seed list since
+	// the old primary died, and the quorum election lengthens the
+	// leaderless window beyond what their redial backoff assumed — give
+	// them one extra DeadAfter to find us before the failure detector
+	// may rule.
+	grace := now.Add(c.cfg.Timings.DeadAfter)
 	for _, m := range c.members {
 		if m.state != Dead {
-			m.last = now
+			m.last = grace
 		}
 	}
 	c.metrics.promotions.Inc()
+	if via == promoteViaQuorum {
+		c.metrics.quorumPromotions.Inc()
+	}
+	c.persistLocked()
+	if c.wal != nil {
+		c.wal.Sync()
+	}
 	c.registerMembershipGauges()
 	c.startReplicatorsLocked()
-	c.log.Warnf("fleet: standby %s promoted to primary (term %d, epoch %d, %d members)",
-		c.Addr(), c.term, c.epoch, len(c.members))
+	c.log.Warnf("fleet: standby %s promoted to primary via %s (term %d, epoch %d, %d members)",
+		c.Addr(), via, c.term, c.epoch, len(c.members))
 }
 
 // Stats is a point-in-time snapshot of coordinator activity — a
@@ -431,8 +478,16 @@ type Stats struct {
 	// the assignment epochs pushed; Joins and Drains the memberships
 	// opened and gracefully closed.
 	Failovers, Reassignments, Joins, Drains int
-	// Promotions counts standby coordinators promoted to primary.
-	Promotions int
+	// Promotions counts standby coordinators promoted to primary;
+	// QuorumPromotions the subset won by majority acknowledgment
+	// rather than a rank timeout.
+	Promotions, QuorumPromotions int
+	// QuorumVotes counts promotion votes this registry's coordinators
+	// granted to candidate standbys.
+	QuorumVotes int
+	// WALReplays counts coordinator starts that resumed durable state
+	// from a write-ahead log.
+	WALReplays int
 	// PushErrors totals failed control-plane writes across all peers
 	// (nodes and standbys).
 	PushErrors int
@@ -454,18 +509,21 @@ func (c *Coordinator) Stats() Stats {
 	}
 	c.mu.Unlock()
 	return Stats{
-		Role:           role.String(),
-		Term:           term,
-		Epoch:          epoch,
-		NodesLive:      live,
-		NodesSuspect:   suspect,
-		Heartbeats:     snap.Int("fleet_heartbeats_total"),
-		LateHeartbeats: snap.Int("fleet_late_heartbeats_total"),
-		Failovers:      snap.Int("fleet_failovers_total"),
-		Reassignments:  snap.Int("fleet_reassignments_total"),
-		Joins:          snap.Int("fleet_joins_total"),
-		Drains:         snap.Int("fleet_drains_total"),
-		Promotions:     snap.Int("fleet_promotions_total"),
-		PushErrors:     int(snap.Total("fleet_push_errors_total")),
+		Role:             role.String(),
+		Term:             term,
+		Epoch:            epoch,
+		NodesLive:        live,
+		NodesSuspect:     suspect,
+		Heartbeats:       snap.Int("fleet_heartbeats_total"),
+		LateHeartbeats:   snap.Int("fleet_late_heartbeats_total"),
+		Failovers:        snap.Int("fleet_failovers_total"),
+		Reassignments:    snap.Int("fleet_reassignments_total"),
+		Joins:            snap.Int("fleet_joins_total"),
+		Drains:           snap.Int("fleet_drains_total"),
+		Promotions:       snap.Int("fleet_promotions_total"),
+		QuorumPromotions: snap.Int("fleet_quorum_promotions_total"),
+		QuorumVotes:      snap.Int("fleet_quorum_votes_total"),
+		WALReplays:       snap.Int("fleet_wal_replays_total"),
+		PushErrors:       int(snap.Total("fleet_push_errors_total")),
 	}
 }

@@ -1,0 +1,88 @@
+package rsu
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// FuzzMessageRoundTrip feeds arbitrary bytes through the wire path
+// every coordinator and node runs on each inbound frame: decode,
+// validate, and — for messages that validate — re-encode. The
+// properties under test:
+//
+//   - decode + Validate never panic, whatever the bytes;
+//   - a message that validates still validates after one
+//     encode/decode round trip (validation is stable under
+//     re-encoding, so a relayed frame is never rejected downstream);
+//   - encoding is a canonicalisation fixed point: encoding the decoded
+//     form twice yields identical bytes, and the second decode equals
+//     the first (no field silently mutates in flight).
+//
+// The committed corpus under testdata/fuzz/FuzzMessageRoundTrip seeds
+// the interesting frame shapes: trace-context-stamped subscribes and
+// advisories, replicate frames with commit watermarks, vote/ack
+// ballots, and the malformed variants of each.
+func FuzzMessageRoundTrip(f *testing.F) {
+	seeds := []string{
+		`{"type":"subscribe","vehicle":"veh-1","intersection":3}`,
+		`{"type":"subscribe","vehicle":"veh-1","trace_id":"4bf92f3577b34da6","parent_span":"join"}`,
+		`{"type":"subscribe","vehicle":"veh-1","trace_id":"zz"}`,
+		`{"type":"advisory","frame":12,"ready":true,"safe":false,"scene":"rainy","intersection":2,"trace_id":"00f067aa0ba902b7","parent_span":"broadcast"}`,
+		`{"type":"advisory","parent_span":"orphaned"}`,
+		`{"type":"heartbeat","node":"node-0","addr":"127.0.0.1:9000","epoch":4,"debug_addr":"127.0.0.1:9100","draining":true}`,
+		`{"type":"assign","epoch":7,"owned":[1,2,3],"table":{"1":"127.0.0.1:9000","2":"127.0.0.1:9001"}}`,
+		`{"type":"redirect","intersection":5,"addr":"127.0.0.1:9001","epoch":9}`,
+		`{"type":"replicate","term":3,"epoch":11,"commit":10,"primary":"127.0.0.1:7000","seeds":["127.0.0.1:7000","127.0.0.1:7001"],"owned":[0,1],"owners":{"0":"node-0","1":"node-1"},"members":[{"node":"node-0","addr":"127.0.0.1:9000","state":"live"},{"node":"node-1","state":"dead"}]}`,
+		`{"type":"replicate","term":1,"epoch":2,"commit":3,"primary":"p","seeds":["p"]}`,
+		`{"type":"vote","addr":"127.0.0.1:7001","term":2,"epoch":11}`,
+		`{"type":"vote","addr":"127.0.0.1:7001","term":1}`,
+		`{"type":"ack","granted":true,"term":2,"epoch":11}`,
+		`{"type":"ack","term":-1}`,
+		`{"type":"promote","addr":"127.0.0.1:7001","term":2,"epoch":11}`,
+		`{"type":"stats","served":100,"rejected":3,"p99Micros":1500}`,
+		`{"type":"welcome","vehicle":"veh-1","addr":"127.0.0.1:9000"}`,
+		`{"type":"switch","scene":"snowy","method":"pipelined","switchMicros":42}`,
+		`{"type":"mystery"}`,
+		`{"type":"replicate","term":3,"epoch":11,"commit":10,"primary":"127.0.0.1:7000"}`,
+		`not json at all`,
+		`{"type":"subscribe","vehicle":"veh-1"`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var msg Message
+		if err := json.Unmarshal(data, &msg); err != nil {
+			return // not a frame; the decoder rejecting it IS the contract
+		}
+		if msg.Validate() != nil {
+			return // invalid frames only need to be rejected, not round-tripped
+		}
+		first, err := json.Marshal(msg)
+		if err != nil {
+			t.Fatalf("valid message failed to encode: %v", err)
+		}
+		var second Message
+		if err := json.Unmarshal(first, &second); err != nil {
+			t.Fatalf("own encoding failed to decode: %v\nencoding: %s", err, first)
+		}
+		if err := second.Validate(); err != nil {
+			t.Fatalf("message became invalid after one round trip: %v\nencoding: %s", err, first)
+		}
+		// The first decode may hold non-nil empty maps/slices that
+		// omitempty drops, so canonical-form equality is asserted
+		// between the second and third generations.
+		canon, err := json.Marshal(second)
+		if err != nil {
+			t.Fatalf("canonical form failed to encode: %v", err)
+		}
+		var third Message
+		if err := json.Unmarshal(canon, &third); err != nil {
+			t.Fatalf("canonical form failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(second, third) {
+			t.Fatalf("round trip is not a fixed point:\nsecond: %#v\nthird:  %#v", second, third)
+		}
+	})
+}

@@ -60,6 +60,20 @@ const (
 	// a promote never means "you are dead" — the receiver keeps its
 	// shards and simply re-heartbeats at Addr.
 	TypePromote = "promote"
+
+	// TypeVote is a standby coordinator's promotion ballot request:
+	// Addr names the candidate, Term the successor term it proposes
+	// (strictly above every term a primary has held), Epoch the
+	// candidate's replicated epoch. A candidate promotes itself only
+	// after a majority of the configured coordinators answer with a
+	// granted ack — replicate-silence confirmed by quorum, not by one
+	// clock.
+	TypeVote = "vote"
+	// TypeAck is the vote reply: Granted reports whether the receiver
+	// also sees the primary silent and has not pledged this term to
+	// another candidate; Term/Epoch carry the responder's own stamp so
+	// a denied candidate learns how far behind it is.
+	TypeAck = "ack"
 )
 
 // FleetMember is one node's membership record as replicated from the
@@ -127,6 +141,17 @@ type Message struct {
 	// so a partitioned stale primary — whatever epoch it reached alone —
 	// can never override a promoted standby's assignments.
 	Term int64 `json:"term,omitempty"`
+	// Commit is the replication commit watermark: the highest epoch of
+	// this term the primary has made durable in its write-ahead log
+	// (replicate messages). A standby persists the replicated state to
+	// its own log only once the watermark covers it, so no replica
+	// holds durable state the primary could still lose. Never above
+	// Epoch; 0 means nothing of this term is committed yet.
+	Commit int64 `json:"commit,omitempty"`
+	// Granted is the vote verdict on an ack: true means the responder
+	// also observes replicate-silence and pledges the proposed term to
+	// the candidate.
+	Granted bool `json:"granted,omitempty"`
 	// Seeds is the ordered coordinator seed list (replicate messages);
 	// a coordinator's rank is its index here, and the lowest-ranked
 	// live standby is the one that promotes.
@@ -280,6 +305,20 @@ func PromoteMessage(addr string, term, epoch int64) Message {
 	return Message{Type: TypePromote, Addr: addr, Term: term, Epoch: epoch}
 }
 
+// VoteMessage builds a candidate standby's ballot request: candidate
+// is its own control address, term the successor term it proposes
+// (≥ 2 — term 1 belongs to the birth primary and is never elected),
+// epoch its replicated epoch.
+func VoteMessage(candidate string, term, epoch int64) Message {
+	return Message{Type: TypeVote, Addr: candidate, Term: term, Epoch: epoch}
+}
+
+// AckMessage builds the vote reply, carrying the responder's own
+// (term, epoch) stamp alongside the verdict.
+func AckMessage(granted bool, term, epoch int64) Message {
+	return Message{Type: TypeAck, Granted: granted, Term: term, Epoch: epoch}
+}
+
 // Validate checks well-formedness of an inbound message.
 func (m Message) Validate() error {
 	// Trace context is optional on every type but must be well-formed
@@ -329,6 +368,22 @@ func (m Message) Validate() error {
 		}
 		if len(m.Seeds) == 0 {
 			return fmt.Errorf("rsu: replicate without coordinator seed list")
+		}
+		if m.Commit < 0 || m.Commit > m.Epoch {
+			return fmt.Errorf("rsu: replicate commit watermark %d outside [0, epoch %d]", m.Commit, m.Epoch)
+		}
+		return nil
+	case TypeVote:
+		if m.Addr == "" {
+			return fmt.Errorf("rsu: vote without candidate address")
+		}
+		if m.Term < 2 {
+			return fmt.Errorf("rsu: vote proposing term %d, need >= 2 (term 1 is never elected)", m.Term)
+		}
+		return nil
+	case TypeAck:
+		if m.Term < 0 || m.Epoch < 0 {
+			return fmt.Errorf("rsu: ack with negative stamp (term %d, epoch %d)", m.Term, m.Epoch)
 		}
 		return nil
 	case TypePromote:

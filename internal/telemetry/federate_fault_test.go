@@ -1,0 +1,165 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// faultyFed is a /metrics.fed endpoint whose behaviour the test flips
+// at runtime: a healthy JSON snapshot, malformed JSON, a truncated
+// body cut mid-object, an HTTP error, or a dead socket.
+type faultyFed struct {
+	mu   sync.Mutex
+	mode string
+	reg  *Registry
+	srv  *http.Server
+	ln   net.Listener
+}
+
+func startFaultyFed(t *testing.T, reg *Registry) *faultyFed {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &faultyFed{mode: "good", reg: reg, ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics.fed", f.serve)
+	f.srv = &http.Server{Handler: mux}
+	go func() { _ = f.srv.Serve(ln) }()
+	t.Cleanup(func() { _ = f.srv.Close() })
+	return f
+}
+
+func (f *faultyFed) setMode(mode string) {
+	f.mu.Lock()
+	f.mode = mode
+	f.mu.Unlock()
+}
+
+func (f *faultyFed) serve(w http.ResponseWriter, _ *http.Request) {
+	f.mu.Lock()
+	mode := f.mode
+	f.mu.Unlock()
+	body, _ := json.Marshal(f.reg.Snapshot().Fed())
+	switch mode {
+	case "good":
+		_, _ = w.Write(body)
+	case "garbage":
+		_, _ = w.Write([]byte("}{ not a snapshot %%"))
+	case "truncated":
+		_, _ = w.Write(body[:len(body)/2]) // valid prefix, cut mid-object
+	case "http-error":
+		http.Error(w, "scrape me later", http.StatusInternalServerError)
+	}
+}
+
+// TestFederatorSurvivesMalformedPayloads walks one target through
+// every way a scrape can go wrong — malformed JSON, a truncated body,
+// an HTTP 5xx, a dead socket — and asserts the contract after each:
+// the per-node error series increments, the last GOOD view keeps
+// feeding the aggregates uncorrupted, and a recovered target resumes
+// updating them.
+func TestFederatorSurvivesMalformedPayloads(t *testing.T) {
+	goodReg, badReg := NewRegistry(), NewRegistry()
+	goodReg.Counter("work_total", "").Add(3)
+	badReg.Counter("work_total", "").Add(4)
+
+	dbg, err := ListenDebug("127.0.0.1:0", goodReg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dbg.Close()
+	faulty := startFaultyFed(t, badReg)
+
+	fedReg := NewRegistry()
+	fed, err := NewFederator(FederatorConfig{
+		Targets: StaticTargets(map[string]string{
+			"node-good": "http://" + dbg.Addr(),
+			"node-bad":  "http://" + faulty.ln.Addr().String(),
+		}),
+		Interval: time.Hour, // the test drives ScrapeOnce directly
+		Timeout:  2 * time.Second,
+		Metrics:  fedReg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fed.Close()
+
+	errCount := func() int64 {
+		return fedReg.Counter(fmt.Sprintf("fleet_scrape_errors_total{node=%q}", "node-bad"), "").Value()
+	}
+	aggregate := func() string {
+		var buf bytes.Buffer
+		if err := fed.WritePrometheus(&buf); err != nil {
+			t.Fatalf("WritePrometheus: %v", err)
+		}
+		return buf.String()
+	}
+
+	fed.ScrapeOnce()
+	if got := errCount(); got != 0 {
+		t.Fatalf("healthy target counted %d scrape errors", got)
+	}
+	if text := aggregate(); !strings.Contains(text, "fleet::work_total 7") {
+		t.Fatalf("baseline aggregate wrong:\n%s", text)
+	}
+
+	for i, mode := range []string{"garbage", "truncated", "http-error"} {
+		faulty.setMode(mode)
+		fed.ScrapeOnce()
+		if got, want := errCount(), int64(i+1); got != want {
+			t.Fatalf("after %q: fleet_scrape_errors_total = %d, want %d", mode, got, want)
+		}
+		text := aggregate()
+		if !strings.Contains(text, "fleet::work_total 7") {
+			t.Fatalf("after %q: aggregate corrupted (last good view must hold):\n%s", mode, text)
+		}
+		if !strings.Contains(text, `fleet::work_total{node="node-bad"} 4`) {
+			t.Fatalf("after %q: per-node view lost:\n%s", mode, text)
+		}
+	}
+
+	// A dead socket is just another failed round.
+	_ = faulty.srv.Close()
+	fed.ScrapeOnce()
+	if got := errCount(); got != 4 {
+		t.Fatalf("after dead socket: fleet_scrape_errors_total = %d, want 4", got)
+	}
+	if text := aggregate(); !strings.Contains(text, "fleet::work_total 7") {
+		t.Fatalf("after dead socket: aggregate corrupted:\n%s", text)
+	}
+
+	// Recovery: a reborn healthy endpoint at the same address resumes
+	// feeding fresh numbers with no residue from the bad rounds.
+	ln, err := net.Listen("tcp", faulty.ln.Addr().String())
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", faulty.ln.Addr(), err)
+	}
+	badReg.Counter("work_total", "").Add(6) // now 10
+	reborn := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/metrics.fed" {
+			http.NotFound(w, r)
+			return
+		}
+		body, _ := json.Marshal(badReg.Snapshot().Fed())
+		_, _ = w.Write(body)
+	})}
+	go func() { _ = reborn.Serve(ln) }()
+	defer func() { _ = reborn.Close() }()
+	fed.ScrapeOnce()
+	if got := errCount(); got != 4 {
+		t.Fatalf("recovered target still counting errors: %d", got)
+	}
+	if text := aggregate(); !strings.Contains(text, "fleet::work_total 13") {
+		t.Fatalf("recovered target's numbers missing from aggregate:\n%s", text)
+	}
+}

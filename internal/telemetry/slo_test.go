@@ -10,12 +10,12 @@ func TestSLOValidate(t *testing.T) {
 	reg := NewRegistry()
 	e := NewSLOEngine(SLOEngineConfig{Metrics: reg})
 	bad := []SLO{
-		{Series: "s", Objective: time.Second, Target: 0.9},               // no name
-		{Name: "n", Objective: time.Second, Target: 0.9},                 // no series
-		{Name: "n", Series: "s", Target: 0.9},                            // no objective
-		{Name: "n", Series: "s", Objective: time.Second, Target: 0},      // target out of range
-		{Name: "n", Series: "s", Objective: time.Second, Target: 1},      // target out of range
-		{Name: "n", Series: "s", Objective: time.Second, Target: 1.5},    // target out of range
+		{Series: "s", Objective: time.Second, Target: 0.9},            // no name
+		{Name: "n", Objective: time.Second, Target: 0.9},              // no series
+		{Name: "n", Series: "s", Target: 0.9},                         // no objective
+		{Name: "n", Series: "s", Objective: time.Second, Target: 0},   // target out of range
+		{Name: "n", Series: "s", Objective: time.Second, Target: 1},   // target out of range
+		{Name: "n", Series: "s", Objective: time.Second, Target: 1.5}, // target out of range
 	}
 	for _, slo := range bad {
 		if err := e.Add(slo, reg); err == nil {
